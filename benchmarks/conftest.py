@@ -1,0 +1,40 @@
+"""Shared settings and helpers for the benchmark harness.
+
+Every paper table/figure has one benchmark module that (a) regenerates
+the table/figure rows through the same drivers as
+``python -m repro.experiments.<name>``, (b) asserts the paper-shaped
+properties hold, and (c) writes the formatted output to
+``benchmarks/output/<name>.txt`` so the artifacts survive pytest's
+output capture.
+
+The benchmark settings trade a little fidelity for runtime (footprints
+at 1/64 scale, 25K-event traces); the experiment drivers' defaults are
+the higher-fidelity configuration.  Sweep results are memoised inside
+one pytest process, so benchmarks that need the same populate runs
+(Table I, Figures 8 and 10-14) share the work.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.runner import ExperimentSettings
+
+#: One settings object shared by all benchmarks (shared memoisation).
+BENCH_SETTINGS = ExperimentSettings(scale=64, trace_length=25_000)
+
+_OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def save_output(name: str, text: str) -> None:
+    """Persist a formatted table under benchmarks/output/ and echo it."""
+    os.makedirs(_OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(_OUTPUT_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+def once(benchmark, fn):
+    """Run an expensive driver exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,23 @@
+"""Benchmark: Section III allocation-cost measurements."""
+
+import pytest
+
+from benchmarks.conftest import once, save_output
+from repro.common.units import KB, MB
+from repro.experiments import alloc_cost
+
+
+def test_bench_alloc_cost(benchmark):
+    result = once(benchmark, lambda: alloc_cost.run(memory_gb=1))
+    save_output("alloc_cost", alloc_cost.format_result(result))
+    # The measured anchors are reproduced exactly at 0.7 FMFI.
+    assert result.cycles[(4 * KB, 0.7)] == pytest.approx(4_000)
+    assert result.cycles[(8 * KB, 0.7)] == pytest.approx(5_000)
+    assert result.cycles[(1 * MB, 0.7)] == pytest.approx(750_000)
+    assert result.cycles[(8 * MB, 0.7)] == pytest.approx(13_000_000)
+    assert result.cycles[(64 * MB, 0.7)] == pytest.approx(120_000_000)
+    # Above 0.7 FMFI the 64MB allocation fails (the paper's crash).
+    assert result.cycles[(64 * MB, 0.75)] is None
+    # End-to-end on a real buddy system.
+    assert result.buddy_check[0.5] is True
+    assert result.buddy_check[0.99] is False

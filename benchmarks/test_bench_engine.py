@@ -1,0 +1,85 @@
+"""Microbenchmarks of the core structures (throughput, not paper figures).
+
+These run under pytest-benchmark's normal timing loop and guard against
+performance regressions in the hot paths: cuckoo insert/lookup, radix
+and HPT walks, and TLB translation.
+"""
+
+import pytest
+
+from repro.mem.cache import CacheHierarchy
+from repro.mmu.hierarchy import TlbHierarchy
+from repro.radix.table import RadixPageTable
+from repro.radix.walker import RadixWalker
+from repro.ecpt.tables import EcptPageTables
+from repro.ecpt.walker import EcptWalker
+from repro.mem.allocator import CostModelAllocator
+from tests.conftest import make_chunked_table, make_contiguous_table
+
+N = 5_000
+
+
+@pytest.mark.parametrize("maker", [make_contiguous_table, make_chunked_table],
+                         ids=["contiguous", "chunked"])
+def test_bench_cuckoo_insert(benchmark, maker):
+    def insert_n():
+        table = maker(initial_slots=128)
+        for key in range(N):
+            table.insert(key, key)
+        return table
+
+    table = benchmark(insert_n)
+    assert len(table) == N
+
+
+@pytest.mark.parametrize("maker", [make_contiguous_table, make_chunked_table],
+                         ids=["contiguous", "chunked"])
+def test_bench_cuckoo_lookup(benchmark, maker):
+    table = maker(initial_slots=128)
+    for key in range(N):
+        table.insert(key, key)
+
+    def lookup_all():
+        hits = 0
+        for key in range(N):
+            if table.lookup(key) is not None:
+                hits += 1
+        return hits
+
+    assert benchmark(lookup_all) == N
+
+
+def test_bench_radix_walk(benchmark):
+    table = RadixPageTable()
+    for vpn in range(N):
+        table.map(vpn, vpn)
+    walker = RadixWalker(table, CacheHierarchy())
+
+    def walk_all():
+        return sum(walker.walk(vpn).cycles for vpn in range(N))
+
+    assert benchmark(walk_all) > 0
+
+
+def test_bench_ecpt_walk(benchmark):
+    tables = EcptPageTables(CostModelAllocator(fmfi=0.1))
+    for vpn in range(N):
+        tables.map(vpn, vpn)
+    walker = EcptWalker(tables, CacheHierarchy())
+
+    def walk_all():
+        return sum(walker.walk(vpn).cycles for vpn in range(N))
+
+    assert benchmark(walk_all) > 0
+
+
+def test_bench_tlb_translate(benchmark):
+    tables = EcptPageTables(CostModelAllocator(fmfi=0.1))
+    for vpn in range(N):
+        tables.map(vpn, vpn)
+    tlb = TlbHierarchy(EcptWalker(tables, CacheHierarchy()))
+
+    def translate_all():
+        return sum(tlb.translate(vpn).cycles for vpn in range(N))
+
+    assert benchmark(translate_all) >= 0

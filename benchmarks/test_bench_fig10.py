@@ -1,0 +1,21 @@
+"""Benchmark: Figure 10 — page-table memory reduction, split by technique."""
+
+from benchmarks.conftest import BENCH_SETTINGS, once, save_output
+from repro.experiments import fig10
+
+
+def test_bench_fig10(benchmark):
+    result = once(benchmark, lambda: fig10.run(BENCH_SETTINGS))
+    save_output("fig10", fig10.format_result(result))
+
+    # ME-HPT saves page-table memory on average (paper: 43% / 41%).
+    assert result.mean_reduction(False) > 0.2
+    assert result.mean_reduction(True) > 0.2
+    # Every application saves or breaks even; the heavy hitters save a lot.
+    by_key = {(r.app, r.thp): r for r in result.rows}
+    assert by_key[("GUPS", False)].reduction_pct > 0.25
+    assert by_key[("SysBench", False)].reduction_pct > 0.25
+    # In-place resizing is the dominant contributor (paper: 75-80%).
+    assert result.mean_contribution("inplace", False) > result.mean_contribution(
+        "perway", False
+    )

@@ -1,0 +1,25 @@
+"""Benchmark: Figure 11 — upsizing operations per way (4KB ME-HPT)."""
+
+from benchmarks.conftest import BENCH_SETTINGS, once, save_output
+from repro.experiments import fig11
+
+
+def test_bench_fig11(benchmark):
+    result = once(benchmark, lambda: fig11.run(BENCH_SETTINGS))
+    save_output("fig11", fig11.format_result(result))
+
+    # GUPS and SysBench have the most upsizes (paper: 13 per way at full
+    # scale; at 1/64 footprint with the scaled 128/64=2->4-slot initial
+    # ways the doubling count shifts by a constant, so we assert order).
+    gups = result.upsizes[("GUPS", False)]
+    tc = result.upsizes[("TC", False)]
+    assert min(gups) > max(tc)
+    # The balancer keeps per-way counts within one of each other.
+    for app in result.apps:
+        counts = result.upsizes[(app, False)]
+        assert max(counts) - min(counts) <= 1
+    # GUPS/SysBench with THP never upsize their 4KB tables.
+    assert result.upsizes[("GUPS", True)] == [0, 0, 0]
+    assert result.upsizes[("SysBench", True)] == [0, 0, 0]
+    # Graph apps are THP-insensitive.
+    assert result.upsizes[("BFS", True)] == result.upsizes[("BFS", False)]

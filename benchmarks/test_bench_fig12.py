@@ -1,0 +1,23 @@
+"""Benchmark: Figure 12 — final size of each ME-HPT way (4KB pages)."""
+
+from benchmarks.conftest import BENCH_SETTINGS, once, save_output
+from repro.common.units import KB, MB
+from repro.experiments import fig12
+
+
+def test_bench_fig12(benchmark):
+    result = once(benchmark, lambda: fig12.run(BENCH_SETTINGS))
+    save_output("fig12", fig12.format_result(result))
+
+    # GUPS/SysBench build the largest ways: 64MB full-scale equivalent.
+    assert max(result.way_bytes[("GUPS", False)]) == 64 * MB
+    assert max(result.way_bytes[("SysBench", False)]) == 64 * MB
+    # With THP their 4KB tables keep the initial (smallest) size.
+    assert max(result.way_bytes[("GUPS", True)]) <= 64 * KB
+    assert max(result.way_bytes[("SysBench", True)]) <= 64 * KB
+    # MUMmer sits at the per-way cusp: ways of ~0.5MB with one 1MB way
+    # (Section VII-D), i.e. unequal sizes — per-way resizing at work.
+    mummer = result.way_bytes[("MUMmer", False)]
+    assert min(mummer) == 512 * KB
+    assert max(mummer) == 1 * MB
+    assert "MUMmer" in result.differing_ways(False)

@@ -1,0 +1,22 @@
+"""Benchmark: Figure 13 — fraction of entries moved per in-place upsize."""
+
+from benchmarks.conftest import BENCH_SETTINGS, once, save_output
+from repro.experiments import fig13
+
+
+def test_bench_fig13(benchmark):
+    result = once(benchmark, lambda: fig13.run(BENCH_SETTINGS))
+    save_output("fig13", fig13.format_result(result))
+
+    # The one-extra-bit rule keeps ~half the entries in place; the
+    # measured average sits near 0.5 (the paper's Figure 13).
+    assert 0.45 < result.average(False) < 0.55
+    assert 0.45 < result.average(True) < 0.55
+    # Every app with upsizes is individually close to 0.5.
+    for app in result.apps:
+        fraction = result.fraction[(app, False)]
+        if fraction > 0:
+            assert 0.4 < fraction < 0.6
+    # GUPS/SysBench with THP have no 4KB upsizes, hence no samples.
+    assert result.fraction[("GUPS", True)] == 0.0
+    assert result.fraction[("SysBench", True)] == 0.0

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 14 — L2P table entries used per application."""
+
+from benchmarks.conftest import BENCH_SETTINGS, once, save_output
+from repro.experiments import fig14
+
+
+def test_bench_fig14(benchmark):
+    result = once(benchmark, lambda: fig14.run(BENCH_SETTINGS))
+    save_output("fig14", fig14.format_result(result))
+
+    # Usage never exceeds the 288-entry capacity.
+    assert all(0 < used <= 288 for used in result.entries.values())
+    # GUPS/SysBench are the heaviest users (paper: ~192 entries via 64
+    # 1MB chunks per way x 3 ways); TC among the lightest (paper: 11).
+    assert result.entries[("GUPS", False)] >= 180
+    assert result.entries[("SysBench", False)] >= 180
+    assert result.entries[("TC", False)] <= 20
+    # MUMmer's cusp layout (two 8KB-chunk ways) makes it a heavy user too.
+    assert result.entries[("MUMmer", False)] >= 120
+    # The average stays modest — the context-switch cost argument.
+    assert result.average() < 120

@@ -1,0 +1,25 @@
+"""Benchmark: Figure 15 — small graphs under fixed vs dynamic chunks."""
+
+from benchmarks.conftest import once, save_output
+from repro.common.units import KB, MB
+from repro.experiments import fig15
+from repro.experiments.runner import ExperimentSettings
+
+
+def test_bench_fig15(benchmark):
+    result = once(benchmark, lambda: fig15.run(ExperimentSettings(scale=1)))
+    save_output("fig15", fig15.format_result(result))
+
+    fixed = {n: result.mean_way_bytes[("ME-HPT 1MB", n)] for n in (1000, 10000, 100000)}
+    mixed = {
+        n: result.mean_way_bytes[("ME-HPT 1MB+8KB", n)] for n in (1000, 10000, 100000)
+    }
+    # Fixed 1MB chunks waste a full chunk per way on small inputs...
+    assert fixed[1000] >= 1 * MB
+    assert fixed[10000] >= 1 * MB
+    # ...while the dynamic ladder allocates only what is needed
+    # (paper: ~16KB at 1K nodes, ~128KB at 10K nodes).
+    assert mixed[1000] < 64 * KB
+    assert mixed[10000] < 256 * KB
+    # At 100K nodes the footprint justifies 1MB chunks and the designs tie.
+    assert 0.5 <= mixed[100000] / fixed[100000] <= 1.0

@@ -1,0 +1,20 @@
+"""Benchmark: Figure 16 — cuckoo re-insertions per insertion or rehash."""
+
+from benchmarks.conftest import BENCH_SETTINGS, once, save_output
+from repro.experiments import fig16
+
+
+def test_bench_fig16(benchmark):
+    result = once(benchmark, lambda: fig16.run(BENCH_SETTINGS))
+    save_output("fig16", fig16.format_result(result))
+
+    # The distribution is a proper distribution...
+    assert abs(sum(result.distribution) - 1.0) < 1e-9
+    # ...dominated by the no-conflict case (paper: P(0) ~ 0.64) with a
+    # geometric-looking tail and a small mean (paper: ~0.7).
+    assert result.p_zero > 0.5
+    assert result.mean < 1.5
+    assert all(
+        result.distribution[k] >= result.distribution[k + 2]
+        for k in range(1, 8)
+    )

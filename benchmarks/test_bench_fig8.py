@@ -1,0 +1,23 @@
+"""Benchmark: Figure 8 — maximum contiguous allocation, ECPT vs ME-HPT."""
+
+from benchmarks.conftest import BENCH_SETTINGS, once, save_output
+from repro.common.units import KB, MB
+from repro.experiments import fig8
+
+
+def test_bench_fig8(benchmark):
+    result = once(benchmark, lambda: fig8.run(BENCH_SETTINGS))
+    save_output("fig8", fig8.format_result(result))
+    by_app = {row.app: row for row in result.rows}
+
+    # Headline: GUPS and SysBench drop from 64MB to 1MB.
+    for app in ("GUPS", "SysBench"):
+        assert by_app[app].ecpt_bytes == 64 * MB
+        assert by_app[app].mehpt_bytes == 1 * MB
+    # ME-HPT never allocates beyond one chunk (1MB here, 8KB under THP
+    # for the fully huge-page-backed apps).
+    assert all(row.mehpt_bytes <= 1 * MB for row in result.rows)
+    assert by_app["GUPS"].mehpt_thp_bytes == 8 * KB
+    # Average reduction is large (paper: 92% / 84%).
+    assert result.mean_reduction > 0.6
+    assert result.mean_reduction_thp > 0.6

@@ -1,0 +1,30 @@
+"""Benchmark: Figure 9 — speedups over radix without THP.
+
+Paper headlines: ME-HPT averages 1.23x (no THP) and 1.28x (THP) over
+radix, 1.09x/1.06x over ECPT, and the THP configurations show large
+gains for GUPS/SysBench (bars of 3.3-4.8x).
+"""
+
+from benchmarks.conftest import BENCH_SETTINGS, once, save_output
+from repro.experiments import fig9
+
+
+def test_bench_fig9(benchmark):
+    result = once(benchmark, lambda: fig9.run(BENCH_SETTINGS))
+    save_output("fig9", fig9.format_result(result))
+
+    # HPTs beat radix on average; ME-HPT beats ECPT.
+    assert result.average("mehpt", False) > 1.05
+    assert result.average("mehpt", True) > result.average("radix", True)
+    assert result.mehpt_over_ecpt(False) > 1.0
+    # ME-HPT is the best configuration for the allocation-heavy apps.
+    for app in ("GUPS", "SysBench"):
+        assert result.speedups[app][("mehpt", False)] > result.speedups[app][
+            ("ecpt", False)
+        ]
+        assert result.speedups[app][("mehpt", False)] > 1.1
+    # THP yields multi-x speedups for the fully covered workloads.
+    assert result.speedups["GUPS"][("radix", True)] > 2.0
+    assert result.speedups["SysBench"][("radix", True)] > 1.5
+    # ...and roughly nothing for the irregular graph apps.
+    assert abs(result.speedups["BFS"][("radix", True)] - 1.0) < 0.05

@@ -1,0 +1,71 @@
+"""Ablation benchmark: 4-level vs 5-level radix walks.
+
+The paper's scalability argument (Section II-A): Intel's LA57 adds a
+fifth level to the radix tree, lengthening the sequential walk, while
+HPT walk latency is level-free.  We measure the mean walk cycles of the
+same sparse footprint under 4-level radix, 5-level radix, and ME-HPT.
+"""
+
+from benchmarks.conftest import once, save_output
+from repro.core.mehpt import MeHptPageTables
+from repro.core.walker import MeHptWalker
+from repro.mem.allocator import CostModelAllocator
+from repro.mem.cache import CacheHierarchy, CacheLevel
+from repro.radix.pwc import PageWalkCaches
+from repro.radix.table import RadixPageTable
+from repro.radix.walker import RadixWalker
+from repro.sim.results import format_table
+
+#: Sparse, PWC-hostile footprint: pages scattered across PGD entries.
+STRIDE = 1 << 28
+PAGES = 3_000
+
+
+def _tiny_caches():
+    # Pressure-heavy cache model so upper levels miss, as at full scale.
+    return CacheHierarchy(
+        levels=[CacheLevel("L2", 16 * 1024, 8, 16), CacheLevel("L3", 64 * 1024, 16, 56)]
+    )
+
+
+def _measure():
+    vpns = [(i * STRIDE + i * 7) % (1 << 40) for i in range(PAGES)]
+    results = {}
+
+    for levels in (4, 5):
+        table = RadixPageTable(levels=levels)
+        for vpn in vpns:
+            table.map(vpn, vpn & 0xFFFF)
+        walker = RadixWalker(table, _tiny_caches(), pwc=PageWalkCaches(levels=levels))
+        for vpn in vpns:  # warm
+            walker.walk(vpn)
+        walker.total_cycles = walker.walks = 0
+        for vpn in vpns:
+            walker.walk(vpn)
+        results[f"radix{levels}"] = walker.mean_walk_cycles()
+
+    mehpt = MeHptPageTables(CostModelAllocator(fmfi=0.1))
+    for vpn in vpns:
+        mehpt.map(vpn, vpn & 0xFFFF)
+    walker = MeHptWalker(mehpt, _tiny_caches())
+    for vpn in vpns:
+        walker.walk(vpn)
+    walker.total_cycles = walker.walks = 0
+    for vpn in vpns:
+        walker.walk(vpn)
+    results["mehpt"] = walker.mean_walk_cycles()
+    return results
+
+
+def test_bench_radix5_ablation(benchmark):
+    results = once(benchmark, _measure)
+    rows = [[name, f"{cycles:.0f}"] for name, cycles in results.items()]
+    save_output(
+        "radix5_ablation",
+        format_table(["walker", "mean walk cycles"], rows,
+                     title="Ablation: 5-level radix vs HPT walk latency"),
+    )
+    # Adding a level makes radix slower; HPT latency is level-free and
+    # lowest on this PWC-hostile footprint.
+    assert results["radix5"] > results["radix4"]
+    assert results["mehpt"] < results["radix4"]

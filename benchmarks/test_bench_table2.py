@@ -1,0 +1,28 @@
+"""Benchmark: Table II — chunk-size ladder capacities (and Table III dump)."""
+
+from benchmarks.conftest import once, save_output
+from repro.common.units import GB, KB, MB, TB, PB
+from repro.experiments import table2, table3
+
+
+def test_bench_table2(benchmark):
+    rows = once(benchmark, table2.run)
+    save_output("table2", table2.format_result(rows))
+    expected = {
+        8 * KB: (512 * KB, 768 * MB, 384 * GB),
+        1 * MB: (64 * MB, 96 * GB, 48 * TB),
+        8 * MB: (512 * MB, 768 * GB, 384 * TB),
+        64 * MB: (4 * GB, 6 * TB, 3 * PB),
+    }
+    for row in rows:
+        way, map4k, map2m = expected[row.chunk_bytes]
+        assert row.max_way_bytes == way
+        assert row.map_4k_bytes == map4k
+        assert row.map_2m_bytes == map2m
+    assert table2.verify_smallest_row_live(rows[0])
+
+
+def test_bench_table3(benchmark):
+    params = once(benchmark, table3.run)
+    save_output("table3", table3.format_result(params))
+    assert all(table3.live_check().values())

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Graph-workload study: one application, three page-table organizations.
+
+Runs a GraphBIG-style BFS workload (the paper's motivating domain)
+through the full simulator with radix, ECPT and ME-HPT page tables —
+with and without transparent huge pages — and reports the memory and
+performance picture side by side (a single-app slice of Figures 8-10).
+
+Run:  python examples/graph_workload_study.py [APP] [SCALE]
+      e.g. python examples/graph_workload_study.py SSSP 64
+"""
+
+import sys
+
+from repro.common.units import format_bytes
+from repro.sim import SimulationConfig, TranslationSimulator
+from repro.sim.results import speedup
+from repro.sim.simulator import memory_result
+from repro.workloads import get_workload, workload_names
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "BFS"
+    scale = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    if app not in workload_names():
+        raise SystemExit(f"unknown app {app}; choose from {workload_names()}")
+
+    workload = get_workload(app, scale=scale)
+    print(workload.describe())
+    print()
+
+    # -- memory side -----------------------------------------------------
+    print(f"{'organization':>14} {'contig':>10} {'total PT':>10} "
+          f"{'peak PT':>10} {'alloc cycles':>14}")
+    for org in ("radix", "ecpt", "mehpt"):
+        config = SimulationConfig(organization=org, scale=scale)
+        result = memory_result(config.build(get_workload(app, scale=scale)))
+        print(f"{org:>14} {format_bytes(result.max_contiguous_bytes):>10} "
+              f"{format_bytes(result.total_pt_bytes):>10} "
+              f"{format_bytes(result.peak_pt_bytes):>10} "
+              f"{result.pt_alloc_cycles:>14,.0f}")
+    print()
+
+    # -- performance side ---------------------------------------------------
+    runs = {}
+    for org in ("radix", "ecpt", "mehpt"):
+        for thp in (False, True):
+            config = SimulationConfig(organization=org, thp_enabled=thp, scale=scale)
+            sim = TranslationSimulator(
+                get_workload(app, scale=scale), config, trace_length=60_000
+            )
+            runs[(org, thp)] = sim.run()
+
+    base = runs[("radix", False)]
+    print(f"{'configuration':>16} {'speedup':>8} {'TLB miss/acc':>13} "
+          f"{'walk cyc/acc':>13}")
+    for (org, thp), result in runs.items():
+        label = f"{org}{'+THP' if thp else ''}"
+        print(f"{label:>16} {speedup(result, base):>8.2f} "
+              f"{result.tlb_miss_rate():>13.3f} "
+              f"{result.translation_cpa():>13.1f}")
+    print()
+    me, ec = runs[("mehpt", False)], runs[("ecpt", False)]
+    print(f"ME-HPT over ECPT: {speedup(me, base) / speedup(ec, base):.3f}x "
+          f"(driven by {ec.pt_alloc_cycles - me.pt_alloc_cycles:,.0f} fewer "
+          f"allocation cycles and "
+          f"{ec.rehash_move_cycles - me.rehash_move_cycles:,.0f} fewer "
+          f"rehash-move cycles)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Section VIII demo: the ME-HPT techniques in a key-value store.
+
+Builds the chunk-backed elastic KV store, grows it through a YCSB-style
+load/read mix, and compares its resizing economics against Level Hashing
+(Section IX): ME-HPT-style resizing moves ~1/2 of the entries with W
+probes per lookup; Level Hashing moves ~1/3 but probes 4 locations on
+*every* lookup.
+
+Run:  python examples/kvstore_demo.py
+"""
+
+import time
+
+from repro.applications import LevelHashTable, MemEfficientKVStore
+from repro.common.units import format_bytes
+from repro.mem import CostModelAllocator
+
+N = 60_000
+
+
+def main() -> None:
+    # -- the store ----------------------------------------------------------
+    allocator = CostModelAllocator(fmfi=0.7)
+    store = MemEfficientKVStore(initial_slots=128, allocator=allocator)
+
+    t0 = time.perf_counter()
+    for i in range(N):
+        store.put(f"user:{i}", {"id": i, "score": i % 100})
+    load_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    hits = sum(1 for i in range(0, N, 3) if store.get(f"user:{i}") is not None)
+    read_s = time.perf_counter() - t0
+
+    print("=== MemEfficientKVStore (ME-HPT techniques) ===")
+    print(f"  loaded {N:,} records in {load_s:.2f}s, "
+          f"read {hits:,} in {read_s:.2f}s")
+    print(f"  memory {format_bytes(store.total_bytes())} "
+          f"(peak {format_bytes(store.peak_bytes())} — in-place resizing "
+          f"keeps peak ~= final)")
+    print(f"  largest contiguous allocation ever: "
+          f"{format_bytes(allocator.stats.max_contiguous_bytes)}")
+    print(f"  occupancy {store.occupancy():.2f}, "
+          f"mean cuckoo re-insertions {store.mean_kicks():.2f}")
+    print()
+
+    # -- against Level Hashing ---------------------------------------------
+    level = LevelHashTable(initial_top_buckets=64)
+    for i in range(N):
+        level.put(i, i)
+    print("=== Level Hashing (Section IX comparison) ===")
+    print(f"  entries {len(level):,}, resizes {level.resizes}, "
+          f"load factor {level.load_factor():.2f}")
+    print(f"  fraction of entries moved per resize: "
+          f"{level.moved_fraction():.2f}  (ME-HPT in-place: ~0.50)")
+    print(f"  probes per lookup: {level.probes_per_lookup}  "
+          f"(ME-HPT: one per way, issued in parallel)")
+    print()
+    print("trade-off: Level Hashing saves ~17% of resize moves but pays an")
+    print("extra probe on every lookup — the wrong trade for read-heavy")
+    print("structures like page tables (Section IX).")
+
+
+if __name__ == "__main__":
+    main()

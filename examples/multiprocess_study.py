@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Multi-process study: context-switch costs of the L2P table (§V-C).
+
+Schedules four processes (two graph apps, MUMmer, TC) round-robin under
+each page-table organization and reports what the switches cost — in
+particular the L2P save/restore that only ME-HPT pays, and how it
+vanishes in a virtualized system.
+
+Run:  python examples/multiprocess_study.py
+"""
+
+from repro.kernel.context import ContextSwitchModel
+from repro.sim import SimulationConfig
+from repro.sim.multiprocess import MultiProcessSimulator
+
+APPS = ["BFS", "TC", "MUMmer", "SSSP"]
+SCALE = 128
+
+
+def run(org: str, virtualized: bool = False):
+    config = SimulationConfig(organization=org, scale=SCALE)
+    sim = MultiProcessSimulator(
+        APPS,
+        config,
+        trace_length=20_000,
+        quantum=2_000,
+        switch_model=ContextSwitchModel(virtualized=virtualized),
+    )
+    return sim.run()
+
+
+def main() -> None:
+    print(f"4 processes ({', '.join(APPS)}), round-robin, 2K-access quantum\n")
+    print(f"{'configuration':>22} {'switches':>9} {'switch cyc':>12} "
+          f"{'L2P cyc':>10} {'L2P share':>10} {'avg L2P entries':>16}")
+    for org in ("radix", "ecpt", "mehpt"):
+        result = run(org)
+        print(f"{org:>22} {result.switches:>9} {result.switch_cycles:>12,.0f} "
+              f"{result.l2p_switch_cycles:>10,.0f} {result.l2p_overhead():>10.3%} "
+              f"{result.mean_l2p_entries:>16.1f}")
+    virt = run("mehpt", virtualized=True)
+    print(f"{'mehpt (virtualized)':>22} {virt.switches:>9} "
+          f"{virt.switch_cycles:>12,.0f} {virt.l2p_switch_cycles:>10,.0f} "
+          f"{virt.l2p_overhead():>10.3%} {virt.mean_l2p_entries:>16.1f}")
+    print("\nSection V-C: only the valid L2P entries move on a switch, so the")
+    print("overhead tracks usage and stays a tiny share of runtime; under")
+    print("virtualization the host L2P is not switched at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Structural-trace study: data-structure-accurate workload generation.
+
+The calibrated workloads in `repro.workloads.registry` model access
+*statistics*; this example uses the structural generators instead — an
+actual power-law CSR graph traversed by BFS/DFS/PageRank/TriangleCount
+kernels, a real GUPS update loop, a MUMmer-style reference scan with
+suffix-index descents — and pushes their traces through the TLB
+hierarchy of each page-table organization.
+
+The point: locality (and therefore TLB behaviour) *emerges* from the
+data structures rather than being sampled, and the paper's ordering
+(HPT walks beat radix walks hardest where locality is worst) still
+holds.
+
+Run:  python examples/structural_traces_study.py
+"""
+
+from repro.kernel.thp import ThpPolicy
+from repro.kernel.address_space import AddressSpace
+from repro.mmu.hierarchy import TlbHierarchy
+from repro.sim.config import SimulationConfig
+from repro.workloads.graph import SyntheticGraph
+from repro.workloads.kernels import GupsKernel, MummerKernel
+
+TRACE_LEN = 40_000
+
+
+def drive(name, trace, span, base_vpn):
+    """Run one trace through radix and ME-HPT systems; print the row."""
+    row = [name]
+    for org in ("radix", "mehpt"):
+        config = SimulationConfig(organization=org, scale=1,
+                                  scale_cache_with_footprint=False)
+        # Build the translation stack by hand (no registry workload).
+        from repro.workloads.base import Workload, WorkloadSpec, AccessPattern
+        cost_model = None
+        caches = config.build_cache_hierarchy()
+        if org == "radix":
+            from repro.radix.table import RadixPageTable
+            from repro.radix.walker import RadixWalker
+            tables = RadixPageTable()
+            walker = RadixWalker(tables, caches)
+        else:
+            from repro.core.mehpt import MeHptPageTables
+            from repro.core.walker import MeHptWalker
+            from repro.mem.allocator import CostModelAllocator
+            tables = MeHptPageTables(CostModelAllocator(fmfi=0.3))
+            walker = MeHptWalker(tables, caches)
+        aspace = AddressSpace(tables, thp=ThpPolicy(enabled=False), fmfi=0.3,
+                              charge_data_alloc=False)
+        aspace.add_vma(base_vpn, span, name)
+        tlb = TlbHierarchy(walker)
+        cycles = 0.0
+        for vpn in trace:
+            vpn = int(vpn)
+            outcome = tlb.translate(vpn)
+            cycles += outcome.cycles
+            if outcome.level == "fault":
+                fault = aspace.handle_fault(vpn)
+                tlb.fill(vpn, fault.page_size)
+        row.append(f"{tlb.miss_rate():.3f}")
+        row.append(f"{cycles / len(trace):.1f}")
+    print(f"{row[0]:>14} {row[1]:>12} {row[2]:>12} {row[3]:>12} {row[4]:>12}")
+
+
+def main() -> None:
+    print(f"{'workload':>14} {'radix miss':>12} {'radix c/a':>12} "
+          f"{'mehpt miss':>12} {'mehpt c/a':>12}")
+
+    graph = SyntheticGraph(nodes=200_000, seed=11)
+    span = graph.span_pages()
+    for kernel in ("bfs_trace", "dfs_trace", "pagerank_trace", "triangle_trace"):
+        trace = getattr(graph, kernel)(TRACE_LEN)
+        drive(kernel.replace("_trace", "").upper(), trace, span, graph.base_vpn)
+
+    gups = GupsKernel(table_pages=500_000)
+    drive("GUPS", gups.trace(TRACE_LEN), 500_000, gups.base_vpn)
+
+    mummer = MummerKernel(reference_pages=100_000, index_pages=60_000)
+    drive("MUMmer", mummer.trace(TRACE_LEN), 160_000, mummer.reference_base)
+
+    print("\nlocality emerges from the data structures: traversals that")
+    print("revisit node/edge pages (TC, PR) miss far less than pure random")
+    print("access (GUPS, miss ~1.0). Where walks go to DRAM, ME-HPT's flat")
+    print("parallel probe beats the radix tree's sequential descent; where")
+    print("page-table lines stay cached, the two are close — the paper's")
+    print("crossover, visible per kernel.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro — a reproduction of "Memory-Efficient Hashed Page Tables" (HPCA'23).
+
+The library implements the paper's full system stack in Python:
+
+* the **ME-HPT** design (:mod:`repro.core`) — L2P indirection table,
+  dynamically-changing chunk sizes, in-place resizing, per-way resizing;
+* the **ECPT** baseline (:mod:`repro.ecpt`) and the conventional
+  **radix-tree** page tables (:mod:`repro.radix`);
+* the substrates they run on: the generic elastic cuckoo hashing engine
+  (:mod:`repro.hashing`), a physical-memory/fragmentation model
+  (:mod:`repro.mem`), TLBs (:mod:`repro.mmu`), and an OS model
+  (:mod:`repro.kernel`);
+* a trace-driven simulator (:mod:`repro.sim`) with calibrated synthetic
+  workloads (:mod:`repro.workloads`), plus one driver per paper
+  table/figure (:mod:`repro.experiments`);
+* Section VIII/IX generalisations (:mod:`repro.applications`).
+
+Quick taste::
+
+    from repro import MeHptPageTables
+    tables = MeHptPageTables()
+    tables.map(vpn=0x1000, ppn=0xCAFE, page_size="4K")
+    tables.translate(0x1000)   # -> (0xCAFE, "4K")
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core.mehpt import MeHptPageTables
+from repro.core.walker import MeHptWalker
+from repro.ecpt.tables import EcptPageTables
+from repro.ecpt.walker import EcptWalker
+from repro.radix.table import RadixPageTable
+from repro.radix.walker import RadixWalker
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import TranslationSimulator
+from repro.workloads import get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MeHptPageTables",
+    "MeHptWalker",
+    "EcptPageTables",
+    "EcptWalker",
+    "RadixPageTable",
+    "RadixWalker",
+    "SimulationConfig",
+    "TranslationSimulator",
+    "get_workload",
+    "workload_names",
+    "__version__",
+]

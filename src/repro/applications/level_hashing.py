@@ -1,0 +1,192 @@
+"""Level Hashing (Zuo et al., OSDI'18) for the Section IX comparison.
+
+Level Hashing is, to the paper's knowledge, the only other hashing
+scheme with a form of in-place resizing.  Structure:
+
+* a **top level** of N buckets and a **bottom level** of N/2 buckets;
+  bucket ``b`` of the bottom level backs top buckets ``2b`` and ``2b+1``;
+* each key hashes to two candidate top buckets (two hash functions);
+  with the two backing bottom buckets that makes **4 probe locations**;
+* a resize allocates a new top level of 2N buckets, the old top level
+  becomes the new bottom level, and only the **old bottom level's
+  entries (~1/3 of the table)** are rehashed into the new top.
+
+The trade the paper draws (Section IX): Level Hashing moves fewer
+entries per resize (1/3 vs ME-HPT's 1/2) but pays 4 memory probes on
+*every lookup*, and it must free the old bottom level, fragmenting
+memory, while ME-HPT's old table becomes part of the new one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError, TableFullError
+from repro.common.units import is_power_of_two
+from repro.hashing.hashes import HashFamily
+
+#: Entries per bucket (slots share a cache line in the original design).
+BUCKET_SLOTS = 4
+
+
+class _Bucket:
+    __slots__ = ("items",)
+
+    def __init__(self) -> None:
+        self.items: List[Tuple[int, Any]] = []
+
+    def full(self) -> bool:
+        return len(self.items) >= BUCKET_SLOTS
+
+    def find(self, key: int) -> Optional[int]:
+        for index, (stored, _value) in enumerate(self.items):
+            if stored == key:
+                return index
+        return None
+
+
+class LevelHashTable:
+    """A two-level hash table with Level Hashing's in-place-style resize."""
+
+    def __init__(self, initial_top_buckets: int = 16, seed: int = 0,
+                 load_factor_limit: float = 0.9) -> None:
+        if not is_power_of_two(initial_top_buckets) or initial_top_buckets < 2:
+            raise ConfigurationError("top level must be a power of two >= 2")
+        family = HashFamily(seed=seed + 31)
+        self._h0 = family.function(0)
+        self._h1 = family.function(1)
+        self._top: List[_Bucket] = [_Bucket() for _ in range(initial_top_buckets)]
+        self._bottom: List[_Bucket] = [_Bucket() for _ in range(initial_top_buckets // 2)]
+        self.count = 0
+        self.load_factor_limit = load_factor_limit
+        self.resizes = 0
+        self.entries_moved = 0
+        self.entries_present_at_resizes = 0
+        self.probes_per_lookup = 4
+
+    # -- geometry ------------------------------------------------------------
+
+    def capacity(self) -> int:
+        return (len(self._top) + len(self._bottom)) * BUCKET_SLOTS
+
+    def load_factor(self) -> float:
+        return self.count / self.capacity()
+
+    def _candidates(self, key: int) -> Tuple[int, int]:
+        n = len(self._top)
+        return self._h0(key) % n, self._h1(key) % n
+
+    def _probe_buckets(self, key: int) -> List[_Bucket]:
+        """The 4 locations a lookup examines (2 top + 2 bottom).
+
+        Each level is addressed with its own modulus.  Because the bottom
+        level has exactly half the top level's buckets, an entry placed in
+        the top level at ``h mod N`` stays addressable after a resize
+        demotes that level to the bottom of a ``2N`` table — the key
+        consistency property of Level Hashing's in-place resize.
+        """
+        t0, t1 = self._candidates(key)
+        m = len(self._bottom)
+        b0, b1 = self._h0(key) % m, self._h1(key) % m
+        return [self._top[t0], self._top[t1], self._bottom[b0], self._bottom[b1]]
+
+    # -- operations ----------------------------------------------------------
+
+    def get(self, key: int) -> Optional[Any]:
+        for bucket in self._probe_buckets(key):
+            index = bucket.find(key)
+            if index is not None:
+                return bucket.items[index][1]
+        return None
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return self.count
+
+    def put(self, key: int, value: Any) -> None:
+        for bucket in self._probe_buckets(key):
+            index = bucket.find(key)
+            if index is not None:
+                bucket.items[index] = (key, value)
+                return
+        if self.load_factor() >= self.load_factor_limit:
+            self._resize()
+        if not self._try_place(key, value) and not self._place_with_movement(
+            key, value
+        ):
+            self._resize()
+            if not self._try_place(key, value) and not self._place_with_movement(
+                key, value
+            ):
+                raise TableFullError("level hash table cannot place the key")
+        self.count += 1
+
+    def _try_place(self, key: int, value: Any) -> bool:
+        # Top buckets first (fast path for future lookups), then bottom.
+        for bucket in self._probe_buckets(key):
+            if not bucket.full():
+                bucket.items.append((key, value))
+                return True
+        return False
+
+    def _place_with_movement(self, key: int, value: Any) -> bool:
+        """Level Hashing's one-step displacement: when all four candidate
+        buckets are full, try moving an occupant of a candidate *bottom*
+        bucket up to one of its own top-level buckets, freeing a slot.
+        This keeps the achievable load factor high without cuckoo chains.
+        """
+        m = len(self._bottom)
+        for bottom_index in {self._h0(key) % m, self._h1(key) % m}:
+            bucket = self._bottom[bottom_index]
+            for slot, (occupant_key, occupant_value) in enumerate(bucket.items):
+                for top_index in self._candidates(occupant_key):
+                    target = self._top[top_index]
+                    if not target.full():
+                        target.items.append((occupant_key, occupant_value))
+                        bucket.items.pop(slot)
+                        bucket.items.append((key, value))
+                        return True
+        return False
+
+    def delete(self, key: int) -> bool:
+        for bucket in self._probe_buckets(key):
+            index = bucket.find(key)
+            if index is not None:
+                bucket.items.pop(index)
+                self.count -= 1
+                return True
+        return False
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        for level in (self._top, self._bottom):
+            for bucket in level:
+                yield from bucket.items
+
+    # -- resizing ---------------------------------------------------------
+
+    def _resize(self) -> None:
+        """Grow: new top of 2N buckets; old top becomes the bottom; only
+        the old *bottom* entries (~1/3 of the table) are rehashed."""
+        old_bottom = self._bottom
+        self._bottom = self._top
+        self._top = [_Bucket() for _ in range(len(self._bottom) * 2)]
+        self.resizes += 1
+        self.entries_present_at_resizes += self.count
+        moved = 0
+        for bucket in old_bottom:
+            for key, value in bucket.items:
+                moved += 1
+                if not self._try_place(key, value):
+                    # Extremely rare: cascade another resize to make room.
+                    self._resize()
+                    if not self._try_place(key, value):
+                        raise TableFullError("level hashing resize overflow")
+        self.entries_moved += moved
+
+    def moved_fraction(self) -> float:
+        """Entries moved per resize over entries present — the ~1/3 claim."""
+        if self.entries_present_at_resizes == 0:
+            return 0.0
+        return self.entries_moved / self.entries_present_at_resizes

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ME-HPT reproduction.
+
+Every error raised by the library derives from :class:`MEHPTError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class MEHPTError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(MEHPTError):
+    """A simulation or structure parameter is invalid or inconsistent."""
+
+
+class OutOfMemoryError(MEHPTError):
+    """The modelled physical memory has no free frames left."""
+
+
+class ContiguousAllocationError(OutOfMemoryError):
+    """A contiguous allocation failed due to fragmentation.
+
+    The paper observes (Section III) that above 0.7 FMFI the Linux kernel
+    cannot find 64MB of contiguous memory and the ECPT runs crash; this
+    exception models that failure mode.
+    """
+
+    def __init__(self, size_bytes: int, fmfi: float) -> None:
+        super().__init__(
+            f"cannot allocate {size_bytes} contiguous bytes at FMFI {fmfi:.2f}"
+        )
+        self.size_bytes = size_bytes
+        self.fmfi = fmfi
+
+
+class TableFullError(MEHPTError):
+    """A cuckoo insertion exceeded the re-insertion bound with no resize possible."""
+
+
+class L2POverflowError(MEHPTError):
+    """An HPT way needs more chunks than the L2P table can point to.
+
+    This signals that the way must transition to the next larger chunk size
+    (Section IV-B of the paper); it escaping to user code means the chunk
+    ladder was exhausted.
+    """
+
+
+class TranslationFault(MEHPTError):
+    """An address translation was attempted for an unmapped virtual page."""
+
+
+class SimulationError(MEHPTError):
+    """The trace-driven simulator reached an inconsistent state."""

@@ -1,0 +1,76 @@
+"""Size units and power-of-two arithmetic.
+
+All sizes in the reproduction are plain integers in bytes.  Page-table
+structures are sized in powers of two, so this module centralises the
+power-of-two helpers that the hashing, chunking, and resizing code use.
+"""
+
+from __future__ import annotations
+
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+TB: int = 1024 * GB
+PB: int = 1024 * TB
+
+#: Base page size of the modelled x86-64 machine.
+PAGE_4K: int = 4 * KB
+#: Huge-page size (PMD leaf).
+PAGE_2M: int = 2 * MB
+#: Giant-page size (PUD leaf).
+PAGE_1G: int = 1 * GB
+
+#: Cache-line size; one clustered HPT slot is one line (8 PTEs of 8 bytes).
+CACHE_LINE: int = 64
+#: Size of a single page-table entry in bytes.
+PTE_SIZE: int = 8
+#: Number of PTEs clustered into one HPT slot (Yaniv-Tsafrir clustering).
+PTES_PER_SLOT: int = CACHE_LINE // PTE_SIZE
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def next_power_of_two(value: int) -> int:
+    """Return the smallest power of two that is >= ``value`` (min 1)."""
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()
+
+
+def log2_int(value: int) -> int:
+    """Return log2 of a power-of-two ``value``; raise otherwise."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of power-of-two ``alignment``."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment {alignment} is not a power of two")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to the previous multiple of ``alignment``."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment {alignment} is not a power of two")
+    return value & ~(alignment - 1)
+
+
+def format_bytes(value: int) -> str:
+    """Render a byte count with a human-readable unit, e.g. ``64MB``.
+
+    Exact unit multiples render without a decimal point so that table
+    output matches the paper's style (``8KB``, ``1MB``, ``64MB``).
+    """
+    for unit, name in ((PB, "PB"), (TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if value >= unit:
+            scaled = value / unit
+            if value % unit == 0:
+                return f"{value // unit}{name}"
+            return f"{scaled:.2f}{name}"
+    return f"{value}B"

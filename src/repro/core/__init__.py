@@ -1,0 +1,31 @@
+"""ME-HPT — the paper's contribution: memory-efficient hashed page tables.
+
+Four techniques, each its own module:
+
+* :mod:`repro.core.l2p` — the Logical-to-Physical table (Section IV-A):
+  a small MMU-resident indirection table that lets an HPT way live in
+  discontiguous chunks, with cross-page-size entry stealing (Section V-A).
+* :mod:`repro.core.chunks` — dynamically-changing chunk sizes
+  (Section IV-B): the 8KB → 1MB → 8MB → 64MB ladder and its transition
+  arithmetic.
+* :mod:`repro.core.mehpt` — the assembled page tables (in-place resizing
+  and per-way resizing are configured here on the generic cuckoo engine;
+  Sections IV-C and IV-D), with ablation switches for each technique.
+* :mod:`repro.core.walker` — the hardware walker; the L2P access is
+  overlapped with the CWC lookup (Section V-D) so it is invisible on
+  page walks and only surfaces on OS-driven re-insertions.
+"""
+
+from repro.core.chunks import ChunkLadder, DEFAULT_CHUNK_LADDER
+from repro.core.l2p import L2PSubtable, L2PTable
+from repro.core.mehpt import MeHptPageTables
+from repro.core.walker import MeHptWalker
+
+__all__ = [
+    "L2PTable",
+    "L2PSubtable",
+    "ChunkLadder",
+    "DEFAULT_CHUNK_LADDER",
+    "MeHptPageTables",
+    "MeHptWalker",
+]

@@ -1,0 +1,98 @@
+"""Dynamically-changing chunk sizes (Section IV-B).
+
+An ME-HPT way is a set of equal-size chunks.  Small applications use
+small chunks; when a way outgrows what its L2P subtable can point to at
+the current chunk size, the OS transitions to the next larger chunk size:
+it allocates fresh (fewer, larger) chunks, rehashes every entry across,
+and frees the old chunks — the only out-of-place resize in ME-HPT.
+
+The paper chooses the ladder 8KB, 1MB, 8MB, 64MB (Section V-B); its
+applications only ever need the first two.  :class:`ChunkLadder`
+encapsulates the ladder and the transition arithmetic so experiments can
+swap ladders (e.g. the 1MB-only ablation of Figure 15).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError, L2POverflowError
+from repro.common.units import KB, MB, is_power_of_two
+
+#: The paper's chunk sizes, smallest first.
+DEFAULT_CHUNK_SIZES: Tuple[int, ...] = (8 * KB, 1 * MB, 8 * MB, 64 * MB)
+
+
+class ChunkLadder:
+    """An ordered set of chunk sizes with transition arithmetic.
+
+    Parameters
+    ----------
+    sizes:
+        Chunk sizes in bytes, strictly increasing powers of two.
+    max_chunks_per_way:
+        How many chunks of one size a way may use before transitioning —
+        the L2P subtable capacity *with stealing* (64 in the paper).
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int] = DEFAULT_CHUNK_SIZES,
+        max_chunks_per_way: int = 64,
+    ) -> None:
+        if not sizes:
+            raise ConfigurationError("chunk ladder cannot be empty")
+        ordered = list(sizes)
+        if ordered != sorted(set(ordered)):
+            raise ConfigurationError("chunk sizes must be strictly increasing")
+        for size in ordered:
+            if not is_power_of_two(size):
+                raise ConfigurationError(f"chunk size {size} is not a power of two")
+        self.sizes: List[int] = ordered
+        self.max_chunks_per_way = max_chunks_per_way
+
+    @property
+    def smallest(self) -> int:
+        return self.sizes[0]
+
+    @property
+    def largest(self) -> int:
+        return self.sizes[-1]
+
+    def next_size(self, current: int) -> Optional[int]:
+        """The ladder size after ``current``, or None at the top."""
+        try:
+            index = self.sizes.index(current)
+        except ValueError:
+            raise ConfigurationError(f"{current} is not a ladder size") from None
+        if index + 1 >= len(self.sizes):
+            return None
+        return self.sizes[index + 1]
+
+    def chunks_needed(self, way_bytes: int, chunk_bytes: int) -> int:
+        """Chunks of ``chunk_bytes`` required to hold a way of ``way_bytes``."""
+        return max(1, -(-way_bytes // chunk_bytes))
+
+    def max_way_bytes(self, chunk_bytes: int) -> int:
+        """Largest way one chunk size supports (Table II, column 2)."""
+        return chunk_bytes * self.max_chunks_per_way
+
+    def size_for_way(self, way_bytes: int, at_least: Optional[int] = None) -> int:
+        """Smallest ladder size (>= ``at_least``) whose budget covers a way.
+
+        Raises :class:`L2POverflowError` when even the largest chunk size
+        cannot cover ``way_bytes`` within ``max_chunks_per_way`` chunks.
+        """
+        for size in self.sizes:
+            if at_least is not None and size < at_least:
+                continue
+            if self.chunks_needed(way_bytes, size) <= self.max_chunks_per_way:
+                return size
+        raise L2POverflowError(
+            f"a {way_bytes}-byte way exceeds the chunk ladder "
+            f"(largest: {self.largest} x {self.max_chunks_per_way})"
+        )
+
+
+#: Shared default instance.
+DEFAULT_CHUNK_LADDER = ChunkLadder()

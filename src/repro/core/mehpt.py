@@ -1,0 +1,243 @@
+"""ME-HPT page tables: all four techniques assembled (Section IV).
+
+:class:`MeHptPageTables` wires the generic elastic cuckoo engine into the
+paper's design:
+
+* ways live on :class:`~repro.hashing.storage.ChunkedStorage` whose chunk
+  budget is the L2P subtable for that (way, page size) — technique (i),
+  the **L2P table**;
+* the storage starts at the smallest ladder chunk and the out-of-place
+  factory moves up the ladder when the L2P budget is exhausted —
+  technique (ii), **dynamically-changing chunk sizes**;
+* ordinary upsizes/downsizes extend/shrink the chunked storage and rehash
+  with the one-extra-bit rule — technique (iii), **in-place resizing**;
+* the resize policy is per-way with the balance rule and weighted-random
+  insertion — technique (iv), **per-way resizing**.
+
+Each technique has an ablation switch (``enable_inplace``,
+``enable_perway``, and the chunk ladder itself) so Figures 10 and 15 can
+attribute savings to individual techniques.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.errors import ConfigurationError, L2POverflowError
+from repro.common.rng import DeterministicRng, make_rng
+from repro.common.units import CACHE_LINE
+from repro.core.chunks import ChunkLadder
+from repro.core.l2p import L2PTable
+from repro.ecpt.tables import (
+    DEFAULT_INITIAL_SLOTS,
+    DEFAULT_WAYS,
+    PAGE_SIZES,
+    HashedPageTableSet,
+)
+from repro.hashing.clustered import ClusteredHashedPageTable
+from repro.hashing.cuckoo import ElasticCuckooTable, ElasticWay
+from repro.hashing.hashes import HashFamily
+from repro.hashing.policies import AllWayResizePolicy, PerWayResizePolicy
+from repro.hashing.storage import ChunkedStorage
+from repro.mem.allocator import CostModelAllocator
+
+
+class MeHptPageTables(HashedPageTableSet):
+    """Per-process ME-HPT page tables for 4KB, 2MB and 1GB pages.
+
+    Parameters beyond the ECPT ones:
+
+    chunk_ladder:
+        The chunk-size ladder; ``ChunkLadder((MB,))``-style ladders
+        reproduce the fixed-chunk ablations of Figure 15.
+    enable_inplace / enable_perway:
+        Ablation switches for Sections IV-C / IV-D.  With both off, the
+        table behaves like ECPT except for chunked (discontiguous) ways.
+    l2p:
+        An existing :class:`L2PTable` to share (one per process); created
+        internally when omitted.
+    """
+
+    def __init__(
+        self,
+        allocator: Optional[CostModelAllocator] = None,
+        rng: Optional[DeterministicRng] = None,
+        ways: int = DEFAULT_WAYS,
+        initial_slots: int = DEFAULT_INITIAL_SLOTS,
+        hash_seed: int = 0,
+        upsize_threshold: float = 0.6,
+        downsize_threshold: float = 0.2,
+        rehashes_per_insert: int = 2,
+        allow_downsize: bool = True,
+        chunk_ladder: Optional[ChunkLadder] = None,
+        enable_inplace: bool = True,
+        enable_perway: bool = True,
+        l2p: Optional[L2PTable] = None,
+        adaptive_policy: Optional["AdaptiveChunkPolicy"] = None,
+        page_sizes: Iterable[str] = PAGE_SIZES,
+    ) -> None:
+        rng = make_rng(rng)
+        self.allocator = allocator if allocator is not None else CostModelAllocator()
+        self.ladder = chunk_ladder if chunk_ladder is not None else ChunkLadder()
+        self.l2p = l2p if l2p is not None else L2PTable(ways)
+        self.enable_inplace = enable_inplace
+        self.enable_perway = enable_perway
+        #: Optional Section V-B heuristic: fragmentation/growth-aware
+        #: chunk sizing at transitions (None = the fixed ladder walk).
+        self.adaptive_policy = adaptive_policy
+        #: Out-of-place chunk-size transitions observed, per page size.
+        self.chunk_transitions: Dict[str, int] = {}
+        tables: Dict[str, ClusteredHashedPageTable] = {}
+        for size_index, page_size in enumerate(page_sizes):
+            self.chunk_transitions[page_size] = 0
+            tables[page_size] = self._build_table(
+                page_size=page_size,
+                size_index=size_index,
+                rng=rng,
+                ways=ways,
+                initial_slots=initial_slots,
+                hash_seed=hash_seed,
+                upsize_threshold=upsize_threshold,
+                downsize_threshold=downsize_threshold,
+                rehashes_per_insert=rehashes_per_insert,
+                allow_downsize=allow_downsize,
+            )
+        super().__init__(tables, self.allocator.stats)
+
+    # -- construction -----------------------------------------------------
+
+    def _build_table(
+        self,
+        page_size: str,
+        size_index: int,
+        rng: DeterministicRng,
+        ways: int,
+        initial_slots: int,
+        hash_seed: int,
+        upsize_threshold: float,
+        downsize_threshold: float,
+        rehashes_per_insert: int,
+        allow_downsize: bool,
+    ) -> ClusteredHashedPageTable:
+        family = HashFamily(seed=hash_seed * 31 + size_index)
+        table_ref: Dict[str, ElasticCuckooTable] = {}
+
+        def factory(way_index: int, new_slots: int) -> Optional[ChunkedStorage]:
+            return self._resize_storage(
+                table_ref["table"], page_size, way_index, new_slots
+            )
+
+        way_objs: List[ElasticWay] = []
+        for w in range(ways):
+            storage = ChunkedStorage(
+                initial_slots,
+                chunk_bytes=self.ladder.smallest,
+                slot_bytes=CACHE_LINE,
+                allocator=self.allocator,
+                budget=self.l2p.subtable(w, page_size),
+            )
+            way_objs.append(ElasticWay(w, family.function(w), storage))
+        if self.enable_perway:
+            policy = PerWayResizePolicy(
+                upsize_threshold=upsize_threshold,
+                downsize_threshold=downsize_threshold,
+                min_way_slots=initial_slots,
+                allow_downsize=allow_downsize,
+            )
+        else:
+            policy = AllWayResizePolicy(
+                upsize_threshold=upsize_threshold,
+                downsize_threshold=downsize_threshold,
+                min_way_slots=initial_slots,
+                allow_downsize=allow_downsize,
+            )
+        table = ElasticCuckooTable(
+            way_objs,
+            policy,
+            factory,
+            rng=rng.fork(salt=100 + size_index),
+            rehashes_per_insert=rehashes_per_insert,
+            inplace_enabled=self.enable_inplace,
+        )
+        table_ref["table"] = table
+        return ClusteredHashedPageTable(page_size, table)
+
+    def _resize_storage(
+        self,
+        table: ElasticCuckooTable,
+        page_size: str,
+        way_index: int,
+        new_slots: int,
+    ) -> Optional[ChunkedStorage]:
+        """Build the target storage for an out-of-place resize of one way.
+
+        Reaching this point means in-place growth was impossible (the L2P
+        budget refused more chunks of the current size) or disabled, so
+        pick the chunk size for the new way and try to allocate it while
+        the old chunks still exist.  Returning ``None`` tells the engine
+        to migrate eagerly: release the old chunks first, then call again.
+        """
+        way = table.ways[way_index]
+        current_chunk = way.storage.chunk_bytes
+        way_bytes = new_slots * CACHE_LINE
+        if new_slots > way.size and table.inplace_enabled:
+            # A true chunk-size transition (Section IV-B): in-place growth
+            # failed, so the ladder must move up.
+            if self.adaptive_policy is not None:
+                at_least = self.adaptive_policy.choose(
+                    way_bytes, current_chunk, recent_upsizes=way.upsizes
+                )
+            else:
+                at_least = self.ladder.next_size(current_chunk)
+            if at_least is None:
+                raise L2POverflowError(
+                    f"{page_size} way {way_index} needs {way_bytes} bytes but "
+                    f"the chunk ladder is exhausted at {current_chunk}"
+                )
+        else:
+            # Ablation path (in-place disabled) or a downsize: stay at the
+            # current chunk size unless the way no longer fits.
+            at_least = current_chunk
+        chunk_bytes = self.ladder.size_for_way(way_bytes, at_least=at_least)
+        while True:
+            try:
+                storage = ChunkedStorage(
+                    new_slots,
+                    chunk_bytes=chunk_bytes,
+                    slot_bytes=CACHE_LINE,
+                    allocator=self.allocator,
+                    budget=self.l2p.subtable(way_index, page_size),
+                )
+                break
+            except ConfigurationError:
+                # Old + new chunks do not fit the L2P budget simultaneously.
+                if table.inplace_enabled:
+                    # A genuine chunk transition (the rare one-off): the
+                    # engine releases the old way and retries (eager move).
+                    return None
+                # In-place disabled (ablation): gradual out-of-place needs
+                # both generations live, so escalate the chunk size until
+                # they fit — exactly the Section VII-D argument for why the
+                # size-reducing techniques keep chunks small.
+                bigger = self.ladder.next_size(chunk_bytes)
+                if bigger is None:
+                    return None
+                chunk_bytes = bigger
+        if chunk_bytes != current_chunk:
+            self.chunk_transitions[page_size] += 1
+        return storage
+
+    # -- reporting ----------------------------------------------------------
+
+    def chunk_bytes_per_way(self, page_size: str) -> List[int]:
+        """Current chunk size of each way's storage."""
+        return [
+            way.storage.chunk_bytes for way in self.tables[page_size].table.ways
+        ]
+
+    def l2p_entries_used(self) -> int:
+        """Valid L2P entries across every way and page size (Figure 14)."""
+        return self.l2p.entries_used()
+
+    def total_chunk_transitions(self) -> int:
+        return sum(self.chunk_transitions.values())

@@ -1,0 +1,19 @@
+"""Elastic Cuckoo Page Tables (ECPT) — the state-of-the-art HPT baseline.
+
+This is the design of Skarlatos et al. (ASPLOS'20) that the paper
+improves on: per-process, per-page-size 3-way cuckoo HPTs whose ways live
+in *contiguous* physical memory, resized all-ways-at-once and out of
+place with gradual rehashing.
+
+* :mod:`repro.ecpt.tables` — the per-page-size tables and the kernel-facing
+  page-table interface.
+* :mod:`repro.ecpt.cwt` — Cuckoo Walk Tables (which page sizes map a VA
+  region) and the Cuckoo Walk Caches (CWCs) that cache them in the MMU.
+* :mod:`repro.ecpt.walker` — the parallel-probe hardware walker.
+"""
+
+from repro.ecpt.cwt import CuckooWalkCache, CuckooWalkTable
+from repro.ecpt.tables import EcptPageTables
+from repro.ecpt.walker import EcptWalker
+
+__all__ = ["EcptPageTables", "CuckooWalkTable", "CuckooWalkCache", "EcptWalker"]

@@ -1,0 +1,133 @@
+"""The ECPT hardware walker: CWC-guided parallel probes.
+
+On a TLB miss (Figure 7 of the paper):
+
+1. The MMU probes the PMD-CWC and PUD-CWC in parallel (4-cycle round
+   trip) to learn which page sizes map the faulting region.
+2. On a CWC miss, the Cuckoo Walk Tables are read from memory (one
+   parallel memory reference) and the CWCs are filled.
+3. The ways of the candidate page tables are probed *in parallel* — the
+   key property of HPTs: latency is the max, not the sum, of the probes.
+   Rehash-pointer comparisons (for in-flight resizes) are register
+   operations and add no latency.
+
+The same walker drives ME-HPT (:class:`repro.core.walker.MeHptWalker`
+subclasses it); there the L2P lookup is overlapped with the CWC access
+(Section V-D) and so adds no visible latency on this path.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional
+
+from repro.ecpt.cwt import CuckooWalkCache
+from repro.ecpt.tables import HashedPageTableSet
+from repro.mem.cache import CacheHierarchy
+from repro.mmu.walk import WalkResult
+
+#: Probe order: a bigger page size wins if both map a region (they cannot
+#: overlap for the same VA, but stale smaller entries are shadowed).
+_PROBE_ORDER = ("1G", "2M", "4K")
+
+
+class EcptWalker:
+    """Walks a :class:`HashedPageTableSet` with CWC guidance."""
+
+    def __init__(
+        self,
+        tables: HashedPageTableSet,
+        cache_hierarchy: CacheHierarchy,
+        pmd_cwc_entries: int = 16,
+        pud_cwc_entries: int = 2,
+        cwc_cycles: int = 4,
+    ) -> None:
+        self.tables = tables
+        self.caches = cache_hierarchy
+        self.pmd_cwc = CuckooWalkCache(tables.pmd_cwt, pmd_cwc_entries, cwc_cycles)
+        self.pud_cwc = CuckooWalkCache(tables.pud_cwt, pud_cwc_entries, cwc_cycles)
+        tables.cwc_listeners.extend([self.pmd_cwc, self.pud_cwc])
+        self.cwc_cycles = cwc_cycles
+        self.walks = 0
+        self.total_cycles = 0
+        self.total_accesses = 0
+        self.cwt_memory_reads = 0
+
+    # -- the walk ---------------------------------------------------------
+
+    def walk(self, vpn: int) -> WalkResult:
+        """Translate ``vpn`` with full cycle accounting.
+
+        The PMD-CWC gives a *precise* per-2MB-region answer; the PUD-CWC
+        gives a *coarse* per-1GB answer that may list extra page sizes
+        (costing extra parallel probes, never correctness).  On a double
+        CWC miss the walker reads the PUD-CWT from memory — a structure
+        two orders of magnitude smaller than a radix PMD level, so its
+        few lines stay cache-hot; this is what keeps an HPT walk at one
+        memory-latency even when the MMU caches miss.  When the coarse
+        entry is ambiguous (both 4KB and 2MB present), the PMD-CWT entry
+        is fetched in parallel for precision.
+        """
+        cycles = self.cwc_cycles  # both CWCs probed in parallel
+        accesses = 0
+        pmd_sizes = self.pmd_cwc.lookup(vpn)
+        pud_sizes = self.pud_cwc.lookup(vpn)
+        if pmd_sizes is not None:
+            candidate_sizes = frozenset(pmd_sizes) | frozenset(
+                s for s in (pud_sizes or frozenset()) if s == "1G"
+            )
+            if pud_sizes is None and "1G" in self.tables.pud_cwt.sizes_for(vpn):
+                # Rare: a 1GB page not visible to the PMD side; take the
+                # coarse path to be safe.
+                candidate_sizes = candidate_sizes | frozenset(["1G"])
+        elif pud_sizes is not None:
+            candidate_sizes = frozenset(pud_sizes)
+        else:
+            coarse = self.tables.pud_cwt.sizes_for(vpn)
+            lines: List[int] = [self.tables.pud_cwt.line_addr(vpn)]
+            ambiguous = len(coarse - frozenset(["1G"])) > 1
+            if ambiguous:
+                lines.append(self.tables.pmd_cwt.line_addr(vpn))
+            cycles += self.caches.access_parallel(lines)
+            accesses += len(lines)
+            self.cwt_memory_reads += len(lines)
+            self.pud_cwc.fill(vpn, coarse)
+            if ambiguous:
+                precise = self.tables.pmd_cwt.sizes_for(vpn)
+                self.pmd_cwc.fill(vpn, precise)
+                candidate_sizes = frozenset(precise) | frozenset(
+                    s for s in coarse if s == "1G"
+                )
+            else:
+                candidate_sizes = frozenset(coarse)
+        if not candidate_sizes:
+            # Nothing maps this region: fault without probing the HPTs.
+            self._account(cycles, accesses)
+            return WalkResult(None, None, cycles, accesses)
+        probe_lines: List[int] = []
+        for page_size in candidate_sizes:
+            probe_lines.extend(self.tables.tables[page_size].probe_line_addrs(vpn))
+        cycles += self.caches.access_parallel(probe_lines)
+        accesses += len(probe_lines)
+        extra = self._extra_probe_cycles(vpn, candidate_sizes)
+        cycles += extra
+        for page_size in _PROBE_ORDER:
+            if page_size not in candidate_sizes:
+                continue
+            ppn = self.tables.tables[page_size].translate(vpn)
+            if ppn is not None:
+                self._account(cycles, accesses)
+                return WalkResult(ppn, page_size, cycles, accesses)
+        self._account(cycles, accesses)
+        return WalkResult(None, None, cycles, accesses)
+
+    def _extra_probe_cycles(self, vpn: int, sizes: FrozenSet[str]) -> int:
+        """Hook for subclasses (ME-HPT adds visible L2P latency here)."""
+        return 0
+
+    def _account(self, cycles: int, accesses: int) -> None:
+        self.walks += 1
+        self.total_cycles += cycles
+        self.total_accesses += accesses
+
+    def mean_walk_cycles(self) -> float:
+        return self.total_cycles / self.walks if self.walks else 0.0

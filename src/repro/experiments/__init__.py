@@ -1,0 +1,29 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every driver exposes ``run(settings) -> result`` returning structured
+data and ``format_result(result) -> str`` rendering the paper-style
+table; ``python -m repro.experiments.<name>`` prints it.  The shared
+sweep machinery lives in :mod:`repro.experiments.runner`.
+
+==============  ===========================================================
+Module          Reproduces
+==============  ===========================================================
+``alloc_cost``  Section III allocation-cost measurements
+``table1``      Table I — per-application page-table memory consumption
+``table2``      Table II — max way sizes / mapping space per chunk size
+``table3``      Table III — architectural parameters (configuration dump)
+``fig8``        Figure 8 — max contiguous allocation, ECPT vs ME-HPT
+``fig9``        Figure 9 — speedups over radix without THP
+``fig10``       Figure 10 — page-table memory reduction, split by technique
+``fig11``       Figure 11 — upsizing operations per way
+``fig12``       Figure 12 — final size of each ME-HPT way
+``fig13``       Figure 13 — fraction of entries moved per in-place upsize
+``fig14``       Figure 14 — L2P table entries used
+``fig15``       Figure 15 — small-graph way sizes, chunk-ladder ablation
+``fig16``       Figure 16 — cuckoo re-insertion distribution
+==============  ===========================================================
+"""
+
+from repro.experiments.runner import ExperimentSettings, memory_sweep, perf_sweep
+
+__all__ = ["ExperimentSettings", "memory_sweep", "perf_sweep"]

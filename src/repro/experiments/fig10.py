@@ -1,0 +1,126 @@
+"""Figure 10: reduction in page-table memory of ME-HPT over ECPT.
+
+Per application (without and with THP): the percentage reduction in peak
+page-table memory, split into the contributions of in-place resizing
+(Section IV-C) and per-way resizing (Section IV-D), measured by ablation:
+
+* full ME-HPT,
+* ME-HPT with in-place resizing disabled (out-of-place chunked resizes),
+* ME-HPT with per-way resizing disabled (all-way resizes).
+
+The in-place contribution is ``peak(no-inplace) - peak(full)`` and the
+per-way contribution ``peak(no-perway) - peak(full)``, normalised to the
+total reduction versus ECPT.  Numbers on the paper's bars (absolute MB
+saved) are reported as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.units import MB
+from repro.experiments.runner import ExperimentSettings, memory_sweep
+from repro.sim.results import format_table
+
+
+@dataclass
+class Fig10Row:
+    app: str
+    thp: bool
+    ecpt_peak: int
+    mehpt_peak: int
+    no_inplace_peak: int
+    no_perway_peak: int
+
+    @property
+    def reduction_bytes(self) -> int:
+        return max(0, self.ecpt_peak - self.mehpt_peak)
+
+    @property
+    def reduction_pct(self) -> float:
+        return self.reduction_bytes / self.ecpt_peak if self.ecpt_peak else 0.0
+
+    def contributions(self) -> Dict[str, float]:
+        """Shares of the reduction attributable to each technique."""
+        inplace = max(0, self.no_inplace_peak - self.mehpt_peak)
+        perway = max(0, self.no_perway_peak - self.mehpt_peak)
+        total = inplace + perway
+        if total == 0:
+            return {"inplace": 0.0, "perway": 0.0}
+        return {"inplace": inplace / total, "perway": perway / total}
+
+
+@dataclass
+class Fig10Result:
+    rows: List[Fig10Row]
+
+    def mean_reduction(self, thp: bool) -> float:
+        rows = [r for r in self.rows if r.thp == thp]
+        return sum(r.reduction_pct for r in rows) / len(rows) if rows else 0.0
+
+    def mean_contribution(self, technique: str, thp: bool) -> float:
+        rows = [r for r in self.rows if r.thp == thp and r.reduction_bytes > 0]
+        if not rows:
+            return 0.0
+        return sum(r.contributions()[technique] for r in rows) / len(rows)
+
+
+def run(settings: ExperimentSettings = ExperimentSettings()) -> Fig10Result:
+    ecpt = memory_sweep(settings, organizations=("ecpt",))
+    full = memory_sweep(settings, organizations=("mehpt",))
+    no_inplace = memory_sweep(settings, organizations=("mehpt",), enable_inplace=False)
+    no_perway = memory_sweep(settings, organizations=("mehpt",), enable_perway=False)
+    rows: List[Fig10Row] = []
+    for app in settings.app_list():
+        for thp in (False, True):
+            rows.append(
+                Fig10Row(
+                    app=app,
+                    thp=thp,
+                    ecpt_peak=ecpt[(app, "ecpt", thp)].peak_pt_bytes,
+                    mehpt_peak=full[(app, "mehpt", thp)].peak_pt_bytes,
+                    no_inplace_peak=no_inplace[(app, "mehpt", thp)].peak_pt_bytes,
+                    no_perway_peak=no_perway[(app, "mehpt", thp)].peak_pt_bytes,
+                )
+            )
+    return Fig10Result(rows=rows)
+
+
+def format_result(result: Fig10Result) -> str:
+    headers = ["App", "THP", "Reduction %", "Saved MB", "In-place share", "Per-way share"]
+    body: List[List[str]] = []
+    for row in result.rows:
+        contrib = row.contributions()
+        body.append([
+            row.app,
+            "yes" if row.thp else "no",
+            f"{row.reduction_pct:.0%}",
+            f"{row.reduction_bytes / MB:.1f}",
+            f"{contrib['inplace']:.0%}",
+            f"{contrib['perway']:.0%}",
+        ])
+    body.append([
+        "Average", "no",
+        f"{result.mean_reduction(False):.0%}", "",
+        f"{result.mean_contribution('inplace', False):.0%}",
+        f"{result.mean_contribution('perway', False):.0%}",
+    ])
+    body.append([
+        "Average", "yes",
+        f"{result.mean_reduction(True):.0%}", "",
+        f"{result.mean_contribution('inplace', True):.0%}",
+        f"{result.mean_contribution('perway', True):.0%}",
+    ])
+    return format_table(
+        headers, body,
+        title="Figure 10: page-table memory reduction of ME-HPT over ECPT",
+    )
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Figure 11: number of upsizing operations per way (4KB ME-HPT).
+
+Per application, per way, without and with THP.  Paper observations: ways
+are upsized ~10.5 times on average without THP (the per-way balancer
+keeps the counts within one of each other), the maximum is 13 (GUPS,
+SysBench), and GUPS/SysBench with THP never upsize their 4KB tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.runner import ExperimentSettings, memory_sweep
+from repro.sim.results import format_table
+
+
+@dataclass
+class Fig11Result:
+    #: upsizes[(app, thp)] -> per-way counts
+    upsizes: Dict[object, List[int]]
+    apps: List[str]
+
+    def mean_per_way(self, way: int, thp: bool) -> float:
+        values = [self.upsizes[(app, thp)][way] for app in self.apps]
+        return sum(values) / len(values)
+
+
+def run(settings: ExperimentSettings = ExperimentSettings()) -> Fig11Result:
+    results = memory_sweep(settings, organizations=("mehpt",))
+    apps = settings.app_list()
+    upsizes = {
+        (app, thp): results[(app, "mehpt", thp)].upsizes_per_way_4k
+        for app in apps
+        for thp in (False, True)
+    }
+    return Fig11Result(upsizes=upsizes, apps=apps)
+
+
+def format_result(result: Fig11Result) -> str:
+    headers = ["App", "Way0", "Way1", "Way2", "Way0 THP", "Way1 THP", "Way2 THP"]
+    body: List[List[str]] = []
+    for app in result.apps:
+        no_thp = result.upsizes[(app, False)]
+        thp = result.upsizes[(app, True)]
+        body.append([app] + [str(v) for v in no_thp] + [str(v) for v in thp])
+    body.append(
+        ["Average"]
+        + [f"{result.mean_per_way(w, False):.1f}" for w in range(3)]
+        + [f"{result.mean_per_way(w, True):.1f}" for w in range(3)]
+    )
+    return format_table(
+        headers, body,
+        title="Figure 11: upsizing operations per way, 4KB ME-HPT",
+    )
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Figure 12: final size of each ME-HPT way for 4KB pages.
+
+Per application, per way, without and with THP.  Paper observations: way
+sizes differ (per-way resizing works), GUPS/SysBench reach 64MB per way
+without THP but stay at the initial 8KB with THP, MUMmer ways are ~0.5MB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.units import format_bytes
+from repro.experiments.runner import ExperimentSettings, memory_sweep
+from repro.sim.results import format_table
+
+
+@dataclass
+class Fig12Result:
+    #: way_bytes[(app, thp)] -> bytes per way (full-scale equivalents)
+    way_bytes: Dict[object, List[int]]
+    apps: List[str]
+
+    def differing_ways(self, thp: bool) -> List[str]:
+        """Apps whose ways ended at different sizes (per-way evidence)."""
+        return [
+            app for app in self.apps
+            if len(set(self.way_bytes[(app, thp)])) > 1
+        ]
+
+
+def run(settings: ExperimentSettings = ExperimentSettings()) -> Fig12Result:
+    results = memory_sweep(settings, organizations=("mehpt",))
+    apps = settings.app_list()
+    way_bytes = {
+        (app, thp): results[(app, "mehpt", thp)].way_bytes_4k
+        for app in apps
+        for thp in (False, True)
+    }
+    return Fig12Result(way_bytes=way_bytes, apps=apps)
+
+
+def format_result(result: Fig12Result) -> str:
+    headers = ["App", "Way0", "Way1", "Way2", "Way0 THP", "Way1 THP", "Way2 THP"]
+    body: List[List[str]] = []
+    for app in result.apps:
+        no_thp = result.way_bytes[(app, False)]
+        thp = result.way_bytes[(app, True)]
+        body.append(
+            [app]
+            + [format_bytes(v) for v in no_thp]
+            + [format_bytes(v) for v in thp]
+        )
+    table = format_table(
+        headers, body,
+        title="Figure 12: size of each ME-HPT way for 4KB pages",
+    )
+    differing = result.differing_ways(False)
+    return table + (
+        f"\napps with unequal way sizes (per-way resizing at work): "
+        f"{', '.join(differing) if differing else 'none'}"
+    )
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Figure 14: number of L2P table entries used per application.
+
+The L2P table has 288 entries (32 x 3 page sizes x 3 ways); most
+applications use a small fraction — the paper reports a range of 11 (TC)
+to 195 (MUMmer) and an average of 52.5, which is what makes the
+context-switch save/restore cheap (Section V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.runner import ExperimentSettings, memory_sweep
+from repro.sim.results import format_table
+
+
+@dataclass
+class Fig14Result:
+    entries: Dict[object, int]  # (app, thp) -> entries used
+    apps: List[str]
+    total_entries: int = 288
+
+    def average(self) -> float:
+        values = [self.entries[key] for key in self.entries]
+        return sum(values) / len(values) if values else 0.0
+
+
+def run(settings: ExperimentSettings = ExperimentSettings()) -> Fig14Result:
+    results = memory_sweep(settings, organizations=("mehpt",))
+    apps = settings.app_list()
+    entries = {
+        (app, thp): results[(app, "mehpt", thp)].l2p_entries_used
+        for app in apps
+        for thp in (False, True)
+    }
+    return Fig14Result(entries=entries, apps=apps)
+
+
+def format_result(result: Fig14Result) -> str:
+    headers = ["App", "L2P entries", "L2P entries THP"]
+    body = [
+        [app,
+         str(result.entries[(app, False)]),
+         str(result.entries[(app, True)])]
+        for app in result.apps
+    ]
+    body.append(["Average", f"{result.average():.1f}", ""])
+    return format_table(
+        headers, body,
+        title=f"Figure 14: L2P entries used (of {result.total_entries})",
+    )
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

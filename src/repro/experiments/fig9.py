@@ -1,0 +1,82 @@
+"""Figure 9: speedups over radix without THP.
+
+Six bars per application: Radix, ECPT, ME-HPT, each without and with THP,
+all normalised to Radix without THP.  Headlines: ME-HPT averages 1.23x
+(no THP) and 1.28x (THP) over radix, and 1.09x / 1.06x over ECPT.  An
+``x`` entry marks a configuration that could not finish (ECPT's 64MB
+contiguous allocation failing above 0.7 FMFI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.runner import ExperimentSettings, perf_sweep
+from repro.sim.results import PerformanceResult, format_table, geomean, speedup
+
+CONFIGS: Tuple[Tuple[str, bool], ...] = (
+    ("radix", False), ("ecpt", False), ("mehpt", False),
+    ("radix", True), ("ecpt", True), ("mehpt", True),
+)
+
+
+@dataclass
+class Fig9Result:
+    #: speedups[app][(org, thp)] normalised to (radix, False); 0.0 = failed.
+    speedups: Dict[str, Dict[Tuple[str, bool], float]]
+    raw: Dict[Tuple[str, str, bool], PerformanceResult]
+
+    def average(self, org: str, thp: bool) -> float:
+        return geomean([self.speedups[app][(org, thp)] for app in self.speedups])
+
+    def mehpt_over_ecpt(self, thp: bool) -> float:
+        ratios = []
+        for app in self.speedups:
+            ecpt = self.speedups[app][("ecpt", thp)]
+            mehpt = self.speedups[app][("mehpt", thp)]
+            if ecpt > 0 and mehpt > 0:
+                ratios.append(mehpt / ecpt)
+        return geomean(ratios)
+
+
+def run(settings: ExperimentSettings = ExperimentSettings()) -> Fig9Result:
+    raw = perf_sweep(settings)
+    speedups: Dict[str, Dict[Tuple[str, bool], float]] = {}
+    for app in settings.app_list():
+        base = raw[(app, "radix", False)]
+        speedups[app] = {
+            (org, thp): speedup(raw[(app, org, thp)], base)
+            for org, thp in CONFIGS
+        }
+    return Fig9Result(speedups=speedups, raw=raw)
+
+
+def format_result(result: Fig9Result) -> str:
+    headers = ["App"] + [
+        f"{org.upper()}{' THP' if thp else ''}" for org, thp in CONFIGS
+    ]
+    body: List[List[str]] = []
+    for app, per_config in result.speedups.items():
+        row = [app]
+        for cfg in CONFIGS:
+            value = per_config[cfg]
+            row.append("x" if value == 0.0 else f"{value:.2f}")
+        body.append(row)
+    body.append(
+        ["GeoMean"] + [f"{result.average(org, thp):.2f}" for org, thp in CONFIGS]
+    )
+    table = format_table(headers, body, title="Figure 9: speedup over Radix (no THP)")
+    summary = (
+        f"\nME-HPT over ECPT: {result.mehpt_over_ecpt(False):.3f}x (no THP), "
+        f"{result.mehpt_over_ecpt(True):.3f}x (THP)"
+    )
+    return table + summary
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Run every experiment and emit one combined report.
+
+``python -m repro.experiments.run_all [--fast] [--output FILE]``
+
+Regenerates the Section III measurements, Tables I-III and Figures 8-16
+in paper order, at the drivers' default settings (or the cheaper
+``--fast`` preset), writing the combined report to stdout and optionally
+to a file.  Sweep results are shared across experiments within the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, List, Tuple
+
+from repro.experiments import (
+    alloc_cost,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.runner import ExperimentSettings
+
+
+def _sections(settings: ExperimentSettings) -> List[Tuple[str, Callable[[], str]]]:
+    return [
+        ("Section III: allocation costs",
+         lambda: alloc_cost.format_result(alloc_cost.run(memory_gb=1))),
+        ("Table I", lambda: table1.format_result(table1.run(settings))),
+        ("Table II", lambda: table2.format_result(table2.run())),
+        ("Table III", lambda: table3.format_result(table3.run())),
+        ("Figure 8", lambda: fig8.format_result(fig8.run(settings))),
+        ("Figure 9", lambda: fig9.format_result(fig9.run(settings))),
+        ("Figure 10", lambda: fig10.format_result(fig10.run(settings))),
+        ("Figure 11", lambda: fig11.format_result(fig11.run(settings))),
+        ("Figure 12", lambda: fig12.format_result(fig12.run(settings))),
+        ("Figure 13", lambda: fig13.format_result(fig13.run(settings))),
+        ("Figure 14", lambda: fig14.format_result(fig14.run(settings))),
+        ("Figure 15",
+         lambda: fig15.format_result(fig15.run(ExperimentSettings(scale=1)))),
+        ("Figure 16", lambda: fig16.format_result(fig16.run(settings))),
+    ]
+
+
+def run_all(settings: ExperimentSettings, stream=sys.stdout) -> None:
+    """Execute every experiment, streaming formatted sections."""
+    start = time.time()
+    for title, producer in _sections(settings):
+        section_start = time.time()
+        print(f"\n{'#' * 70}\n# {title}\n{'#' * 70}", file=stream)
+        print(producer(), file=stream)
+        print(f"[{title}: {time.time() - section_start:.1f}s]", file=stream)
+        stream.flush()
+    print(f"\nall experiments completed in {time.time() - start:.1f}s", file=stream)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller footprints and traces (benchmark preset)")
+    parser.add_argument("--output", help="also write the report to this file")
+    parser.add_argument("--scale", type=int, default=None,
+                        help="override the footprint scale divisor")
+    args = parser.parse_args(argv)
+    settings = ExperimentSettings()
+    if args.fast:
+        settings = settings.fast()
+    if args.scale:
+        settings = ExperimentSettings(
+            scale=args.scale, trace_length=settings.trace_length
+        )
+    run_all(settings)
+    if args.output:
+        with open(args.output, "w") as handle:
+            run_all(settings, stream=handle)  # cached sweeps make this cheap
+
+
+if __name__ == "__main__":
+    main()

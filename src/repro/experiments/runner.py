@@ -1,0 +1,119 @@
+"""Shared sweep machinery for the experiment drivers.
+
+``memory_sweep`` populates each workload's footprint into each requested
+(organization, THP) system and collects
+:class:`~repro.sim.results.MemoryFootprintResult`; ``perf_sweep`` runs
+traces and collects :class:`~repro.sim.results.PerformanceResult`.
+Results are memoised per settings within the process so that e.g. the
+Figure 8 and Figure 10 drivers (which need the same populate runs) don't
+repeat the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import ContiguousAllocationError
+from repro.sim.config import SimulationConfig
+from repro.sim.results import MemoryFootprintResult, PerformanceResult
+from repro.sim.simulator import TranslationSimulator, memory_result
+from repro.workloads import get_workload, workload_names
+
+MemKey = Tuple[str, str, bool]  # (workload, organization, thp)
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Methodology knobs shared by all experiment drivers.
+
+    ``scale`` divides the footprints (power of two; sizes are reported at
+    full-scale equivalents — see DESIGN.md).  ``fast`` presets are used by
+    the pytest benchmarks; the defaults favour fidelity.
+    """
+
+    scale: int = 32
+    trace_length: int = 100_000
+    seed: int = 12345
+    fmfi: float = 0.7
+    base_cycles_per_access: float = 30.0
+    apps: Tuple[str, ...] = ()
+
+    def app_list(self) -> List[str]:
+        return list(self.apps) if self.apps else workload_names()
+
+    def config(self, organization: str, thp: bool, **overrides) -> SimulationConfig:
+        params = dict(
+            organization=organization,
+            thp_enabled=thp,
+            scale=self.scale,
+            seed=self.seed,
+            fmfi=self.fmfi,
+            base_cycles_per_access=self.base_cycles_per_access,
+        )
+        params.update(overrides)
+        return SimulationConfig(**params)
+
+    def fast(self) -> "ExperimentSettings":
+        """A cheaper variant for benchmark smoke runs."""
+        return replace(self, scale=max(self.scale, 64), trace_length=30_000)
+
+
+_MEMORY_CACHE: Dict[Tuple[ExperimentSettings, MemKey, Tuple], MemoryFootprintResult] = {}
+_PERF_CACHE: Dict[Tuple[ExperimentSettings, MemKey, Tuple], PerformanceResult] = {}
+
+
+def memory_sweep(
+    settings: ExperimentSettings,
+    organizations: Iterable[str] = ("ecpt", "mehpt"),
+    thp_options: Iterable[bool] = (False, True),
+    apps: Optional[Iterable[str]] = None,
+    **config_overrides,
+) -> Dict[MemKey, MemoryFootprintResult]:
+    """Populate footprints and collect memory results for the sweep grid."""
+    out: Dict[MemKey, MemoryFootprintResult] = {}
+    override_key = tuple(sorted(config_overrides.items()))
+    for app in apps if apps is not None else settings.app_list():
+        for org in organizations:
+            for thp in thp_options:
+                key = (app, org, thp)
+                cache_key = (settings, key, override_key)
+                if cache_key not in _MEMORY_CACHE:
+                    workload = get_workload(app, scale=settings.scale, seed=settings.seed)
+                    config = settings.config(org, thp, **config_overrides)
+                    system = config.build(workload)
+                    _MEMORY_CACHE[cache_key] = memory_result(system)
+                out[key] = _MEMORY_CACHE[cache_key]
+    return out
+
+
+def perf_sweep(
+    settings: ExperimentSettings,
+    organizations: Iterable[str] = ("radix", "ecpt", "mehpt"),
+    thp_options: Iterable[bool] = (False, True),
+    apps: Optional[Iterable[str]] = None,
+    **config_overrides,
+) -> Dict[MemKey, PerformanceResult]:
+    """Run traces and collect performance results for the sweep grid."""
+    out: Dict[MemKey, PerformanceResult] = {}
+    override_key = tuple(sorted(config_overrides.items()))
+    for app in apps if apps is not None else settings.app_list():
+        for org in organizations:
+            for thp in thp_options:
+                key = (app, org, thp)
+                cache_key = (settings, key, override_key)
+                if cache_key not in _PERF_CACHE:
+                    workload = get_workload(app, scale=settings.scale, seed=settings.seed)
+                    config = settings.config(org, thp, **config_overrides)
+                    sim = TranslationSimulator(
+                        workload, config, trace_length=settings.trace_length
+                    )
+                    _PERF_CACHE[cache_key] = sim.run()
+                out[key] = _PERF_CACHE[cache_key]
+    return out
+
+
+def clear_caches() -> None:
+    """Drop memoised sweep results (tests use this for isolation)."""
+    _MEMORY_CACHE.clear()
+    _PERF_CACHE.clear()

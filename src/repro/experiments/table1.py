@@ -1,0 +1,104 @@
+"""Table I: memory consumption of the applications.
+
+Per application: data memory (GB), maximum contiguous page-table
+allocation under radix and ECPT, and total page-table memory under radix
+and ECPT, without and with THP.  The radix contiguous column is always
+4KB (one node); the ECPT contiguous column is the final way size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.units import GB, KB, MB
+from repro.experiments.runner import ExperimentSettings, memory_sweep
+from repro.sim.results import MemoryFootprintResult, format_table
+from repro.workloads import ALL_WORKLOADS
+
+
+@dataclass
+class Table1Row:
+    app: str
+    data_gb: float
+    tree_contig_kb: float
+    ecpt_contig_kb: float
+    tree_total_mb: float
+    ecpt_total_mb: float
+    tree_total_thp_mb: float
+    ecpt_total_thp_mb: float
+
+
+def run(settings: ExperimentSettings = ExperimentSettings()) -> List[Table1Row]:
+    results = memory_sweep(
+        settings, organizations=("radix", "ecpt"), thp_options=(False, True)
+    )
+    rows: List[Table1Row] = []
+    for app in settings.app_list():
+        tree = results[(app, "radix", False)]
+        tree_thp = results[(app, "radix", True)]
+        ecpt = results[(app, "ecpt", False)]
+        ecpt_thp = results[(app, "ecpt", True)]
+        rows.append(
+            Table1Row(
+                app=app,
+                data_gb=ALL_WORKLOADS[app].data_gb,
+                tree_contig_kb=tree.max_contiguous_bytes / KB,
+                ecpt_contig_kb=ecpt.max_contiguous_bytes / KB,
+                tree_total_mb=tree.total_pt_bytes / MB,
+                ecpt_total_mb=ecpt.peak_pt_bytes / MB,
+                tree_total_thp_mb=tree_thp.total_pt_bytes / MB,
+                ecpt_total_thp_mb=ecpt_thp.peak_pt_bytes / MB,
+            )
+        )
+    return rows
+
+
+def geomean(values: List[float]) -> float:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    product = 1.0
+    for value in positive:
+        product *= value
+    return product ** (1.0 / len(positive))
+
+
+def format_result(rows: List[Table1Row]) -> str:
+    headers = [
+        "App", "Data(GB)",
+        "Contig Tree(KB)", "Contig ECPT(KB)",
+        "Total Tree(MB)", "Total ECPT(MB)",
+        "Total Tree THP(MB)", "Total ECPT THP(MB)",
+    ]
+    body: List[List[str]] = []
+    for row in rows:
+        body.append([
+            row.app,
+            f"{row.data_gb:.1f}",
+            f"{row.tree_contig_kb:.0f}",
+            f"{row.ecpt_contig_kb:.0f}",
+            f"{row.tree_total_mb:.2f}",
+            f"{row.ecpt_total_mb:.1f}",
+            f"{row.tree_total_thp_mb:.2f}",
+            f"{row.ecpt_total_thp_mb:.1f}",
+        ])
+    body.append([
+        "GeoMean",
+        f"{geomean([r.data_gb for r in rows]):.1f}",
+        f"{geomean([r.tree_contig_kb for r in rows]):.1f}",
+        f"{geomean([r.ecpt_contig_kb for r in rows]):.1f}",
+        f"{geomean([r.tree_total_mb for r in rows]):.1f}",
+        f"{geomean([r.ecpt_total_mb for r in rows]):.1f}",
+        f"{geomean([r.tree_total_thp_mb for r in rows]):.1f}",
+        f"{geomean([r.ecpt_total_thp_mb for r in rows]):.1f}",
+    ])
+    return format_table(headers, body, title="Table I: memory consumption of the applications")
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Table II: maximum HPT way sizes and mapping space per chunk size.
+
+For each ladder chunk size: the largest way the 64-entry (with stealing)
+L2P subtable supports, and the application data a full 3-way HPT of that
+size can map with 4KB and with 2MB pages.  These are analytic properties
+of the design; we additionally *verify* the small-chunk row against a
+live ME-HPT instance (build a way of the claimed maximum and check the
+L2P budget is exactly exhausted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.units import CACHE_LINE, KB, MB, format_bytes
+from repro.core.chunks import DEFAULT_CHUNK_SIZES, ChunkLadder
+from repro.core.l2p import L2PTable
+from repro.hashing.clustered import PAGES_PER_BLOCK
+from repro.hashing.storage import ChunkedStorage
+from repro.sim.results import format_table
+
+#: Data bytes one HPT slot maps: 8 PTEs per 64B line.
+BYTES_MAPPED_PER_SLOT_4K = PAGES_PER_BLOCK * 4 * KB
+BYTES_MAPPED_PER_SLOT_2M = PAGES_PER_BLOCK * 2 * MB
+
+
+@dataclass
+class Table2Row:
+    chunk_bytes: int
+    max_way_bytes: int
+    map_4k_bytes: int
+    map_2m_bytes: int
+
+
+def run(ways: int = 3) -> List[Table2Row]:
+    ladder = ChunkLadder(DEFAULT_CHUNK_SIZES)
+    rows: List[Table2Row] = []
+    for chunk in ladder.sizes:
+        max_way = ladder.max_way_bytes(chunk)
+        slots_total = (max_way // CACHE_LINE) * ways
+        rows.append(
+            Table2Row(
+                chunk_bytes=chunk,
+                max_way_bytes=max_way,
+                map_4k_bytes=slots_total * BYTES_MAPPED_PER_SLOT_4K,
+                map_2m_bytes=slots_total * BYTES_MAPPED_PER_SLOT_2M,
+            )
+        )
+    return rows
+
+
+def verify_smallest_row_live(row: Table2Row) -> bool:
+    """Build an actual way of the claimed max and confirm budget exhaustion."""
+    l2p = L2PTable(ways=3)
+    budget = l2p.subtable(0, "4K")
+    storage = ChunkedStorage(
+        row.max_way_bytes // CACHE_LINE,
+        chunk_bytes=row.chunk_bytes,
+        budget=budget,
+    )
+    full = budget.in_use == budget.capacity_with_steal
+    cannot_grow = not storage.extend_to(storage.size_slots * 2)
+    storage.release()
+    return full and cannot_grow
+
+
+def format_result(rows: List[Table2Row]) -> str:
+    headers = [
+        "Chunk Size", "Max HPT Way Size",
+        "Max Mapping (4KB pages)", "Max Mapping (2MB pages)",
+    ]
+    body = [
+        [
+            format_bytes(row.chunk_bytes),
+            format_bytes(row.max_way_bytes),
+            format_bytes(row.map_4k_bytes),
+            format_bytes(row.map_2m_bytes),
+        ]
+        for row in rows
+    ]
+    return format_table(
+        headers, body,
+        title="Table II: max way sizes and total HPT mapping space per chunk size",
+    )
+
+
+def main() -> None:
+    rows = run()
+    print(format_result(rows))
+    ok = verify_smallest_row_live(rows[0])
+    print(f"\nlive verification of the {format_bytes(rows[0].chunk_bytes)} row: "
+          + ("passed" if ok else "FAILED"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+"""Page-table-entry clustering over an elastic cuckoo table.
+
+Following Yaniv and Tsafrir ("Hash, Don't Cache the Page Table") — and the
+ECPT design the paper baselines on — each HPT slot is one 64-byte cache
+line holding 8 page-table entries for 8 *contiguous* virtual pages, with
+the hash tag compacted into the line.  Clustering restores spatial
+locality (one line serves 8 neighbouring pages) and amortises the tag.
+
+:class:`ClusteredHashedPageTable` implements one page size.  Keys into the
+underlying cuckoo table are *block numbers* (page number >> 3); values are
+8-entry PPN lists.  Both the ECPT baseline and ME-HPT instantiate this
+class — they differ only in the storage layout and resize policy of the
+cuckoo table underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.hashing.cuckoo import ElasticCuckooTable
+
+#: log2 of extra page-number bits per page size relative to 4KB pages.
+PAGE_SHIFT = {"4K": 0, "2M": 9, "1G": 18}
+
+#: Pages clustered per HPT slot (8 PTEs per 64B line).
+PAGES_PER_BLOCK = 8
+_BLOCK_SHIFT = 3
+_BLOCK_MASK = PAGES_PER_BLOCK - 1
+
+
+@dataclass
+class MapResult:
+    """Outcome of mapping one page."""
+
+    new_block: bool  # a new HPT line was inserted (cuckoo insertion)
+    kicks: int       # cuckoo re-insertions the insertion caused
+
+
+class ClusteredHashedPageTable:
+    """A hashed page table for one page size, with entry clustering.
+
+    ``vpn`` arguments are always 4KB-granular virtual page numbers; the
+    table converts to its own page granularity internally, so the kernel
+    can address every organization uniformly.
+    """
+
+    def __init__(self, page_size: str, table: ElasticCuckooTable) -> None:
+        if page_size not in PAGE_SHIFT:
+            raise ConfigurationError(f"unknown page size {page_size!r}")
+        self.page_size = page_size
+        self.table = table
+        self.mapped_pages = 0
+        self.peak_bytes = table.total_bytes()
+
+    # -- address math ------------------------------------------------------
+
+    def _page_number(self, vpn: int) -> int:
+        return vpn >> PAGE_SHIFT[self.page_size]
+
+    def _split(self, vpn: int):
+        page = self._page_number(vpn)
+        return page >> _BLOCK_SHIFT, page & _BLOCK_MASK
+
+    def aligned(self, vpn: int) -> bool:
+        """Whether ``vpn`` is aligned to this table's page size."""
+        return vpn & ((1 << PAGE_SHIFT[self.page_size]) - 1) == 0
+
+    # -- mapping ------------------------------------------------------------
+
+    def map(self, vpn: int, ppn: int) -> MapResult:
+        """Map the page containing ``vpn`` to ``ppn``."""
+        if not self.aligned(vpn):
+            raise ConfigurationError(
+                f"vpn {vpn:#x} is not {self.page_size}-aligned"
+            )
+        block, sub = self._split(vpn)
+        entries = self.table.lookup(block)
+        if entries is not None:
+            if entries[sub] is None:
+                self.mapped_pages += 1
+            entries[sub] = ppn
+            return MapResult(new_block=False, kicks=0)
+        entries = [None] * PAGES_PER_BLOCK
+        entries[sub] = ppn
+        kicks = self.table.insert(block, entries)
+        self.mapped_pages += 1
+        self._track_peak()
+        return MapResult(new_block=True, kicks=kicks)
+
+    def unmap(self, vpn: int) -> bool:
+        """Remove the mapping for the page containing ``vpn``."""
+        block, sub = self._split(vpn)
+        entries = self.table.lookup(block)
+        if entries is None or entries[sub] is None:
+            return False
+        entries[sub] = None
+        self.mapped_pages -= 1
+        if all(e is None for e in entries):
+            self.table.delete(block)
+        return True
+
+    # -- translation ---------------------------------------------------------
+
+    def translate(self, vpn: int) -> Optional[int]:
+        """Return the PPN mapping the page containing ``vpn``, or None."""
+        block, sub = self._split(vpn)
+        entries = self.table.lookup(block)
+        if entries is None:
+            return None
+        return entries[sub]
+
+    def probe_line_addrs(self, vpn: int) -> List[int]:
+        """Cache-line addresses a hardware lookup probes: one per way.
+
+        The rehash-pointer comparison selects old vs new location per way
+        (Section II-B), so exactly W lines are probed regardless of any
+        resize in progress.
+        """
+        block, _sub = self._split(vpn)
+        lines = []
+        for way in self.table.ways:
+            storage, idx = way.locate(way.hash(block))
+            lines.append(storage.line_addr(idx))
+        return lines
+
+    # -- accounting -----------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        return self.table.total_bytes()
+
+    def _track_peak(self) -> None:
+        total = self.table.total_bytes()
+        if total > self.peak_bytes:
+            self.peak_bytes = total
+
+    def occupancy(self) -> float:
+        return self.table.occupancy()
+
+    def __len__(self) -> int:
+        return self.mapped_pages

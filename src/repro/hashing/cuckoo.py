@@ -1,0 +1,543 @@
+"""Elastic W-way cuckoo hash table with gradual in-place/out-of-place resizing.
+
+This is the engine under both page-table organizations the paper studies:
+
+* **ECPT baseline** — ways on :class:`~repro.hashing.storage.ContiguousStorage`
+  (which cannot grow in place), an all-way resize policy, and therefore
+  out-of-place gradual resizes exactly as in Elastic Cuckoo Page Tables.
+* **ME-HPT** — ways on :class:`~repro.hashing.storage.ChunkedStorage`, a
+  per-way resize policy, and in-place resizes using the paper's
+  one-extra-hash-bit rule (Section IV-C): an upsized way keeps its hash
+  function and indexes with ``hash & (2*size - 1)``, so an entry either
+  stays in place (new bit 0) or moves to ``old_index + old_size`` (bit 1).
+
+Gradual resizing follows Section II-B: each way under resize carries a
+*rehash pointer* ``P``; indices below ``P`` form the migrated region and
+indices at or above it the live region.  Lookups and inserts pick the old
+or new index by comparing the old-mask index against ``P``, so every
+operation still probes exactly one slot per way.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError, TableFullError
+from repro.common.rng import DeterministicRng, make_rng
+from repro.common.units import is_power_of_two
+from repro.hashing.storage import Storage
+
+#: Factory signature for out-of-place resize targets.  Called with
+#: ``(way_index, new_slots)``; may return ``None`` to request an eager
+#: stop-the-world migration (used when a chunk-size transition cannot hold
+#: old and new chunks simultaneously).
+StorageFactory = Callable[[int, int], Optional[Storage]]
+
+
+class TableStats:
+    """Instrumentation counters for one elastic cuckoo table.
+
+    ``kick_histogram`` maps the number of cuckoo re-insertions caused by
+    one insertion or one rehash to its occurrence count — this is exactly
+    the distribution of the paper's Figure 16.
+    """
+
+    def __init__(self) -> None:
+        self.inserts = 0
+        self.updates = 0
+        self.deletes = 0
+        self.lookups = 0
+        self.rehash_steps = 0
+        self.rehash_conflicts = 0
+        self.eager_migrations = 0
+        self.kick_histogram: Counter = Counter()
+
+    def record_op_kicks(self, kicks: int) -> None:
+        self.kick_histogram[kicks] += 1
+
+    def total_kick_samples(self) -> int:
+        return sum(self.kick_histogram.values())
+
+    def mean_kicks(self) -> float:
+        samples = self.total_kick_samples()
+        if samples == 0:
+            return 0.0
+        return sum(k * n for k, n in self.kick_histogram.items()) / samples
+
+    def kick_distribution(self, max_kicks: int = 11) -> List[float]:
+        """Return P(0 re-insertions) .. P(max_kicks re-insertions)."""
+        samples = self.total_kick_samples()
+        if samples == 0:
+            return [0.0] * (max_kicks + 1)
+        dist = []
+        for k in range(max_kicks + 1):
+            if k == max_kicks:
+                count = sum(n for kk, n in self.kick_histogram.items() if kk >= k)
+            else:
+                count = self.kick_histogram.get(k, 0)
+            dist.append(count / samples)
+        return dist
+
+
+class ElasticWay:
+    """One way of an elastic cuckoo table.
+
+    A way owns its hash function for the whole table lifetime (required by
+    the in-place resize rule), its storage, and its resize state.  ``size``
+    is the logical slot count — during a resize it is the *new* size, while
+    ``old_size`` retains the previous one until the rehash completes.
+    """
+
+    def __init__(self, index: int, hash_fn: Callable[[int], int], storage: Storage) -> None:
+        self.index = index
+        self.hash = hash_fn
+        self.storage = storage
+        self.size = storage.size_slots
+        self.old_size: Optional[int] = None
+        self.old_storage: Optional[Storage] = None
+        self.rehash_ptr: Optional[int] = None
+        self.direction = 0  # +1 upsizing, -1 downsizing, 0 idle
+        self.count = 0
+        # Lifetime statistics (Figures 11 and 13).
+        self.upsizes = 0
+        self.downsizes = 0
+        self.inplace_upsizes = 0
+        self.rehash_examined = 0
+        self.rehash_relocated = 0
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def resizing(self) -> bool:
+        return self.direction != 0
+
+    def occupancy(self) -> float:
+        return self.count / self.size if self.size else 0.0
+
+    def locate(self, h: int) -> Tuple[Storage, int]:
+        """Map a hash value to the single (storage, index) slot to probe.
+
+        Implements the paper's lookup rule during resizing: compare the
+        old-mask index against the rehash pointer; the live region is
+        probed at the old index, the migrated region at the new index.
+        """
+        if self.direction == 0:
+            return self.storage, h & (self.size - 1)
+        old_idx = h & (self.old_size - 1)
+        if old_idx >= self.rehash_ptr:
+            if self.old_storage is not None:
+                return self.old_storage, old_idx
+            return self.storage, old_idx
+        return self.storage, h & (self.size - 1)
+
+    def probe(self, key: int):
+        """Return the stored (key, value) tuple for ``key`` or None."""
+        storage, idx = self.locate(self.hash(key))
+        slot = storage.get(idx)
+        if slot is not None and slot[0] == key:
+            return slot
+        return None
+
+    # -- resize state ------------------------------------------------------
+
+    def begin_resize(self, new_size: int, new_storage: Optional[Storage]) -> None:
+        if self.resizing:
+            raise ConfigurationError("way is already resizing")
+        if not is_power_of_two(new_size):
+            raise ConfigurationError(f"new way size {new_size} must be a power of two")
+        self.old_size = self.size
+        self.size = new_size
+        self.rehash_ptr = 0
+        self.direction = 1 if new_size > self.old_size else -1
+        if new_storage is not None:
+            self.old_storage = self.storage
+            self.storage = new_storage
+        if self.direction > 0:
+            self.upsizes += 1
+            if new_storage is None:
+                self.inplace_upsizes += 1
+        else:
+            self.downsizes += 1
+
+    def total_bytes(self) -> int:
+        total = self.storage.total_bytes()
+        if self.old_storage is not None:
+            total += self.old_storage.total_bytes()
+        return total
+
+    def moved_fraction(self) -> float:
+        """Fraction of rehash-examined entries physically relocated (Fig 13)."""
+        if self.rehash_examined == 0:
+            return 0.0
+        return self.rehash_relocated / self.rehash_examined
+
+
+class ElasticCuckooTable:
+    """W-way elastic cuckoo hash table (keys are ints, values arbitrary).
+
+    Parameters
+    ----------
+    ways:
+        The :class:`ElasticWay` objects (hash function + storage each).
+    policy:
+        A resize policy (:mod:`repro.hashing.policies`) deciding insertion
+        way choice and when/which ways resize.
+    storage_factory:
+        Creates storage for out-of-place resize targets; see
+        :data:`StorageFactory`.
+    rng:
+        Deterministic randomness for way selection.
+    max_kicks:
+        Cuckoo re-insertion bound before an emergency resize is forced.
+    rehashes_per_insert:
+        Gradual-rehash work performed per insert per resizing way
+        (the paper rehashes "a single entry or a small group of them").
+    """
+
+    def __init__(
+        self,
+        ways: List[ElasticWay],
+        policy: "ResizePolicy",
+        storage_factory: StorageFactory,
+        rng: Optional[DeterministicRng] = None,
+        max_kicks: int = 32,
+        rehashes_per_insert: int = 2,
+        observer: Optional[Any] = None,
+        inplace_enabled: bool = True,
+    ) -> None:
+        if len(ways) < 2:
+            raise ConfigurationError("cuckoo hashing needs at least 2 ways")
+        self.ways = ways
+        self.policy = policy
+        self.storage_factory = storage_factory
+        self.rng = make_rng(rng)
+        self.max_kicks = max_kicks
+        self.rehashes_per_insert = rehashes_per_insert
+        self.observer = observer
+        #: When False (ablation), resizes always go out of place even if
+        #: the storage could grow in place.
+        self.inplace_enabled = inplace_enabled
+        self.stats = TableStats()
+        self.count = 0
+        self.peak_bytes = self.total_bytes()
+        self._emergency_depth = 0
+
+    # -- basic queries -------------------------------------------------
+
+    @property
+    def num_ways(self) -> int:
+        return len(self.ways)
+
+    def capacity(self) -> int:
+        return sum(way.size for way in self.ways)
+
+    def occupancy(self) -> float:
+        cap = self.capacity()
+        return self.count / cap if cap else 0.0
+
+    def total_bytes(self) -> int:
+        return sum(way.total_bytes() for way in self.ways)
+
+    def resizing(self) -> bool:
+        return any(way.resizing for way in self.ways)
+
+    def lookup(self, key: int) -> Optional[Any]:
+        """Return the value stored under ``key`` or None (W probes)."""
+        self.stats.lookups += 1
+        for way in self.ways:
+            slot = way.probe(key)
+            if slot is not None:
+                return slot[1]
+        return None
+
+    def __contains__(self, key: int) -> bool:
+        return self.lookup(key) is not None
+
+    def __len__(self) -> int:
+        return self.count
+
+    def items(self):
+        """Yield all (key, value) pairs (order unspecified)."""
+        for way in self.ways:
+            yield from self._way_items(way)
+
+    def _way_items(self, way: ElasticWay):
+        seen_storages = []
+        if way.old_storage is not None:
+            # Live region of the old storage.
+            for idx in range(way.rehash_ptr, way.old_size):
+                slot = way.old_storage.get(idx)
+                if slot is not None:
+                    yield slot
+            for idx in range(way.size):
+                slot = way.storage.get(idx)
+                if slot is not None:
+                    yield slot
+        else:
+            limit = max(way.size, way.old_size or 0)
+            limit = min(limit, way.storage.size_slots)
+            for idx in range(limit):
+                slot = way.storage.get(idx)
+                if slot is not None:
+                    yield slot
+        del seen_storages
+
+    # -- mutation --------------------------------------------------------
+
+    def insert(self, key: int, value: Any) -> int:
+        """Insert or update ``key``; return the number of cuckoo re-insertions."""
+        located = self._find_slot(key)
+        if located is not None:
+            way, storage, idx = located
+            storage.put(idx, (key, value))
+            self.stats.updates += 1
+            return 0
+        self.maintenance()
+        way_idx = self.policy.choose_insert_way(self)
+        kicks = self._place((key, value), way_idx)
+        self.count += 1
+        self.stats.inserts += 1
+        self.stats.record_op_kicks(kicks)
+        self.policy.check_resize(self)
+        self._update_peak()
+        return kicks
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; return True if it was present."""
+        located = self._find_slot(key)
+        if located is None:
+            return False
+        way, storage, idx = located
+        storage.clear(idx)
+        way.count -= 1
+        self.count -= 1
+        self.stats.deletes += 1
+        self.maintenance()
+        self.policy.check_resize(self)
+        return True
+
+    def maintenance(self, steps: Optional[int] = None) -> None:
+        """Perform gradual rehash work on every resizing way."""
+        budget = self.rehashes_per_insert if steps is None else steps
+        for way in self.ways:
+            for _ in range(budget):
+                if not way.resizing:
+                    break
+                self._rehash_one(way)
+
+    def drain(self) -> None:
+        """Complete all in-flight resizes immediately."""
+        for way in self.ways:
+            self.drain_way(way)
+
+    def drain_way(self, way: ElasticWay) -> None:
+        while way.resizing:
+            self._rehash_one(way)
+
+    # -- resize initiation (called by policies) ---------------------------
+
+    def start_upsize(self, way: ElasticWay) -> None:
+        """Double ``way``, in place when its storage allows, else out of place."""
+        if way.resizing:
+            self.drain_way(way)
+        new_size = way.size * 2
+        if self.inplace_enabled and way.storage.extend_to(new_size):
+            way.begin_resize(new_size, None)
+            self._notify("on_upsize", way, new_size, True)
+        else:
+            new_storage = self.storage_factory(way.index, new_size)
+            if new_storage is None:
+                self._eager_migrate(way, new_size)
+            else:
+                way.begin_resize(new_size, new_storage)
+                self._notify("on_upsize", way, new_size, False)
+        self._update_peak()
+
+    def start_downsize(self, way: ElasticWay) -> None:
+        """Halve ``way``; in place when supported, else out of place."""
+        if way.resizing:
+            self.drain_way(way)
+        new_size = way.size // 2
+        if self.inplace_enabled and self._can_shrink_in_place(way.storage):
+            way.begin_resize(new_size, None)
+            self._notify("on_downsize", way, new_size, True)
+        else:
+            new_storage = self.storage_factory(way.index, new_size)
+            if new_storage is None:
+                self._eager_migrate(way, new_size)
+            else:
+                way.begin_resize(new_size, new_storage)
+                self._notify("on_downsize", way, new_size, False)
+        self._update_peak()
+
+    @staticmethod
+    def _can_shrink_in_place(storage: Storage) -> bool:
+        # ChunkedStorage can release trailing chunks; ContiguousStorage cannot.
+        from repro.hashing.storage import ChunkedStorage
+
+        return isinstance(storage, ChunkedStorage)
+
+    # -- internals ---------------------------------------------------------
+
+    def _find_slot(self, key: int):
+        for way in self.ways:
+            storage, idx = way.locate(way.hash(key))
+            slot = storage.get(idx)
+            if slot is not None and slot[0] == key:
+                return way, storage, idx
+        return None
+
+    def _other_way(self, way_idx: int) -> int:
+        j = self.rng.randint(0, self.num_ways - 2)
+        return j + 1 if j >= way_idx else j
+
+    def _place(self, item: Tuple[int, Any], way_idx: int) -> int:
+        """Cuckoo-place ``item`` starting at ``way_idx``; return kick count."""
+        kicks = 0
+        kicks_since_resize = 0
+        while True:
+            way = self.ways[way_idx]
+            storage, idx = way.locate(way.hash(item[0]))
+            slot = storage.get(idx)
+            if slot is None:
+                storage.put(idx, item)
+                way.count += 1
+                return kicks
+            storage.put(idx, item)
+            item = slot
+            kicks += 1
+            kicks_since_resize += 1
+            if kicks_since_resize >= self.max_kicks:
+                # The kick chain is too long: force the policy to grow the
+                # table, then keep kicking the in-flight item into the
+                # enlarged index space.
+                self._emergency_resize()
+                kicks_since_resize = 0
+            way_idx = self._other_way(way_idx)
+
+    def _emergency_resize(self) -> None:
+        if self._emergency_depth >= 8:
+            raise TableFullError(
+                f"cuckoo table stuck at occupancy {self.occupancy():.2f} "
+                f"after {self._emergency_depth} emergency resizes"
+            )
+        self._emergency_depth += 1
+        try:
+            self.policy.emergency_resize(self)
+        finally:
+            self._emergency_depth -= 1
+
+    def _rehash_one(self, way: ElasticWay) -> None:
+        """Move one element across ``way``'s rehash pointer (Section IV-C)."""
+        if not way.resizing:
+            return
+        ptr = way.rehash_ptr
+        old_storage = way.old_storage if way.old_storage is not None else way.storage
+        item = old_storage.get(ptr)
+        way.rehash_ptr += 1
+        self.stats.rehash_steps += 1
+        if item is not None:
+            way.rehash_examined += 1
+            h = way.hash(item[0])
+            new_idx = h & (way.size - 1)
+            stays = way.old_storage is None and new_idx == ptr
+            if stays:
+                self.stats.record_op_kicks(0)
+            else:
+                old_storage.clear(ptr)
+                way.count -= 1
+                way.rehash_relocated += 1
+                target = way.storage.get(new_idx)
+                if target is None:
+                    way.storage.put(new_idx, item)
+                    way.count += 1
+                    self.stats.record_op_kicks(0)
+                else:
+                    # Conflict: the rehashed entry claims its slot and the
+                    # occupant is cuckooed into a different way (paper,
+                    # Figure 5d-f discussion).  The way's count is net
+                    # unchanged: the rehashed entry enters, the occupant
+                    # leaves.
+                    way.storage.put(new_idx, item)
+                    self.stats.rehash_conflicts += 1
+                    kicks = self._place(target, self._other_way(way.index))
+                    self.stats.record_op_kicks(kicks + 1)
+        if way.rehash_ptr >= way.old_size:
+            self._finish_resize(way)
+
+    def _finish_resize(self, way: ElasticWay) -> None:
+        if way.old_storage is not None:
+            way.old_storage.release()
+            way.old_storage = None
+        elif way.direction < 0:
+            way.storage.shrink_to(way.size)
+        way.old_size = None
+        way.rehash_ptr = None
+        way.direction = 0
+        self._notify("on_resize_complete", way, way.size, way.old_storage is None)
+
+    def _eager_migrate(self, way: ElasticWay, new_size: int) -> None:
+        """Stop-the-world migration for chunk-size transitions that cannot
+        hold old and new storage simultaneously."""
+        items = list(self._way_items(way))
+        old_size = way.size
+        way.storage.release()
+        new_storage = self.storage_factory(way.index, new_size)
+        if new_storage is None:
+            raise ConfigurationError(
+                "storage factory failed even after releasing the old way"
+            )
+        way.storage = new_storage
+        way.size = new_size
+        way.old_size = None
+        way.old_storage = None
+        way.rehash_ptr = None
+        way.direction = 0
+        way.count = 0
+        self.stats.eager_migrations += 1
+        if new_size > old_size:
+            way.upsizes += 1
+        elif new_size < old_size:
+            way.downsizes += 1
+        for item in items:
+            h = way.hash(item[0])
+            idx = h & (new_size - 1)
+            slot = way.storage.get(idx)
+            if slot is None:
+                way.storage.put(idx, item)
+                way.count += 1
+            else:
+                kicks = self._place(item, self._other_way(way.index))
+                self.stats.record_op_kicks(kicks)
+        self._notify("on_eager_migration", way, new_size, False)
+
+    def _update_peak(self) -> None:
+        total = self.total_bytes()
+        if total > self.peak_bytes:
+            self.peak_bytes = total
+
+    def _notify(self, event: str, way: ElasticWay, new_size: int, inplace: bool) -> None:
+        if self.observer is not None:
+            handler = getattr(self.observer, event, None)
+            if handler is not None:
+                handler(way, new_size, inplace)
+
+    # -- validation (used by tests) ---------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify internal consistency; raises AssertionError on violation."""
+        total = 0
+        for way in self.ways:
+            way_count = sum(1 for _ in self._way_items(way))
+            assert way_count == way.count, (
+                f"way {way.index}: counted {way_count} != tracked {way.count}"
+            )
+            total += way_count
+            assert is_power_of_two(way.size)
+            if way.resizing:
+                assert 0 <= way.rehash_ptr <= way.old_size
+        assert total == self.count, f"table count {self.count} != {total}"
+        # Every stored key must be findable via lookup.
+        for key, _value in list(self.items()):
+            assert self.lookup(key) is not None, f"key {key} unreachable"

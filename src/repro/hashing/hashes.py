@@ -1,0 +1,114 @@
+"""Hash families for cuckoo ways.
+
+The paper's hardware uses CRC units as the per-way hash functions
+(Table III: "Hash functions: CRC, latency 2 cycles").  We provide a
+table-driven CRC-32C implementation for fidelity, and a seeded 64-bit
+finaliser (splitmix64-style) as the default because it is several times
+faster in pure Python while having the same independence properties the
+cuckoo analysis needs.
+
+A :class:`HashFamily` hands out one independent function per way; the
+elastic resizing scheme requires that a way keep the *same* function
+across resizes and only widen/narrow the index mask (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+_MASK64 = (1 << 64) - 1
+
+# ---------------------------------------------------------------------------
+# CRC-32C (Castagnoli), table-driven.
+# ---------------------------------------------------------------------------
+
+_CRC32C_POLY = 0x82F63B78  # reversed Castagnoli polynomial
+
+
+def _build_crc_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _CRC32C_POLY
+            else:
+                crc >>= 1
+        table.append(crc)
+    return table
+
+
+_CRC_TABLE = _build_crc_table()
+
+
+def crc32c(value: int, seed: int = 0) -> int:
+    """Return the CRC-32C of the 8-byte little-endian encoding of ``value``.
+
+    ``seed`` perturbs the initial CRC state so that different ways get
+    independent functions from the same hardware unit, as real designs do
+    by seeding the CRC register.
+    """
+    crc = (seed ^ 0xFFFFFFFF) & 0xFFFFFFFF
+    v = value & _MASK64
+    for _ in range(8):
+        crc = (crc >> 8) ^ _CRC_TABLE[(crc ^ (v & 0xFF)) & 0xFF]
+        v >>= 8
+    return crc ^ 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# splitmix64-style finaliser.
+# ---------------------------------------------------------------------------
+
+
+def mix64(value: int, seed: int = 0) -> int:
+    """Return a 64-bit mix of ``value`` and ``seed``.
+
+    This is the splitmix64 finaliser, a bijective mixer with full
+    avalanche; with distinct seeds it yields effectively independent hash
+    functions, which is what cuckoo hashing requires of its ways.
+    """
+    z = (value + seed * 0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+class HashFamily:
+    """A family of independent hash functions, one per cuckoo way.
+
+    Parameters
+    ----------
+    seed:
+        Family seed; two families with different seeds are independent.
+    kind:
+        ``"mix64"`` (default, fast) or ``"crc32c"`` (paper-faithful
+        hardware CRC).  Both are exposed so tests can cross-check that the
+        system behaviour does not depend on the specific function.
+    """
+
+    def __init__(self, seed: int = 0, kind: str = "mix64") -> None:
+        if kind not in ("mix64", "crc32c"):
+            raise ValueError(f"unknown hash kind {kind!r}")
+        self.seed = seed
+        self.kind = kind
+
+    def function(self, way: int) -> Callable[[int], int]:
+        """Return the hash function for ``way`` (a closure over the seed)."""
+        way_seed = mix64(self.seed * 1000003 + way + 1)
+        if self.kind == "crc32c":
+            def crc_fn(key: int, _seed: int = way_seed & 0xFFFFFFFF) -> int:
+                low = crc32c(key, _seed)
+                high = crc32c(key ^ 0xA5A5A5A5A5A5A5A5, _seed ^ 0x5A5A5A5A)
+                return (high << 32) | low
+
+            return crc_fn
+
+        def mix_fn(key: int, _seed: int = way_seed) -> int:
+            return mix64(key, _seed)
+
+        return mix_fn
+
+    def functions(self, ways: int) -> List[Callable[[int], int]]:
+        """Return hash functions for ``ways`` consecutive ways."""
+        return [self.function(w) for w in range(ways)]

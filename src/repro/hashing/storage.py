@@ -1,0 +1,297 @@
+"""Slot storage for cuckoo ways: contiguous regions and chunked regions.
+
+The paper's central observation is that a conventional HPT way must live
+in one *contiguous* physical region (Figure 2a), while an ME-HPT way is a
+collection of fixed-size *chunks* reached through the L2P table
+(Figure 2b).  This module models both layouts behind one interface so the
+elastic cuckoo table is oblivious to which one it sits on:
+
+* :class:`ContiguousStorage` — one allocation per way; growing is
+  impossible in place, forcing out-of-place resizes (the ECPT baseline).
+* :class:`ChunkedStorage` — a list of chunks drawn from a
+  :class:`ChunkBudget` (the L2P subtable); growing in place appends
+  chunks, shrinking releases them, and exhausting the budget signals a
+  chunk-size transition.
+
+Storages charge their allocations to an *allocator* object (duck-typed;
+see :mod:`repro.mem.allocator`) which models allocation cycle costs and
+failure under fragmentation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import is_power_of_two
+
+#: A slot holds a (key, value) tuple or None.
+Slot = Optional[Tuple[int, Any]]
+
+#: Storage instances get disjoint synthetic address ranges so the cache
+#: model sees distinct lines for distinct physical locations.
+_STORAGE_IDS = itertools.count(1)
+
+
+class ChunkBudget:
+    """Interface limiting how many chunks a chunked storage may hold.
+
+    The ME-HPT L2P subtable (:class:`repro.core.l2p.L2PSubtable`)
+    implements this; generic users (e.g. the key-value store) can use
+    :class:`UnlimitedChunkBudget`.
+    """
+
+    def reserve(self, count: int) -> bool:
+        """Try to reserve ``count`` more chunk pointers; return success."""
+        raise NotImplementedError
+
+    def release(self, count: int) -> None:
+        """Return ``count`` chunk pointers to the budget."""
+        raise NotImplementedError
+
+
+class UnlimitedChunkBudget(ChunkBudget):
+    """A budget that never runs out (still counts usage for reporting)."""
+
+    def __init__(self) -> None:
+        self.in_use = 0
+
+    def reserve(self, count: int) -> bool:
+        self.in_use += count
+        return True
+
+    def release(self, count: int) -> None:
+        if count > self.in_use:
+            raise ValueError("releasing more chunks than reserved")
+        self.in_use -= count
+
+
+class _NullAllocator:
+    """Allocator used when no cost/capacity modelling is wanted."""
+
+    def alloc(self, nbytes: int) -> int:
+        return nbytes
+
+    def free(self, handle: int) -> None:
+        pass
+
+
+NULL_ALLOCATOR = _NullAllocator()
+
+
+class Storage:
+    """Abstract slot array of a cuckoo way.
+
+    Concrete classes define where the slots physically live; the table
+    only reads/writes logical slot indices.  ``size_slots`` is the logical
+    capacity; during an in-place downsize the physical array may be larger
+    until the resize completes and :meth:`shrink_to` is called.
+    """
+
+    slot_bytes: int
+
+    def get(self, index: int) -> Slot:
+        raise NotImplementedError
+
+    def put(self, index: int, item: Tuple[int, Any]) -> None:
+        raise NotImplementedError
+
+    def clear(self, index: int) -> None:
+        raise NotImplementedError
+
+    @property
+    def size_slots(self) -> int:
+        raise NotImplementedError
+
+    def extend_to(self, new_slots: int) -> bool:
+        """Grow in place to ``new_slots``; return False if unsupported."""
+        raise NotImplementedError
+
+    def shrink_to(self, new_slots: int) -> None:
+        """Release physical space above ``new_slots`` (entries must be gone)."""
+        raise NotImplementedError
+
+    def total_bytes(self) -> int:
+        """Physical bytes currently backing this storage."""
+        raise NotImplementedError
+
+    def max_contiguous_bytes(self) -> int:
+        """Largest single contiguous allocation this storage ever made."""
+        raise NotImplementedError
+
+    def release(self) -> None:
+        """Free all physical memory backing this storage."""
+        raise NotImplementedError
+
+    def line_addr(self, index: int) -> int:
+        """Synthetic cache-line address of slot ``index``.
+
+        Each slot is one cache line (64B clustered entry); storages claim
+        disjoint address ranges so the cache model distinguishes them.
+        """
+        return self._line_base + index
+
+
+class ContiguousStorage(Storage):
+    """One contiguous allocation per way — the ECPT layout.
+
+    The whole way is a single region of ``slots * slot_bytes`` bytes,
+    allocated in one shot.  It cannot grow in place: resizing a way built
+    on contiguous storage must allocate a fresh (double-sized) region and
+    migrate, which is exactly the ECPT behaviour the paper improves on.
+    """
+
+    def __init__(self, slots: int, slot_bytes: int = 64, allocator: Any = None) -> None:
+        if not is_power_of_two(slots):
+            raise ConfigurationError(f"way size {slots} must be a power of two")
+        self.slot_bytes = slot_bytes
+        self._allocator = allocator if allocator is not None else NULL_ALLOCATOR
+        self._slots: List[Slot] = [None] * slots
+        self._handle = self._allocator.alloc(slots * slot_bytes)
+        self._released = False
+        self._line_base = next(_STORAGE_IDS) << 34
+
+    def get(self, index: int) -> Slot:
+        return self._slots[index]
+
+    def put(self, index: int, item: Tuple[int, Any]) -> None:
+        self._slots[index] = item
+
+    def clear(self, index: int) -> None:
+        self._slots[index] = None
+
+    @property
+    def size_slots(self) -> int:
+        return len(self._slots)
+
+    def extend_to(self, new_slots: int) -> bool:
+        return False
+
+    def shrink_to(self, new_slots: int) -> None:
+        raise ConfigurationError("contiguous storage cannot shrink in place")
+
+    def total_bytes(self) -> int:
+        return 0 if self._released else len(self._slots) * self.slot_bytes
+
+    def max_contiguous_bytes(self) -> int:
+        return len(self._slots) * self.slot_bytes
+
+    def release(self) -> None:
+        if not self._released:
+            self._allocator.free(self._handle)
+            self._released = True
+            self._slots = []
+
+
+class ChunkedStorage(Storage):
+    """A way made of fixed-size chunks behind a chunk budget — the ME-HPT layout.
+
+    Logical slot ``i`` lives in chunk ``i // slots_per_chunk`` at offset
+    ``i % slots_per_chunk`` — the divide/modulo of Figure 2b (a shift and a
+    mask in hardware, since the chunk size is a power of two).
+
+    A brand-new way may occupy only part of its first chunk (Figure 3a:
+    a 4KB way inside an 8KB chunk), so ``size_slots`` may be smaller than
+    the allocated chunk space.  :meth:`extend_to` first fills spare space
+    in existing chunks, then reserves more chunk pointers from the budget;
+    when the budget refuses, the caller must transition to a bigger chunk
+    size with a fresh :class:`ChunkedStorage`.
+    """
+
+    def __init__(
+        self,
+        slots: int,
+        chunk_bytes: int,
+        slot_bytes: int = 64,
+        allocator: Any = None,
+        budget: Optional[ChunkBudget] = None,
+    ) -> None:
+        if not is_power_of_two(slots):
+            raise ConfigurationError(f"way size {slots} must be a power of two")
+        if not is_power_of_two(chunk_bytes):
+            raise ConfigurationError(f"chunk size {chunk_bytes} must be a power of two")
+        if chunk_bytes % slot_bytes != 0:
+            raise ConfigurationError("chunk size must be a multiple of the slot size")
+        self.slot_bytes = slot_bytes
+        self.chunk_bytes = chunk_bytes
+        self.slots_per_chunk = chunk_bytes // slot_bytes
+        self._allocator = allocator if allocator is not None else NULL_ALLOCATOR
+        self._budget = budget if budget is not None else UnlimitedChunkBudget()
+        self._size_slots = slots
+        self._chunks: List[List[Slot]] = []
+        self._handles: List[Any] = []
+        self._line_base = next(_STORAGE_IDS) << 34
+        needed = self._chunks_for(slots)
+        if not self._budget.reserve(needed):
+            raise ConfigurationError(
+                f"chunk budget cannot cover initial way of {slots} slots"
+            )
+        for _ in range(needed):
+            self._alloc_chunk()
+        self._released = False
+
+    def _chunks_for(self, slots: int) -> int:
+        return max(1, -(-slots // self.slots_per_chunk))  # ceil division
+
+    def _alloc_chunk(self) -> None:
+        self._handles.append(self._allocator.alloc(self.chunk_bytes))
+        self._chunks.append([None] * self.slots_per_chunk)
+
+    def get(self, index: int) -> Slot:
+        return self._chunks[index // self.slots_per_chunk][index % self.slots_per_chunk]
+
+    def put(self, index: int, item: Tuple[int, Any]) -> None:
+        self._chunks[index // self.slots_per_chunk][index % self.slots_per_chunk] = item
+
+    def clear(self, index: int) -> None:
+        self._chunks[index // self.slots_per_chunk][index % self.slots_per_chunk] = None
+
+    @property
+    def size_slots(self) -> int:
+        return self._size_slots
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    def extend_to(self, new_slots: int) -> bool:
+        if new_slots < self._size_slots:
+            raise ConfigurationError("extend_to cannot shrink; use shrink_to")
+        have = len(self._chunks)
+        need = self._chunks_for(new_slots)
+        extra = need - have
+        if extra > 0:
+            if not self._budget.reserve(extra):
+                return False
+            for _ in range(extra):
+                self._alloc_chunk()
+        self._size_slots = new_slots
+        return True
+
+    def shrink_to(self, new_slots: int) -> None:
+        if new_slots > self._size_slots:
+            raise ConfigurationError("shrink_to cannot grow; use extend_to")
+        need = self._chunks_for(new_slots)
+        drop = len(self._chunks) - need
+        if drop > 0:
+            for _ in range(drop):
+                self._chunks.pop()
+                self._allocator.free(self._handles.pop())
+            self._budget.release(drop)
+        self._size_slots = new_slots
+
+    def total_bytes(self) -> int:
+        return 0 if self._released else len(self._chunks) * self.chunk_bytes
+
+    def max_contiguous_bytes(self) -> int:
+        return self.chunk_bytes
+
+    def release(self) -> None:
+        if not self._released:
+            for handle in self._handles:
+                self._allocator.free(handle)
+            self._budget.release(len(self._chunks))
+            self._chunks = []
+            self._handles = []
+            self._released = True

@@ -1,0 +1,19 @@
+"""OS model: address spaces, demand paging, THP, context switches.
+
+The page-table organizations are hardware structures; this package is the
+software above them — the pieces of a kernel the paper's evaluation
+exercises:
+
+* :mod:`repro.kernel.address_space` — VMAs, demand paging, and the page
+  fault handler that charges allocation/insertion costs.
+* :mod:`repro.kernel.thp` — a transparent-huge-page policy with per-
+  workload coverage (the paper's THP vs no-THP configurations).
+* :mod:`repro.kernel.context` — context-switch costs including the L2P
+  save/restore of Section V-C.
+"""
+
+from repro.kernel.address_space import AddressSpace, FaultResult, Vma
+from repro.kernel.context import ContextSwitchModel
+from repro.kernel.thp import ThpPolicy
+
+__all__ = ["AddressSpace", "FaultResult", "Vma", "ThpPolicy", "ContextSwitchModel"]

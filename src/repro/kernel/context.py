@@ -1,0 +1,45 @@
+"""Context-switch cost model (Section V-C).
+
+On a context switch the OS must save and restore the MMU-resident L2P
+table of the outgoing/incoming processes.  Only the *valid* entries move
+(they cluster at the subtable extremes), so the overhead tracks L2P
+usage — on average 53 entries in the paper, hence modest.  In a
+virtualized system the guest has no L2P at all (guest HPTs live in host
+pages), so only the host table is switched.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.l2p import L2PTable
+
+
+class ContextSwitchModel:
+    """Cycle cost of a context switch for each page-table organization."""
+
+    def __init__(
+        self,
+        base_cycles: int = 1500,
+        l2p_entry_cycles: int = 4,
+        virtualized: bool = False,
+    ) -> None:
+        self.base_cycles = base_cycles
+        self.l2p_entry_cycles = l2p_entry_cycles
+        self.virtualized = virtualized
+        self.switches = 0
+        self.total_cycles = 0
+
+    def switch_cost(self, outgoing_l2p: Optional[L2PTable], incoming_l2p: Optional[L2PTable]) -> int:
+        """Cycles for one switch; pass None for non-ME-HPT processes."""
+        cycles = self.base_cycles
+        if not self.virtualized:
+            for l2p in (outgoing_l2p, incoming_l2p):
+                if l2p is not None:
+                    cycles += l2p.entries_used() * self.l2p_entry_cycles
+        self.switches += 1
+        self.total_cycles += cycles
+        return cycles
+
+    def mean_cost(self) -> float:
+        return self.total_cycles / self.switches if self.switches else 0.0

@@ -1,0 +1,82 @@
+"""Process model: a schedulable entity owning page tables and a trace.
+
+Per-process HPTs are the paper's setting (a global HPT cannot support
+sharing/page sizes or cheap teardown — Section II-B), so a process here
+bundles its own page tables, address space, and workload stream, plus
+the process-lifetime operations the multi-process simulator needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.kernel.address_space import AddressSpace
+
+
+class Process:
+    """One runnable process with its own translation machinery.
+
+    ``trace`` is the process's (possibly very long) virtual-page access
+    stream; the scheduler consumes it in quanta.  ``l2p`` is set for
+    ME-HPT processes and None otherwise — the context-switch model uses
+    it to price the L2P save/restore.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        address_space: AddressSpace,
+        tlb,
+        trace: np.ndarray,
+        l2p=None,
+    ) -> None:
+        self.name = name
+        self.address_space = address_space
+        self.tlb = tlb
+        self.trace = trace
+        self.l2p = l2p
+        self.cursor = 0
+        self.cycles = 0.0
+        self.accesses_done = 0
+        self.finished = False
+
+    def remaining(self) -> int:
+        return len(self.trace) - self.cursor
+
+    def run_quantum(self, quantum: int) -> float:
+        """Execute up to ``quantum`` accesses; returns the cycles spent."""
+        end = min(self.cursor + quantum, len(self.trace))
+        cycles = 0.0
+        translate = self.tlb.translate
+        fault = self.address_space.handle_fault
+        thp = self.address_space.thp
+        for index in range(self.cursor, end):
+            vpn = int(self.trace[index])
+            outcome = translate(vpn)
+            cycles += outcome.cycles
+            if outcome.level == "fault":
+                result = fault(vpn)
+                self.tlb.fill(
+                    thp.region_base(vpn) if result.page_size == "2M" else vpn,
+                    result.page_size,
+                )
+        self.accesses_done += end - self.cursor
+        self.cursor = end
+        self.cycles += cycles
+        if self.cursor >= len(self.trace):
+            self.finished = True
+        return cycles
+
+    def teardown_entries(self) -> int:
+        """Entries to delete at process death.
+
+        For per-process HPTs this is a table drop (free the chunks); the
+        global-HPT alternative would need a linear scan of everything —
+        the Section II-B argument for per-process tables.
+        """
+        tables = getattr(self.address_space.page_tables, "tables", None)
+        if tables is None:
+            return 0
+        return sum(len(t.table) for t in tables.values())

@@ -1,0 +1,38 @@
+"""Physical-memory substrate: buddy allocation, fragmentation, costs, caches.
+
+The paper's motivation (Section III) rests on measurements of how
+expensive — or impossible — contiguous allocations are on a fragmented
+machine.  This package reproduces that substrate:
+
+* :mod:`repro.mem.buddy` — a frame-granularity buddy allocator, the
+  structure whose free lists define memory fragmentation.
+* :mod:`repro.mem.fragmentation` — the FMFI (free memory fragmentation
+  index) metric over buddy free lists, and a fragmenter that drives a
+  buddy system to a target FMFI like the open-source tool the paper uses.
+* :mod:`repro.mem.alloc_cost` — the measured allocation+zeroing cost
+  curve (4KB:4K cycles ... 64MB:120M cycles at 0.7 FMFI; failure above
+  0.7 FMFI for 64MB requests).
+* :mod:`repro.mem.allocator` — allocator objects that page-table storages
+  charge their allocations to; they apply the cost model and track the
+  contiguity and footprint statistics the evaluation reports.
+* :mod:`repro.mem.cache` — a set-associative cache hierarchy latency
+  model for page-table lines (L2/L3/DRAM round trips from Table III).
+"""
+
+from repro.mem.alloc_cost import AllocationCostModel
+from repro.mem.allocator import AllocationStats, BuddyBackedAllocator, CostModelAllocator
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.cache import CacheHierarchy, CacheLevel
+from repro.mem.fragmentation import Fragmenter, fmfi
+
+__all__ = [
+    "BuddyAllocator",
+    "fmfi",
+    "Fragmenter",
+    "AllocationCostModel",
+    "AllocationStats",
+    "CostModelAllocator",
+    "BuddyBackedAllocator",
+    "CacheHierarchy",
+    "CacheLevel",
+]

@@ -1,0 +1,144 @@
+"""Allocator objects that page-table storages charge allocations to.
+
+Storages (:mod:`repro.hashing.storage`) call ``alloc(nbytes)`` /
+``free(handle)`` on a duck-typed allocator.  Two implementations:
+
+* :class:`CostModelAllocator` — the default for experiments: no placement
+  simulation, but every allocation is charged cycles from the
+  :class:`~repro.mem.alloc_cost.AllocationCostModel` at a configured FMFI
+  and recorded in :class:`AllocationStats` (footprint, peak footprint,
+  largest-ever contiguous request — the quantities of Table I, Figure 8,
+  and Figure 10).
+* :class:`BuddyBackedAllocator` — additionally places each allocation in
+  a real :class:`~repro.mem.buddy.BuddyAllocator`, so contiguity failures
+  emerge from actual buddy state rather than the threshold rule.  Used by
+  the fragmentation study example and the allocation-cost experiment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.mem.alloc_cost import AllocationCostModel
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.fragmentation import fmfi as fmfi_of
+
+
+class AllocationStats:
+    """Running statistics over one allocator's lifetime.
+
+    A single stats object can be shared by several allocators (e.g. all
+    page sizes of one process) so the totals aggregate naturally.
+    """
+
+    def __init__(self) -> None:
+        self.allocations = 0
+        self.frees = 0
+        self.cycles = 0.0
+        self.current_bytes = 0
+        self.peak_bytes = 0
+        self.max_contiguous_bytes = 0
+        self.failed_allocations = 0
+        #: histogram: request size -> count
+        self.size_histogram: Dict[int, int] = {}
+
+    def on_alloc(self, nbytes: int, cycles: float) -> None:
+        self.allocations += 1
+        self.cycles += cycles
+        self.current_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.current_bytes)
+        self.max_contiguous_bytes = max(self.max_contiguous_bytes, nbytes)
+        self.size_histogram[nbytes] = self.size_histogram.get(nbytes, 0) + 1
+
+    def on_free(self, nbytes: int) -> None:
+        self.frees += 1
+        self.current_bytes -= nbytes
+
+    def on_failure(self) -> None:
+        self.failed_allocations += 1
+
+
+class CostModelAllocator:
+    """Charge allocations against the measured cost curve; track footprint.
+
+    ``scale`` supports scaled-footprint experiments: a request for ``n``
+    bytes is costed, failure-checked, and *reported* as ``n * scale``
+    bytes, i.e. at its full-scale equivalent.  Because every page-table
+    structure in the system is a power of two, running a workload at
+    ``1/scale`` footprint with ``scale``-fold accounting reproduces the
+    full-scale allocation sequence exactly (same doubling ladder, shifted).
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        cost_model: Optional[AllocationCostModel] = None,
+        fmfi: float = 0.7,
+        stats: Optional[AllocationStats] = None,
+        scale: int = 1,
+    ) -> None:
+        self.cost_model = cost_model if cost_model is not None else AllocationCostModel()
+        self.fmfi = fmfi
+        self.stats = stats if stats is not None else AllocationStats()
+        self.scale = scale
+        self._live: Dict[int, int] = {}
+
+    def alloc(self, nbytes: int) -> int:
+        effective = nbytes * self.scale
+        try:
+            cycles = self.cost_model.cycles(effective, self.fmfi)
+        except Exception:
+            self.stats.on_failure()
+            raise
+        handle = next(self._ids)
+        self._live[handle] = effective
+        self.stats.on_alloc(effective, cycles)
+        return handle
+
+    def free(self, handle: int) -> None:
+        nbytes = self._live.pop(handle)
+        self.stats.on_free(nbytes)
+
+
+class BuddyBackedAllocator:
+    """Place allocations in a real buddy system and charge the cost model.
+
+    Contiguity failures here come from the buddy allocator itself (no
+    block of the needed order exists), which is the mechanism behind the
+    paper's "ECPT runs are unable to finish" observation.
+    """
+
+    def __init__(
+        self,
+        buddy: BuddyAllocator,
+        cost_model: Optional[AllocationCostModel] = None,
+        stats: Optional[AllocationStats] = None,
+    ) -> None:
+        self.buddy = buddy
+        self.cost_model = cost_model if cost_model is not None else AllocationCostModel()
+        self.stats = stats if stats is not None else AllocationStats()
+        self._live: Dict[int, int] = {}
+
+    def current_fmfi(self, nbytes: int) -> float:
+        return fmfi_of(self.buddy, self.buddy.order_for_bytes(nbytes))
+
+    def alloc(self, nbytes: int) -> int:
+        level = self.current_fmfi(nbytes)
+        try:
+            start = self.buddy.alloc_bytes(nbytes)
+        except Exception:
+            self.stats.on_failure()
+            raise
+        cycles = self.cost_model.cycles(
+            nbytes, min(level, self.cost_model.fail_fmfi)
+        )
+        self._live[start] = nbytes
+        self.stats.on_alloc(nbytes, cycles)
+        return start
+
+    def free(self, handle: int) -> None:
+        nbytes = self._live.pop(handle)
+        self.buddy.free(handle)
+        self.stats.on_free(nbytes)

@@ -1,0 +1,114 @@
+"""Frame-granularity buddy allocator.
+
+This models the Linux physical-page allocator closely enough to study
+fragmentation: power-of-two blocks of 4KB frames, per-order free lists,
+splitting on allocation and buddy coalescing on free.  The free lists are
+what the FMFI fragmentation metric (:mod:`repro.mem.fragmentation`) is
+computed over.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.common.errors import ConfigurationError, OutOfMemoryError
+from repro.common.units import PAGE_4K
+
+
+class BuddyAllocator:
+    """A buddy allocator over ``total_bytes`` of frame-granular memory.
+
+    Addresses are frame numbers (not bytes).  ``max_order`` is the largest
+    block order managed; order ``k`` blocks span ``2**k`` frames.
+    """
+
+    def __init__(self, total_bytes: int, max_order: int = 15, frame_bytes: int = PAGE_4K) -> None:
+        if total_bytes % frame_bytes != 0:
+            raise ConfigurationError("total bytes must be frame aligned")
+        self.frame_bytes = frame_bytes
+        self.total_frames = total_bytes // frame_bytes
+        if self.total_frames == 0:
+            raise ConfigurationError("memory smaller than one frame")
+        # Clamp the top order so whole memory tiles into top-order blocks.
+        while max_order > 0 and self.total_frames % (1 << max_order) != 0:
+            max_order -= 1
+        self.max_order = max_order
+        top = 1 << max_order
+        #: free_lists[k] is the set of start frames of free order-k blocks.
+        self.free_lists: List[Set[int]] = [set() for _ in range(max_order + 1)]
+        for start in range(0, self.total_frames, top):
+            self.free_lists[max_order].add(start)
+        #: Allocated blocks: start frame -> order (needed to free correctly).
+        self._allocated: Dict[int, int] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    def free_frames(self) -> int:
+        """Total free frames across all orders."""
+        return sum(len(blocks) << order for order, blocks in enumerate(self.free_lists))
+
+    def free_frames_at_or_above(self, order: int) -> int:
+        """Free frames residing in blocks of order >= ``order``."""
+        return sum(
+            len(blocks) << o
+            for o, blocks in enumerate(self.free_lists)
+            if o >= order
+        )
+
+    def largest_free_order(self) -> int:
+        """The largest order with a free block, or -1 if memory is exhausted."""
+        for order in range(self.max_order, -1, -1):
+            if self.free_lists[order]:
+                return order
+        return -1
+
+    def order_for_bytes(self, nbytes: int) -> int:
+        """Smallest order whose block covers ``nbytes``."""
+        frames = -(-nbytes // self.frame_bytes)  # ceil division
+        return (frames - 1).bit_length() if frames > 1 else 0
+
+    # -- allocation --------------------------------------------------------
+
+    def alloc_order(self, order: int) -> int:
+        """Allocate an order-``order`` block; return its start frame."""
+        if order > self.max_order:
+            raise OutOfMemoryError(f"order {order} exceeds max order {self.max_order}")
+        current = order
+        while current <= self.max_order and not self.free_lists[current]:
+            current += 1
+        if current > self.max_order:
+            raise OutOfMemoryError(
+                f"no free block of order >= {order} "
+                f"(largest free: {self.largest_free_order()})"
+            )
+        start = min(self.free_lists[current])
+        self.free_lists[current].remove(start)
+        while current > order:
+            current -= 1
+            buddy = start + (1 << current)
+            self.free_lists[current].add(buddy)
+        self._allocated[start] = order
+        return start
+
+    def alloc_bytes(self, nbytes: int) -> int:
+        """Allocate the smallest block covering ``nbytes``; return start frame."""
+        return self.alloc_order(self.order_for_bytes(nbytes))
+
+    def free(self, start: int) -> None:
+        """Free a previously allocated block, coalescing with free buddies."""
+        if start not in self._allocated:
+            raise ConfigurationError(f"frame {start} is not an allocated block start")
+        order = self._allocated.pop(start)
+        while order < self.max_order:
+            buddy = start ^ (1 << order)
+            if buddy in self.free_lists[order]:
+                self.free_lists[order].remove(buddy)
+                start = min(start, buddy)
+                order += 1
+            else:
+                break
+        self.free_lists[order].add(start)
+
+    def allocated_blocks(self) -> Dict[int, int]:
+        """Return a copy of the allocated {start_frame: order} map."""
+        return dict(self._allocated)

@@ -1,0 +1,126 @@
+"""Cache-hierarchy latency model for page-table accesses.
+
+Page walks hit the regular cache hierarchy; Table III gives the round
+trips: L2 512KB/8-way at 16 cycles, shared L3 at 56 cycles average, DRAM
+at 200 cycles average.  (Page-table lines essentially never hit the tiny
+L1D on the modelled workloads, so the model starts at L2; the L2 latency
+already covers the L1 lookup on the way.)
+
+Because the simulator only routes *page-table* lines through this model
+(data accesses are folded into the base CPI), each level exposes an
+``effective_fraction`` knob: the share of its capacity page-table lines
+can realistically hold onto while competing with application data.  The
+defaults follow the paper's workloads, which are memory-intensive and
+keep caches under heavy data pressure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import CACHE_LINE, is_power_of_two
+
+
+class CacheLevel:
+    """One set-associative LRU cache level keyed by line address."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity_bytes: int,
+        ways: int,
+        hit_cycles: int,
+        line_bytes: int = CACHE_LINE,
+        effective_fraction: float = 1.0,
+    ) -> None:
+        capacity = int(capacity_bytes * effective_fraction)
+        lines = max(ways, capacity // line_bytes)
+        sets = max(1, lines // ways)
+        if not is_power_of_two(sets):
+            # Round the set count down to a power of two for cheap indexing.
+            sets = 1 << (sets.bit_length() - 1)
+        self.name = name
+        self.ways = ways
+        self.hit_cycles = hit_cycles
+        self.line_bytes = line_bytes
+        self.num_sets = sets
+        self._set_mask = sets - 1
+        # Each set is an MRU-ordered list of tags; assoc is small (<=16).
+        self._sets: List[List[int]] = [[] for _ in range(sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line_addr: int) -> bool:
+        """Look up (and fill on miss) ``line_addr``; return True on hit."""
+        index = line_addr & self._set_mask
+        tag = line_addr  # full address as tag: exact match, no aliasing
+        entries = self._sets[index]
+        if tag in entries:
+            if entries[0] != tag:
+                entries.remove(tag)
+                entries.insert(0, tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        entries.insert(0, tag)
+        if len(entries) > self.ways:
+            entries.pop()
+        return False
+
+    def contains(self, line_addr: int) -> bool:
+        """Probe without updating LRU or filling."""
+        index = line_addr & self._set_mask
+        return line_addr in self._sets[index]
+
+    def invalidate_all(self) -> None:
+        for entries in self._sets:
+            entries.clear()
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CacheHierarchy:
+    """L2 + L3 + DRAM latency model for page-table line addresses.
+
+    ``access`` returns the round-trip cycles of one memory reference.
+    ``access_parallel`` returns the cycles of several references issued
+    concurrently (the HPT multi-way probe): the max of the individual
+    latencies, since modern cores overlap independent misses.
+    """
+
+    def __init__(
+        self,
+        levels: Optional[List[CacheLevel]] = None,
+        dram_cycles: int = 200,
+    ) -> None:
+        if levels is None:
+            levels = [
+                CacheLevel("L2", 512 * 1024, 8, 16, effective_fraction=0.25),
+                CacheLevel("L3", 16 * 1024 * 1024, 16, 56, effective_fraction=0.25),
+            ]
+        if not levels:
+            raise ConfigurationError("cache hierarchy needs at least one level")
+        self.levels = levels
+        self.dram_cycles = dram_cycles
+        self.dram_accesses = 0
+
+    def access(self, line_addr: int) -> int:
+        """One reference: cycles to the first level that hits (or DRAM)."""
+        for level in self.levels:
+            if level.access(line_addr):
+                return level.hit_cycles
+        self.dram_accesses += 1
+        return self.dram_cycles
+
+    def access_parallel(self, line_addrs: List[int]) -> int:
+        """Concurrent independent references: the slowest one dominates."""
+        if not line_addrs:
+            return 0
+        return max(self.access(addr) for addr in line_addrs)
+
+    def invalidate_all(self) -> None:
+        for level in self.levels:
+            level.invalidate_all()

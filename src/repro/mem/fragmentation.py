@@ -1,0 +1,127 @@
+"""Fragmentation metric (FMFI) and a memory fragmenter.
+
+The paper quantifies fragmentation with the FMFI metric of Gorman and
+Whitcroft ("The what, the why and the where to of anti-fragmentation"),
+also called the *unusable free space index*: for an allocation of order
+``j``,
+
+    FMFI_j = (TotalFree - FreeFrames_{>=j}) / TotalFree
+
+where ``FreeFrames_{>=j}`` counts free frames residing in blocks of order
+``j`` or larger.  FMFI 0 means every free frame is usable for the
+request; FMFI 1 means none are.  The paper's experiments run at FMFI 0.7
+("high") for 64MB requests.
+
+:class:`Fragmenter` reproduces the effect of the open-source
+fragmentation tool the paper cites.  Rather than freeing frames at random
+and hoping the buddy coalescing lands on the target (which is unstable at
+high orders, where the index moves in 2^order-frame jumps), it constructs
+the target state directly: it grabs all of memory at order 0, then frees
+
+* ``N`` fully-aligned order-``j`` regions, where ``N * 2^j`` approximates
+  the *usable* share ``(1 - target) * free_budget``, and
+* scattered single frames (even indices only, so no two freed frames are
+  buddies and nothing coalesces) for the unusable share.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.common.errors import ConfigurationError, OutOfMemoryError
+from repro.common.rng import DeterministicRng, make_rng
+from repro.mem.buddy import BuddyAllocator
+
+
+def fmfi(buddy: BuddyAllocator, order: int) -> float:
+    """Return the FMFI of ``buddy`` for allocations of ``order``.
+
+    Returns 1.0 when no memory is free at all (nothing is usable).
+    """
+    total_free = buddy.free_frames()
+    if total_free == 0:
+        return 1.0
+    usable = buddy.free_frames_at_or_above(order)
+    return (total_free - usable) / total_free
+
+
+class Fragmenter:
+    """Drive a buddy allocator to a target FMFI for a given order."""
+
+    def __init__(self, buddy: BuddyAllocator, rng: Optional[DeterministicRng] = None) -> None:
+        self.buddy = buddy
+        self.rng = make_rng(rng, default_seed=42)
+        self._held: Set[int] = set()
+
+    def grab_all(self) -> None:
+        """Allocate every frame at order 0 (breaking up all large blocks)."""
+        while True:
+            try:
+                self._held.add(self.buddy.alloc_order(0))
+            except OutOfMemoryError:
+                break
+
+    def fragment_to(
+        self,
+        target_fmfi: float,
+        order: int,
+        free_fraction: float = 0.5,
+        tolerance: float = 0.02,
+    ) -> float:
+        """Fragment memory to ``target_fmfi`` for ``order``-sized requests.
+
+        ``free_fraction`` is the share of memory left free (the fragmenter
+        keeps holding the rest, as a real memory hog would).  Returns the
+        achieved FMFI, within ``tolerance`` except at extremes where the
+        order granularity forbids it.
+        """
+        if not 0.0 <= target_fmfi <= 1.0:
+            raise ConfigurationError(f"target FMFI {target_fmfi} out of range")
+        if not 0.0 < free_fraction <= 1.0:
+            raise ConfigurationError(f"free fraction {free_fraction} out of range")
+        self.grab_all()
+        free_budget = int(self.buddy.total_frames * free_fraction)
+        block_frames = 1 << order
+        # The usable share comes in whole order-sized blocks; the scatter
+        # share is then sized so usable/(usable+scatter) hits the target
+        # exactly, even when the block granularity is coarse.  The total
+        # freed memory may therefore deviate from free_fraction a little.
+        if target_fmfi >= 1.0:
+            nblocks = 0
+            scatter = free_budget
+        else:
+            nblocks = round((1.0 - target_fmfi) * free_budget / block_frames)
+            if nblocks == 0:
+                # The usable share rounds to zero whole blocks: the closest
+                # achievable state is full fragmentation.
+                scatter = free_budget
+            else:
+                usable = nblocks * block_frames
+                scatter = int(round(usable * target_fmfi / (1.0 - target_fmfi)))
+        # Free the aligned usable regions from the top of memory downward.
+        next_region = (self.buddy.total_frames // block_frames) * block_frames
+        for _ in range(nblocks):
+            next_region -= block_frames
+            if next_region < 0:
+                break
+            for frame in range(next_region, next_region + block_frames):
+                self._held.discard(frame)
+                self.buddy.free(frame)
+        # Scatter the unusable share: even frames only, from the bottom,
+        # so no two freed frames are buddies and nothing coalesces.
+        frame = 0
+        limit = next_region if nblocks else self.buddy.total_frames
+        freed_scatter = 0
+        while freed_scatter < scatter and frame < limit:
+            if frame in self._held:
+                self._held.discard(frame)
+                self.buddy.free(frame)
+                freed_scatter += 1
+            frame += 2
+        return fmfi(self.buddy, order)
+
+    def release_all(self) -> None:
+        """Free every frame the fragmenter still holds."""
+        for frame in sorted(self._held):
+            self.buddy.free(frame)
+        self._held.clear()

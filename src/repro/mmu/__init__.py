@@ -1,0 +1,14 @@
+"""MMU hardware models: TLBs, the TLB hierarchy, and walk plumbing.
+
+* :mod:`repro.mmu.tlb` — set-associative LRU TLBs.
+* :mod:`repro.mmu.hierarchy` — the Table III two-level TLB organization
+  (per-page-size L1s, big L2s) plus miss routing to a page walker.
+* :mod:`repro.mmu.walk` — the walker interface shared by the radix, ECPT
+  and ME-HPT walkers.
+"""
+
+from repro.mmu.hierarchy import TlbHierarchy, TranslationOutcome
+from repro.mmu.tlb import SetAssociativeTlb
+from repro.mmu.walk import WalkResult
+
+__all__ = ["SetAssociativeTlb", "TlbHierarchy", "TranslationOutcome", "WalkResult"]

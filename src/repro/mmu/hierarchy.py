@@ -1,0 +1,114 @@
+"""The two-level TLB hierarchy of the modelled core (Table III).
+
+Per-page-size L1 DTLBs (probed in parallel, 2-cycle round trip folded
+into the pipeline: an L1 hit adds no visible translation latency), big
+split L2 TLBs (12 cycles), and on a full miss the configured page walker.
+
+The hierarchy is page-table-organization agnostic: it takes any walker
+with a ``walk(vpn) -> WalkResult`` method (radix, ECPT or ME-HPT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.hashing.clustered import PAGE_SHIFT
+from repro.mmu.tlb import SetAssociativeTlb
+from repro.mmu.walk import WalkResult
+
+
+@dataclass
+class TranslationOutcome:
+    """What one translation cost and where it was satisfied."""
+
+    level: str  # "l1", "l2", "walk", or "fault"
+    cycles: int
+    page_size: Optional[str]
+    ppn: Optional[int] = None
+    walk: Optional[WalkResult] = None
+
+
+#: Table III L1/L2 DTLB geometry per page size: (entries, ways, cycles).
+DEFAULT_L1_GEOMETRY = {"4K": (64, 4, 2), "2M": (32, 4, 2), "1G": (4, 4, 2)}
+DEFAULT_L2_GEOMETRY = {"4K": (1024, 8, 12), "2M": (1024, 8, 12), "1G": (16, 4, 12)}
+
+
+class TlbHierarchy:
+    """L1 + L2 TLBs in front of a page walker."""
+
+    def __init__(
+        self,
+        walker,
+        l1_geometry: Optional[Dict[str, tuple]] = None,
+        l2_geometry: Optional[Dict[str, tuple]] = None,
+    ) -> None:
+        l1_geometry = l1_geometry or DEFAULT_L1_GEOMETRY
+        l2_geometry = l2_geometry or DEFAULT_L2_GEOMETRY
+        self.walker = walker
+        self.l1: Dict[str, SetAssociativeTlb] = {
+            size: SetAssociativeTlb(f"L1-{size}", *geom)
+            for size, geom in l1_geometry.items()
+        }
+        self.l2: Dict[str, SetAssociativeTlb] = {
+            size: SetAssociativeTlb(f"L2-{size}", *geom)
+            for size, geom in l2_geometry.items()
+        }
+        self.translations = 0
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.walks = 0
+        self.faults = 0
+
+    @staticmethod
+    def _page_number(vpn: int, page_size: str) -> int:
+        return vpn >> PAGE_SHIFT[page_size]
+
+    def translate(self, vpn: int) -> TranslationOutcome:
+        """Translate ``vpn``, walking the page table on a full TLB miss.
+
+        A fault outcome means the walker found no mapping; the caller
+        (the kernel model) services the fault and calls :meth:`fill`.
+        """
+        self.translations += 1
+        # All per-size L1 TLBs are probed in parallel; a hit is free.
+        for page_size, tlb in self.l1.items():
+            if tlb.lookup(self._page_number(vpn, page_size)):
+                self.l1_hits += 1
+                return TranslationOutcome("l1", 0, page_size)
+        # L2 TLBs (also parallel): one fixed latency on a hit.
+        for page_size, tlb in self.l2.items():
+            if tlb.lookup(self._page_number(vpn, page_size)):
+                self.l2_hits += 1
+                self.l1[page_size].fill(self._page_number(vpn, page_size))
+                return TranslationOutcome("l2", tlb.hit_cycles, page_size)
+        # Full miss: pay the L2 probe, then walk.
+        l2_cycles = max(tlb.hit_cycles for tlb in self.l2.values())
+        walk = self.walker.walk(vpn)
+        self.walks += 1
+        cycles = l2_cycles + walk.cycles
+        if walk.fault:
+            self.faults += 1
+            return TranslationOutcome("fault", cycles, None, walk=walk)
+        self.fill(vpn, walk.page_size)
+        return TranslationOutcome("walk", cycles, walk.page_size, walk.ppn, walk)
+
+    def fill(self, vpn: int, page_size: str) -> None:
+        """Install a translation into both TLB levels."""
+        page_number = self._page_number(vpn, page_size)
+        self.l1[page_size].fill(page_number)
+        self.l2[page_size].fill(page_number)
+
+    def invalidate(self, vpn: int, page_size: str) -> None:
+        page_number = self._page_number(vpn, page_size)
+        self.l1[page_size].invalidate(page_number)
+        self.l2[page_size].invalidate(page_number)
+
+    def flush(self) -> None:
+        for tlb in list(self.l1.values()) + list(self.l2.values()):
+            tlb.flush()
+
+    def miss_rate(self) -> float:
+        if self.translations == 0:
+            return 0.0
+        return self.walks / self.translations

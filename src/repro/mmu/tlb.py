@@ -1,0 +1,81 @@
+"""Set-associative TLBs with LRU replacement.
+
+Keys are page numbers at the TLB's own page granularity (the hierarchy
+converts 4KB-granular VPNs).  Latencies follow Table III; hit/miss
+counters feed the simulator's statistics.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import is_power_of_two
+
+
+class SetAssociativeTlb:
+    """A set-associative LRU TLB.
+
+    ``entries`` must be divisible by ``ways``; the resulting set count
+    must be a power of two (true for every Table III configuration).
+    """
+
+    def __init__(self, name: str, entries: int, ways: int, hit_cycles: int) -> None:
+        if entries % ways != 0:
+            raise ConfigurationError(f"{name}: {entries} entries not divisible by {ways} ways")
+        sets = entries // ways
+        if not is_power_of_two(sets):
+            raise ConfigurationError(f"{name}: set count {sets} is not a power of two")
+        self.name = name
+        self.entries = entries
+        self.ways = ways
+        self.hit_cycles = hit_cycles
+        self.num_sets = sets
+        self._set_mask = sets - 1
+        self._sets: List[List[int]] = [[] for _ in range(sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, page_number: int) -> bool:
+        """Probe for ``page_number``; updates LRU and counters."""
+        entries = self._sets[page_number & self._set_mask]
+        if page_number in entries:
+            if entries[0] != page_number:
+                entries.remove(page_number)
+                entries.insert(0, page_number)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, page_number: int) -> None:
+        """Install ``page_number``, evicting LRU on conflict."""
+        entries = self._sets[page_number & self._set_mask]
+        if page_number in entries:
+            if entries[0] != page_number:
+                entries.remove(page_number)
+                entries.insert(0, page_number)
+            return
+        entries.insert(0, page_number)
+        if len(entries) > self.ways:
+            entries.pop()
+
+    def invalidate(self, page_number: int) -> bool:
+        """Drop ``page_number`` if present (TLB shootdown)."""
+        entries = self._sets[page_number & self._set_mask]
+        if page_number in entries:
+            entries.remove(page_number)
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Drop everything (full shootdown / context switch without ASID)."""
+        for entries in self._sets:
+            entries.clear()
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def occupancy(self) -> int:
+        return sum(len(entries) for entries in self._sets)

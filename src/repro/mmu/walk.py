@@ -1,0 +1,31 @@
+"""Shared types for page walkers.
+
+Each page-table organization provides a walker object with a
+``walk(vpn) -> WalkResult`` method; the TLB hierarchy and the simulator
+are agnostic to which organization is underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class WalkResult:
+    """Outcome of one page walk.
+
+    ``ppn`` / ``page_size`` are None when the page is unmapped (a page
+    fault follows).  ``cycles`` is the full walk latency including MMU
+    cache lookups; ``memory_accesses`` counts references that reached the
+    cache hierarchy.
+    """
+
+    ppn: Optional[int]
+    page_size: Optional[str]
+    cycles: int
+    memory_accesses: int
+
+    @property
+    def fault(self) -> bool:
+        return self.ppn is None

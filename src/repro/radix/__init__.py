@@ -1,0 +1,19 @@
+"""Radix-tree page tables (the conventional x86-64 organization).
+
+The comparator the paper evaluates against: a 4-level (optionally
+5-level) radix tree walked sequentially on a TLB miss, accelerated by
+per-level page-walk caches (PWCs).
+
+* :mod:`repro.radix.table` — the tree itself (PGD/PUD/PMD/PTE), with
+  4KB, 2MB and 1GB leaves and per-node memory accounting.
+* :mod:`repro.radix.pwc` — the three page-walk caches of Table III
+  (32 entries/level, fully associative, 4-cycle round trip).
+* :mod:`repro.radix.walker` — the walker producing both the translation
+  and its cycle cost through the cache hierarchy.
+"""
+
+from repro.radix.pwc import PageWalkCaches
+from repro.radix.table import RadixPageTable
+from repro.radix.walker import RadixWalker
+
+__all__ = ["RadixPageTable", "PageWalkCaches", "RadixWalker"]

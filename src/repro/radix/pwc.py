@@ -1,0 +1,103 @@
+"""Page-walk caches (PWCs) for the radix walker.
+
+Modern MMUs cache intermediate page-table entries so that most walks skip
+the upper tree levels (Barr et al., "Translation Caching").  Table III
+models three fully-associative 32-entry caches (one per non-leaf level)
+with a 4-cycle round trip.
+
+The cache for depth ``k`` holds pointers to depth-``k`` nodes, tagged by
+the VPN prefix that selects that node.  A lookup returns the deepest node
+the walker can jump to, so a walk that hits in the deepest PWC performs a
+single memory access (the leaf level).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import ConfigurationError
+from repro.radix.table import LEVEL_BITS
+
+
+class _FullyAssociativeCache:
+    """Small fully-associative LRU cache of integer tags."""
+
+    def __init__(self, entries: int) -> None:
+        self.capacity = entries
+        self._tags: List[int] = []
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, tag: int) -> bool:
+        if tag in self._tags:
+            if self._tags[0] != tag:
+                self._tags.remove(tag)
+                self._tags.insert(0, tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, tag: int) -> None:
+        if tag in self._tags:
+            if self._tags[0] != tag:
+                self._tags.remove(tag)
+                self._tags.insert(0, tag)
+            return
+        self._tags.insert(0, tag)
+        if len(self._tags) > self.capacity:
+            self._tags.pop()
+
+
+class PageWalkCaches:
+    """The set of per-level PWCs for one walker.
+
+    ``levels`` is the tree depth; caches exist for node depths
+    ``1 .. min(levels - 1, num_caches)`` counted from the deepest, i.e.
+    with the default three caches a 5-level tree caches depths 2-4 and
+    always pays for the root access on a top miss.
+    """
+
+    def __init__(self, levels: int = 4, entries_per_level: int = 32, num_caches: int = 3) -> None:
+        if levels < 2:
+            raise ConfigurationError("PWC needs at least a 2-level tree")
+        self.levels = levels
+        shallowest = max(1, (levels - 1) - num_caches + 1)
+        self._caches: Dict[int, _FullyAssociativeCache] = {
+            depth: _FullyAssociativeCache(entries_per_level)
+            for depth in range(shallowest, levels)
+        }
+
+    def _tag(self, vpn: int, depth: int) -> int:
+        """VPN prefix selecting the depth-``depth`` node."""
+        return vpn >> ((self.levels - depth) * LEVEL_BITS)
+
+    def lookup(self, vpn: int, max_depth: int) -> int:
+        """Deepest node depth (<= ``max_depth``) the walker can start at.
+
+        Returns 0 when no PWC hits (start at the root).  Only the winning
+        depth counts as a hit; shallower caches are not queried (the
+        hardware probes all in parallel and uses the deepest hit).
+        """
+        for depth in sorted(self._caches, reverse=True):
+            if depth > max_depth:
+                continue
+            if self._caches[depth].lookup(self._tag(vpn, depth)):
+                return depth
+        return 0
+
+    def fill(self, vpn: int, reached_depth: int) -> None:
+        """Install pointers for every node depth up to ``reached_depth``."""
+        for depth, cache in self._caches.items():
+            if depth <= reached_depth:
+                cache.fill(self._tag(vpn, depth))
+
+    def hit_rate(self) -> float:
+        hits = sum(c.hits for c in self._caches.values())
+        misses = sum(c.misses for c in self._caches.values())
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def invalidate_all(self) -> None:
+        for cache in self._caches.values():
+            cache._tags.clear()

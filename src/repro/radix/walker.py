@@ -1,0 +1,59 @@
+"""The radix page-table walker: translation plus cycle accounting.
+
+A radix walk is inherently *sequential*: each level's access produces the
+address for the next (Figure 1), so the walker sums the per-level memory
+latencies — this is the scalability problem the paper opens with.  The
+PWCs let most walks skip upper levels; the workloads that overflow the
+PWCs are the ones radix trees serve poorly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mem.cache import CacheHierarchy
+from repro.mmu.walk import WalkResult
+from repro.radix.pwc import PageWalkCaches
+from repro.radix.table import RadixPageTable
+
+
+class RadixWalker:
+    """Walks a :class:`RadixPageTable` through PWCs and the cache hierarchy."""
+
+    def __init__(
+        self,
+        table: RadixPageTable,
+        cache_hierarchy: CacheHierarchy,
+        pwc: Optional[PageWalkCaches] = None,
+        pwc_cycles: int = 4,
+    ) -> None:
+        self.table = table
+        self.caches = cache_hierarchy
+        self.pwc = pwc if pwc is not None else PageWalkCaches(levels=table.levels)
+        self.pwc_cycles = pwc_cycles
+        self.walks = 0
+        self.total_cycles = 0
+        self.total_accesses = 0
+
+    def walk(self, vpn: int) -> WalkResult:
+        """Translate ``vpn``; returns the translation and its cycle cost."""
+        leaf, lines = self.table.walk(vpn)
+        depth_walked = len(lines)  # nodes the full walk touches
+        start = self.pwc.lookup(vpn, max_depth=depth_walked - 1)
+        cycles = self.pwc_cycles
+        accesses = 0
+        for line in lines[start:]:
+            cycles += self.caches.access(line)
+            accesses += 1
+        # Pointers to nodes at depths 1..depth_walked-1 were obtained
+        # (either from the PWC or from the walk itself); install them.
+        self.pwc.fill(vpn, depth_walked - 1)
+        self.walks += 1
+        self.total_cycles += cycles
+        self.total_accesses += accesses
+        if leaf is None:
+            return WalkResult(None, None, cycles, accesses)
+        return WalkResult(leaf.ppn, leaf.page_size, cycles, accesses)
+
+    def mean_walk_cycles(self) -> float:
+        return self.total_cycles / self.walks if self.walks else 0.0

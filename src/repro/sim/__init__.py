@@ -1,0 +1,24 @@
+"""Trace-driven address-translation simulation.
+
+* :mod:`repro.sim.config` — the Table III machine parameters and the
+  factory that assembles a system (page tables + walker + TLBs + kernel)
+  for any organization at any footprint scale.
+* :mod:`repro.sim.simulator` — the per-access simulation loop and the
+  footprint populator used by the memory experiments.
+* :mod:`repro.sim.results` — result containers, the differential
+  performance model (cycles per access), and speedup computation.
+"""
+
+from repro.sim.config import SimulationConfig, SimulatedSystem, table3_parameters
+from repro.sim.results import MemoryFootprintResult, PerformanceResult
+from repro.sim.simulator import TranslationSimulator, populate_tables
+
+__all__ = [
+    "SimulationConfig",
+    "SimulatedSystem",
+    "table3_parameters",
+    "TranslationSimulator",
+    "populate_tables",
+    "MemoryFootprintResult",
+    "PerformanceResult",
+]

@@ -1,0 +1,247 @@
+"""Simulation configuration: the Table III machine, scaled assembly.
+
+:class:`SimulationConfig` carries every knob of the modelled server;
+:meth:`SimulationConfig.build` assembles a :class:`SimulatedSystem` for a
+workload — page tables, walker, TLB hierarchy, and the kernel address
+space — for any of the three organizations.
+
+Footprint scaling (``scale``): the workload footprint, the initial HPT
+way (128 entries in Table III), and the chunk ladder are all divided by
+the same power of two.  Because every structure is a power of two and the
+resize/transition thresholds are ratios, the scaled system performs the
+*same sequence* of doublings, chunk transitions and L2P reservations as
+the full-scale one, with every size exactly ``scale`` times smaller —
+reported sizes are multiplied back.  Upsize counts, chunk counts and L2P
+entry usage are scale-invariant outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import CACHE_LINE, KB, MB, is_power_of_two
+from repro.core.chunks import DEFAULT_CHUNK_SIZES, ChunkLadder
+from repro.core.mehpt import MeHptPageTables
+from repro.core.walker import MeHptWalker
+from repro.ecpt.tables import EcptPageTables
+from repro.ecpt.walker import EcptWalker
+from repro.kernel.address_space import AddressSpace
+from repro.kernel.thp import ThpPolicy
+from repro.mem.alloc_cost import AllocationCostModel
+from repro.mem.allocator import CostModelAllocator
+from repro.mem.cache import CacheHierarchy, CacheLevel
+from repro.mmu.hierarchy import TlbHierarchy
+from repro.radix.pwc import PageWalkCaches
+from repro.radix.table import RadixPageTable
+from repro.radix.walker import RadixWalker
+from repro.workloads.base import Workload
+
+ORGANIZATIONS = ("radix", "ecpt", "mehpt")
+
+
+@dataclass
+class SimulationConfig:
+    """All machine and methodology parameters (defaults = Table III)."""
+
+    organization: str = "mehpt"
+    thp_enabled: bool = False
+    fmfi: float = 0.7
+    scale: int = 16
+    seed: int = 12345
+
+    # Processor/memory model.
+    base_cycles_per_access: float = 6.0
+    dram_cycles: int = 200
+    l2_cache_kb: int = 512
+    l3_cache_mb: int = 16
+    #: Share of cache capacity page-table lines hold onto while competing
+    #: with the data stream of memory-intensive workloads.
+    cache_pt_fraction: float = 0.03
+    #: Scale the cache model's effective capacity with the footprint so a
+    #: 1/scale run preserves the full-scale cache-residency relationships
+    #: of the page-table structures (see module docstring).
+    scale_cache_with_footprint: bool = True
+
+    # TLBs / PWCs / CWCs (geometry defaults live in their modules).
+    pwc_entries_per_level: int = 32
+    pmd_cwc_entries: int = 16
+    pud_cwc_entries: int = 2
+    cwc_cycles: int = 4
+    l2p_cycles: int = 4
+
+    # HPT parameters.
+    ways: int = 3
+    initial_way_slots: int = 128
+    upsize_threshold: float = 0.6
+    downsize_threshold: float = 0.2
+    rehashes_per_insert: int = 2
+    allow_downsize: bool = False  # the paper observes no downsizes
+    chunk_sizes: Tuple[int, ...] = DEFAULT_CHUNK_SIZES
+    max_chunks_per_way: int = 64
+    enable_inplace: bool = True
+    enable_perway: bool = True
+
+    # Radix parameters.
+    radix_levels: int = 4
+
+    # Kernel model.
+    fault_overhead_cycles: float = 1200.0
+    reinsert_cycles: float = 120.0
+    #: OS + memory-traffic cycles per page-table entry physically moved by
+    #: gradual rehashing (a line read + write + bookkeeping).  In-place
+    #: resizing halves these moves (Section VII-E3).
+    rehash_entry_cycles: float = 150.0
+    charge_data_alloc: bool = False  # identical across organizations
+
+    def __post_init__(self) -> None:
+        if self.organization not in ORGANIZATIONS:
+            raise ConfigurationError(
+                f"organization {self.organization!r} not in {ORGANIZATIONS}"
+            )
+        if not is_power_of_two(self.scale):
+            raise ConfigurationError(f"scale {self.scale} must be a power of two")
+
+    # -- scaled parameters -------------------------------------------------
+
+    def scaled_initial_slots(self) -> int:
+        return max(4, self.initial_way_slots // self.scale)
+
+    def scaled_ladder(self) -> ChunkLadder:
+        sizes = []
+        for size in self.chunk_sizes:
+            scaled = max(CACHE_LINE, size // self.scale)
+            if scaled not in sizes:
+                sizes.append(scaled)
+        return ChunkLadder(sizes, max_chunks_per_way=self.max_chunks_per_way)
+
+    # -- assembly ------------------------------------------------------------
+
+    def build_cache_hierarchy(self) -> CacheHierarchy:
+        divisor = self.scale if self.scale_cache_with_footprint else 1
+        fraction = self.cache_pt_fraction / divisor
+        return CacheHierarchy(
+            levels=[
+                CacheLevel("L2", self.l2_cache_kb * KB, 8, 16,
+                           effective_fraction=fraction),
+                CacheLevel("L3", self.l3_cache_mb * MB, 16, 56,
+                           effective_fraction=fraction),
+            ],
+            dram_cycles=self.dram_cycles,
+        )
+
+    def build(self, workload: Workload) -> "SimulatedSystem":
+        """Assemble page tables, walker, TLBs, and kernel for ``workload``."""
+        cost_model = AllocationCostModel()
+        caches = self.build_cache_hierarchy()
+        allocator = CostModelAllocator(cost_model, fmfi=self.fmfi, scale=self.scale)
+
+        if self.organization == "radix":
+            tables = RadixPageTable(levels=self.radix_levels)
+            walker = RadixWalker(
+                tables,
+                caches,
+                pwc=PageWalkCaches(
+                    levels=self.radix_levels,
+                    entries_per_level=self.pwc_entries_per_level,
+                ),
+            )
+        elif self.organization == "ecpt":
+            tables = EcptPageTables(
+                allocator,
+                rng=None,
+                ways=self.ways,
+                initial_slots=self.scaled_initial_slots(),
+                hash_seed=self.seed,
+                upsize_threshold=self.upsize_threshold,
+                downsize_threshold=self.downsize_threshold,
+                rehashes_per_insert=self.rehashes_per_insert,
+                allow_downsize=self.allow_downsize,
+            )
+            walker = EcptWalker(
+                tables, caches,
+                pmd_cwc_entries=self.pmd_cwc_entries,
+                pud_cwc_entries=self.pud_cwc_entries,
+                cwc_cycles=self.cwc_cycles,
+            )
+        else:
+            tables = MeHptPageTables(
+                allocator,
+                rng=None,
+                ways=self.ways,
+                initial_slots=self.scaled_initial_slots(),
+                hash_seed=self.seed,
+                upsize_threshold=self.upsize_threshold,
+                downsize_threshold=self.downsize_threshold,
+                rehashes_per_insert=self.rehashes_per_insert,
+                allow_downsize=self.allow_downsize,
+                chunk_ladder=self.scaled_ladder(),
+                enable_inplace=self.enable_inplace,
+                enable_perway=self.enable_perway,
+            )
+            walker = MeHptWalker(
+                tables, caches,
+                pmd_cwc_entries=self.pmd_cwc_entries,
+                pud_cwc_entries=self.pud_cwc_entries,
+                cwc_cycles=self.cwc_cycles,
+                l2p_cycles=self.l2p_cycles,
+            )
+
+        thp = ThpPolicy(
+            enabled=self.thp_enabled,
+            coverage=workload.spec.thp_coverage,
+            seed=self.seed,
+        )
+        aspace = AddressSpace(
+            tables,
+            thp=thp,
+            cost_model=cost_model,
+            fmfi=self.fmfi,
+            fault_overhead_cycles=self.fault_overhead_cycles,
+            reinsert_cycles=self.reinsert_cycles,
+            charge_data_alloc=self.charge_data_alloc,
+        )
+        for start, pages, name in workload.vma_layout():
+            aspace.add_vma(start, pages, name)
+        tlb = TlbHierarchy(walker)
+        return SimulatedSystem(self, workload, tables, walker, tlb, aspace, allocator)
+
+
+@dataclass
+class SimulatedSystem:
+    """Everything one simulation run needs, assembled for one workload."""
+
+    config: SimulationConfig
+    workload: Workload
+    page_tables: object
+    walker: object
+    tlb: TlbHierarchy
+    address_space: AddressSpace
+    allocator: CostModelAllocator
+
+
+def table3_parameters() -> Dict[str, str]:
+    """The architectural parameters of Table III, for printing/inspection."""
+    return {
+        "Processor": "8 OoO cores, 256-entry ROB, 2GHz",
+        "L1 caches": "32KB, 8-way, 2 cycles RT",
+        "L2 cache": "512KB, 8-way, 16 cycles RT",
+        "L3 cache": "2MB per core, 16-way, 56 avg cycles RT",
+        "L1 DTLB (4KB)": "64 entries, 4-way, 2 cycles RT",
+        "L1 DTLB (2MB)": "32 entries, 4-way, 2 cycles RT",
+        "L1 DTLB (1GB)": "4 entries, 2 cycles RT",
+        "L2 DTLB (4KB)": "1024 entries, 8-way, 12 cycles RT",
+        "L2 DTLB (2MB)": "1024 entries, 8-way, 12 cycles RT",
+        "L2 DTLB (1GB)": "16 entries, 4-way, 12 cycles RT",
+        "PWC (radix)": "3 levels, 32 entries/level, 4 cycles RT",
+        "Memory latency": "200 cycles RT average",
+        "Initial HPT": "128 entries x 3 ways per page size",
+        "PMD-CWC / PUD-CWC": "16 entries / 2 entries, 4 cycles RT",
+        "Hash functions": "CRC, 2-cycle latency",
+        "L2P table": "32 entries x 3 ways x 3 page sizes (1.16KB)",
+        "Shift + L2P + mask": "4-cycle latency",
+        "Chunk sizes": "8KB, 1MB used; 8MB, 64MB unused",
+        "HPT occupancy thresholds": "0.6 upsize, 0.2 downsize",
+        "Memory fragmentation": "0.7 FMFI",
+    }

@@ -1,0 +1,149 @@
+"""Result containers and the differential performance model.
+
+**Memory results** report full-scale-equivalent sizes: the allocator
+already accounts at ``scale x`` (see
+:class:`~repro.mem.allocator.CostModelAllocator`), and table totals are
+multiplied back by the scale.
+
+**Performance model** (Figure 9).  The simulator measures translation
+behaviour on a trace; the per-access cycle cost of a configuration is
+
+    cpa = base + translation_cycles / trace_accesses
+               + differential_os_cycles / fullscale_accesses
+
+where ``differential_os_cycles`` are the OS costs that *differ* between
+page-table organizations: page-table allocation (charged from the
+measured fragmentation curve at full-scale-equivalent sizes), cuckoo
+re-insertion work, and exposed L2P latency.  Costs identical across
+organizations (data-page allocation, generic fault overhead) are
+reported but excluded from the model, since including them only shifts
+every configuration equally (they cancel in the speedup ratio's
+numerator and denominator to first order, but would otherwise drown the
+differential signal at trace lengths tractable in pure Python).
+
+``speedup(a, b) = cpa(b) / cpa(a)`` — how much faster ``a`` is than ``b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class MemoryFootprintResult:
+    """Page-table memory behaviour of one (workload, organization, THP) run.
+
+    All byte quantities are full-scale equivalents.
+    """
+
+    workload: str
+    organization: str
+    thp: bool
+    max_contiguous_bytes: int
+    total_pt_bytes: int
+    peak_pt_bytes: int
+    pt_alloc_cycles: float
+    pages_mapped_4k: int
+    pages_mapped_2m: int
+    upsizes_per_way_4k: List[int] = field(default_factory=list)
+    way_bytes_4k: List[int] = field(default_factory=list)
+    moved_fractions_4k: List[float] = field(default_factory=list)
+    l2p_entries_used: int = 0
+    chunk_transitions: int = 0
+    kick_histogram: Dict[int, int] = field(default_factory=dict)
+    failed: bool = False
+    failure_reason: str = ""
+
+    def mean_moved_fraction(self) -> float:
+        examined = [f for f in self.moved_fractions_4k if f > 0]
+        if not examined:
+            return 0.0
+        return sum(examined) / len(examined)
+
+
+@dataclass
+class PerformanceResult:
+    """Timing behaviour of one (workload, organization, THP) trace run."""
+
+    workload: str
+    organization: str
+    thp: bool
+    accesses: int
+    base_cycles_per_access: float
+    translation_cycles: float
+    l1_hits: int
+    l2_hits: int
+    walks: int
+    faults: int
+    # Differential OS costs at full-scale equivalents.
+    pt_alloc_cycles: float
+    reinsert_cycles: float
+    l2p_exposed_cycles: float
+    fullscale_accesses: float
+    rehash_move_cycles: float = 0.0
+    # Non-differential costs (reported, excluded from the model).
+    fault_overhead_cycles: float = 0.0
+    data_alloc_cycles: float = 0.0
+    failed: bool = False
+    failure_reason: str = ""
+
+    def translation_cpa(self) -> float:
+        return self.translation_cycles / self.accesses if self.accesses else 0.0
+
+    def os_cpa(self) -> float:
+        differential = (
+            self.pt_alloc_cycles
+            + self.reinsert_cycles
+            + self.l2p_exposed_cycles
+            + self.rehash_move_cycles
+        )
+        return differential / self.fullscale_accesses if self.fullscale_accesses else 0.0
+
+    def cycles_per_access(self) -> float:
+        """The modelled steady per-access cost of this configuration."""
+        return self.base_cycles_per_access + self.translation_cpa() + self.os_cpa()
+
+    def tlb_miss_rate(self) -> float:
+        return self.walks / self.accesses if self.accesses else 0.0
+
+
+def speedup(faster: PerformanceResult, baseline: PerformanceResult) -> float:
+    """How much faster ``faster`` runs than ``baseline`` (>1 means faster).
+
+    A configuration that failed (e.g. ECPT's 64MB allocation above 0.7
+    FMFI) has no finite speedup; we return 0.0 so tables can mark it.
+    """
+    if faster.failed:
+        return 0.0
+    if baseline.failed:
+        return float("inf")
+    return baseline.cycles_per_access() / faster.cycles_per_access()
+
+
+def geomean(values: List[float]) -> float:
+    """Geometric mean of positive values (zeros/failures are skipped)."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 0.0
+    product = 1.0
+    for value in filtered:
+        product *= value
+    return product ** (1.0 / len(filtered))
+
+
+def format_table(headers: List[str], rows: List[List[str]], title: Optional[str] = None) -> str:
+    """Render an aligned plain-text table (experiment drivers print these)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

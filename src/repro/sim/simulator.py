@@ -1,0 +1,192 @@
+"""The trace-driven translation simulator and the footprint populator.
+
+Two entry points:
+
+* :func:`populate_tables` — demand-fault a workload's entire page set
+  into a built system.  This is all the memory experiments need (Table I,
+  Figures 8 and 10-14): the page-table sizes, contiguity, resizes, L2P
+  usage and cuckoo statistics are products of *which pages exist*, not of
+  the access order.
+
+* :class:`TranslationSimulator` — run an access trace through the TLB
+  hierarchy and walker, demand-faulting as pages are first touched, and
+  produce a :class:`~repro.sim.results.PerformanceResult` (Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import ContiguousAllocationError
+from repro.kernel.thp import PAGES_PER_2M
+from repro.sim.config import SimulatedSystem, SimulationConfig
+from repro.sim.results import MemoryFootprintResult, PerformanceResult
+from repro.workloads.base import Workload
+
+
+def populate_tables(system: SimulatedSystem, progress_every: int = 0) -> None:
+    """Fault every page of the workload's page set into the page tables.
+
+    Raises :class:`ContiguousAllocationError` if the organization needs a
+    contiguous allocation the fragmented machine cannot provide (the
+    paper's ECPT failure above 0.7 FMFI).
+    """
+    aspace = system.address_space
+    tables = system.page_tables
+    translate = tables.translate
+    fault = aspace.handle_fault
+    for i, vpn in enumerate(system.workload.page_set()):
+        vpn = int(vpn)
+        if translate(vpn) is None:
+            fault(vpn)
+        if progress_every and i % progress_every == 0 and i:
+            print(f"  populated {i} pages...")
+
+
+def memory_result(system: SimulatedSystem, populate: bool = True) -> MemoryFootprintResult:
+    """Populate (optionally) and collect the memory-side measurements."""
+    config = system.config
+    workload = system.workload
+    failed = False
+    reason = ""
+    if populate:
+        try:
+            populate_tables(system)
+        except ContiguousAllocationError as exc:
+            failed = True
+            reason = str(exc)
+    tables = system.page_tables
+    scale = config.scale
+    if config.organization == "radix":
+        return MemoryFootprintResult(
+            workload=workload.spec.name,
+            organization="radix",
+            thp=config.thp_enabled,
+            max_contiguous_bytes=tables.max_contiguous_bytes(),
+            total_pt_bytes=tables.table_bytes() * scale,
+            peak_pt_bytes=tables.table_bytes() * scale,
+            pt_alloc_cycles=system.address_space.totals.pt_alloc_cycles * scale,
+            pages_mapped_4k=system.address_space.totals.pages_mapped_4k,
+            pages_mapped_2m=system.address_space.totals.pages_mapped_2m,
+            failed=failed,
+            failure_reason=reason,
+        )
+    # Hashed organizations: the allocator already reports scale-equivalents.
+    result = MemoryFootprintResult(
+        workload=workload.spec.name,
+        organization=config.organization,
+        thp=config.thp_enabled,
+        max_contiguous_bytes=tables.max_contiguous_bytes(),
+        total_pt_bytes=tables.total_bytes() * scale,
+        peak_pt_bytes=tables.peak_total_bytes * scale,
+        pt_alloc_cycles=tables.allocation_cycles(),
+        pages_mapped_4k=system.address_space.totals.pages_mapped_4k,
+        pages_mapped_2m=system.address_space.totals.pages_mapped_2m,
+        upsizes_per_way_4k=tables.upsizes_per_way("4K"),
+        way_bytes_4k=[b * scale for b in tables.way_bytes("4K")],
+        moved_fractions_4k=tables.moved_fractions("4K"),
+        kick_histogram=dict(tables.kick_histogram()),
+        failed=failed,
+        failure_reason=reason,
+    )
+    if config.organization == "mehpt":
+        result.l2p_entries_used = tables.l2p_entries_used()
+        result.chunk_transitions = tables.total_chunk_transitions()
+    return result
+
+
+class TranslationSimulator:
+    """Runs an access trace through one assembled system."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: SimulationConfig,
+        trace_length: int = 200_000,
+        warmup_fraction: float = 0.0,
+    ) -> None:
+        self.workload = workload
+        self.config = config
+        self.trace_length = trace_length
+        self.warmup_fraction = warmup_fraction
+        self.system: Optional[SimulatedSystem] = None
+
+    def run(self) -> PerformanceResult:
+        """Simulate the trace; returns the performance measurements."""
+        config = self.config
+        system = config.build(self.workload)
+        self.system = system
+        tlb = system.tlb
+        aspace = system.address_space
+        tables = system.page_tables
+        walker = system.walker
+        failed = False
+        reason = ""
+
+        trace = self.workload.trace(self.trace_length)
+        translation_cycles = 0.0
+        translate_fn = tlb.translate
+        fault_fn = aspace.handle_fault
+        try:
+            for vpn in trace:
+                vpn = int(vpn)
+                outcome = translate_fn(vpn)
+                translation_cycles += outcome.cycles
+                if outcome.level == "fault":
+                    fault = fault_fn(vpn)
+                    tlb.fill(
+                        vpn if fault.page_size != "2M" else aspace.thp.region_base(vpn),
+                        fault.page_size,
+                    )
+        except ContiguousAllocationError as exc:
+            failed = True
+            reason = str(exc)
+
+        # Each trace event stands for ``page_repeats`` accesses to that
+        # page; the repeats hit the L1 TLB (0 extra translation cycles)
+        # and only scale the access count.
+        repeats = max(1, self.workload.spec.pattern.page_repeats)
+        accesses = len(trace) * repeats
+
+        totals = aspace.totals
+        rehash_moves = 0.0
+        if config.organization == "radix":
+            # Radix node allocations are charged per fault at scaled counts;
+            # convert to full-scale equivalents.
+            pt_alloc = totals.pt_alloc_cycles * config.scale
+            reinsert = 0.0
+            l2p_exposed = 0.0
+        else:
+            pt_alloc = tables.allocation_cycles()
+            reinsert = totals.reinsert_cycles * config.scale
+            rehash_moves = (
+                tables.total_relocated_entries()
+                * config.scale
+                * config.rehash_entry_cycles
+            )
+            l2p_exposed = 0.0
+            if config.organization == "mehpt":
+                l2p_exposed = (
+                    totals.kicks * config.scale * config.l2p_cycles
+                )
+        return PerformanceResult(
+            workload=self.workload.spec.name,
+            organization=config.organization,
+            thp=config.thp_enabled,
+            accesses=accesses,
+            base_cycles_per_access=config.base_cycles_per_access,
+            translation_cycles=translation_cycles,
+            l1_hits=tlb.l1_hits,
+            l2_hits=tlb.l2_hits,
+            walks=tlb.walks,
+            faults=tlb.faults,
+            pt_alloc_cycles=pt_alloc,
+            reinsert_cycles=reinsert,
+            l2p_exposed_cycles=l2p_exposed,
+            rehash_move_cycles=rehash_moves,
+            fullscale_accesses=self.workload.spec.fullscale_accesses,
+            fault_overhead_cycles=totals.faults * config.fault_overhead_cycles,
+            data_alloc_cycles=totals.data_alloc_cycles,
+            failed=failed,
+            failure_reason=reason,
+        )

@@ -1,0 +1,44 @@
+"""Synthetic workloads standing in for the paper's eleven applications.
+
+The paper runs GraphBIG (BC, BFS, CC, DC, DFS, PR, SSSP, TC), GUPS,
+MUMmer and SysBench under Simics.  We cannot run the binaries, but every
+evaluation result depends on two observable properties per application:
+
+1. the **set of virtual pages touched** (footprint size and sparsity),
+   which determines page-table sizes, contiguity needs, resize and L2P
+   behaviour; and
+2. the **access pattern over those pages** (locality, skew), which
+   determines TLB miss rates and walk costs.
+
+Each :class:`~repro.workloads.base.Workload` reproduces both knobs,
+calibrated against Table I (see :mod:`repro.workloads.registry`), with a
+power-of-two ``scale`` divisor for tractable runtimes — power-of-two
+table sizing makes the scaling exact (see DESIGN.md).
+"""
+
+from repro.workloads.base import AccessPattern, Workload, WorkloadSpec
+from repro.workloads.graph import SyntheticGraph, structural_trace
+from repro.workloads.kernels import GupsKernel, MummerKernel, SysbenchMemoryKernel
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    GRAPH_WORKLOADS,
+    get_workload,
+    graph_workload_with_nodes,
+    workload_names,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadSpec",
+    "AccessPattern",
+    "ALL_WORKLOADS",
+    "GRAPH_WORKLOADS",
+    "get_workload",
+    "graph_workload_with_nodes",
+    "workload_names",
+    "SyntheticGraph",
+    "structural_trace",
+    "GupsKernel",
+    "MummerKernel",
+    "SysbenchMemoryKernel",
+]

@@ -1,0 +1,126 @@
+"""Structural generators for the non-graph applications.
+
+Like :mod:`repro.workloads.graph`, these derive traces from the actual
+data-structure access loops of each benchmark rather than from tuned
+statistical mixtures:
+
+* :class:`GupsKernel` — HPC Challenge RandomAccess: ``T[ran & (N-1)] ^=
+  ran`` over a huge table, with the generator-state reads that make it
+  (nearly) pure random access.
+* :class:`MummerKernel` — genome alignment: stream the reference
+  sequence while descending a suffix-tree-like index whose nodes are
+  scattered; occasional maximal-match extensions run sequentially.
+* :class:`SysbenchMemoryKernel` — sysbench memory: block-wise
+  reads/writes over a large region, mixing a sequential sweep with
+  random block mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+PAGE_BYTES = 4096
+
+
+class GupsKernel:
+    """HPCC RandomAccess over a table of ``table_pages`` 4KB pages."""
+
+    def __init__(self, table_pages: int, base_vpn: int = 0x7F00 << 16, seed: int = 7):
+        if table_pages < 1:
+            raise ConfigurationError("GUPS table needs at least one page")
+        self.table_pages = table_pages
+        self.base_vpn = base_vpn
+        self._rng = np.random.default_rng(np.random.SeedSequence([seed, table_pages]))
+
+    def trace(self, length: int) -> np.ndarray:
+        """Each update: read-modify-write one random table word.
+
+        The LCG state and code pages live in registers/L1 and do not
+        generate TLB-relevant traffic; the trace is the table stream.
+        """
+        return self.base_vpn + self._rng.integers(
+            0, self.table_pages, size=length, dtype=np.int64
+        )
+
+
+class MummerKernel:
+    """Genome alignment: reference streaming + index descents."""
+
+    def __init__(
+        self,
+        reference_pages: int,
+        index_pages: int,
+        base_vpn: int = 0x7F00 << 16,
+        seed: int = 7,
+        match_run: int = 24,
+        descent_depth: int = 6,
+    ) -> None:
+        if reference_pages < 1 or index_pages < 1:
+            raise ConfigurationError("MUMmer needs reference and index regions")
+        self.reference_base = base_vpn
+        self.index_base = base_vpn + reference_pages
+        self.reference_pages = reference_pages
+        self.index_pages = index_pages
+        self.match_run = match_run
+        self.descent_depth = descent_depth
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence([seed, reference_pages, index_pages])
+        )
+
+    def trace(self, length: int) -> np.ndarray:
+        out = np.empty(length, dtype=np.int64)
+        pos = 0
+        ref_cursor = 0
+        while pos < length:
+            # Stream a stretch of the reference (query alignment window).
+            run = min(self.match_run, length - pos)
+            for i in range(run):
+                out[pos] = self.reference_base + (ref_cursor + i) % self.reference_pages
+                pos += 1
+            ref_cursor = (ref_cursor + run) % self.reference_pages
+            # Descend the suffix index: a handful of scattered node pages.
+            for _ in range(min(self.descent_depth, length - pos)):
+                out[pos] = self.index_base + int(
+                    self._rng.integers(0, self.index_pages)
+                )
+                pos += 1
+        return out[:length]
+
+
+class SysbenchMemoryKernel:
+    """sysbench memory: block operations over a large buffer."""
+
+    def __init__(
+        self,
+        buffer_pages: int,
+        base_vpn: int = 0x7F00 << 16,
+        seed: int = 7,
+        block_pages: int = 4,
+        random_fraction: float = 0.5,
+    ) -> None:
+        if buffer_pages < block_pages:
+            raise ConfigurationError("buffer smaller than one block")
+        self.buffer_pages = buffer_pages
+        self.base_vpn = base_vpn
+        self.block_pages = block_pages
+        self.random_fraction = random_fraction
+        self._rng = np.random.default_rng(np.random.SeedSequence([seed, buffer_pages]))
+
+    def trace(self, length: int) -> np.ndarray:
+        out = np.empty(length, dtype=np.int64)
+        pos = 0
+        sweep = 0
+        blocks = self.buffer_pages // self.block_pages
+        while pos < length:
+            if self._rng.random() < self.random_fraction:
+                block = int(self._rng.integers(0, blocks))
+            else:
+                block = sweep
+                sweep = (sweep + 1) % blocks
+            start = block * self.block_pages
+            for i in range(min(self.block_pages, length - pos)):
+                out[pos] = self.base_vpn + start + i
+                pos += 1
+        return out[:length]

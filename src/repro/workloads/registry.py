@@ -1,0 +1,148 @@
+"""The eleven evaluated applications, calibrated against Table I.
+
+Calibration rule: the footprint knob (``touched_blocks``) is set so that
+the ECPT 4KB-page way grows to exactly the Table I "Page Table Contig.
+Mem." value.  With the Table III parameters (3 ways, 64B clustered slots,
+0.6 upsize threshold, doubling resizes), an ECPT whose ways reach ``S``
+bytes implies a distinct-block count in
+
+    [0.0140625 * S, 0.028125 * S)
+
+(the lower bound triggers the resize to ``S``; the upper bound would
+trigger the next one).  We pick ``0.018 * S``, comfortably inside, which
+also reproduces the paper's observation that a resize is typically still
+in flight at measurement end (the "old+new HPTs coexist 87.3% of the
+time").
+
+THP coverage is calibrated from Table I's THP columns: GUPS and SysBench
+are fully huge-page backed (their 4KB HPTs never grow with THP,
+Fig. 11/12), MUMmer is about half backed, and the graph applications'
+irregular heaps gain nothing from THP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.base import AccessPattern, Workload, WorkloadSpec
+
+#: Trigger-window constant used for calibration (see module docstring).
+BLOCKS_PER_WAY_BYTE = 0.018
+
+_GRAPH_PATTERN = AccessPattern(sequential=0.15, uniform=0.55, zipf=0.30, page_repeats=4)
+_FRONTIER_PATTERN = AccessPattern(sequential=0.25, uniform=0.50, zipf=0.25, page_repeats=4)
+_STREAM_PATTERN = AccessPattern(sequential=0.35, uniform=0.45, zipf=0.20, page_repeats=6)
+
+#: GraphBIG inputs have 1M nodes; Figure 15 rescales these footprints.
+GRAPH_REFERENCE_NODES = 1_000_000
+
+ALL_WORKLOADS: Dict[str, WorkloadSpec] = {
+    "BC": WorkloadSpec(
+        name="BC", kind="graph", data_gb=17.3, touched_blocks=150_000,
+        density=0.95, thp_coverage=0.0, pattern=_GRAPH_PATTERN,
+        description="Betweenness Centrality (GraphBIG)",
+    ),
+    "BFS": WorkloadSpec(
+        name="BFS", kind="graph", data_gb=9.3, touched_blocks=300_000,
+        density=0.95, thp_coverage=0.0, pattern=_FRONTIER_PATTERN,
+        description="Breadth-First Search (GraphBIG)",
+    ),
+    "CC": WorkloadSpec(
+        name="CC", kind="graph", data_gb=9.3, touched_blocks=300_000,
+        density=0.95, thp_coverage=0.0, pattern=_GRAPH_PATTERN,
+        description="Connected Components (GraphBIG)",
+    ),
+    "DC": WorkloadSpec(
+        name="DC", kind="graph", data_gb=9.3, touched_blocks=300_000,
+        density=0.95, thp_coverage=0.0, pattern=_STREAM_PATTERN,
+        description="Degree Centrality (GraphBIG)",
+    ),
+    "DFS": WorkloadSpec(
+        name="DFS", kind="graph", data_gb=9.0, touched_blocks=300_000,
+        density=0.95, thp_coverage=0.0, pattern=_FRONTIER_PATTERN,
+        description="Depth-First Search (GraphBIG)",
+    ),
+    "GUPS": WorkloadSpec(
+        name="GUPS", kind="hpc", data_gb=64.0, touched_blocks=1_200_000,
+        density=0.6, thp_coverage=1.0,
+        pattern=AccessPattern(sequential=0.0, uniform=1.0, zipf=0.0, page_repeats=3),
+        fullscale_accesses=40e6,
+        description="Random-access updates (HPC Challenge)",
+    ),
+    "MUMmer": WorkloadSpec(
+        name="MUMmer", kind="bio", data_gb=6.9, touched_blocks=14_900,
+        density=0.95, thp_coverage=0.5,
+        pattern=AccessPattern(sequential=0.65, uniform=0.25, zipf=0.10, page_repeats=24),
+        fullscale_accesses=90e6,
+        description="Genome alignment (BioBench)",
+    ),
+    "PR": WorkloadSpec(
+        name="PR", kind="graph", data_gb=9.3, touched_blocks=300_000,
+        density=0.95, thp_coverage=0.0, pattern=_STREAM_PATTERN,
+        description="PageRank (GraphBIG)",
+    ),
+    "SSSP": WorkloadSpec(
+        name="SSSP", kind="graph", data_gb=9.3, touched_blocks=300_000,
+        density=0.95, thp_coverage=0.0, pattern=_GRAPH_PATTERN,
+        description="Single-Source Shortest Path (GraphBIG)",
+    ),
+    "SysBench": WorkloadSpec(
+        name="SysBench", kind="systems", data_gb=64.0, touched_blocks=1_100_000,
+        density=0.7, thp_coverage=1.0,
+        pattern=AccessPattern(sequential=0.45, uniform=0.55, zipf=0.0, page_repeats=4),
+        fullscale_accesses=56e6,
+        description="Memory stress (SysBench memory)",
+    ),
+    "TC": WorkloadSpec(
+        name="TC", kind="graph", data_gb=11.9, touched_blocks=37_500,
+        density=0.95, thp_coverage=0.0,
+        pattern=AccessPattern(sequential=0.20, uniform=0.40, zipf=0.40, page_repeats=8),
+        description="Triangle Count (GraphBIG)",
+    ),
+}
+
+#: The eight GraphBIG applications (used by Figure 15).
+GRAPH_WORKLOADS: List[str] = ["BC", "BFS", "CC", "DC", "DFS", "PR", "SSSP", "TC"]
+
+
+def workload_names() -> List[str]:
+    """All application names in the paper's presentation order."""
+    return list(ALL_WORKLOADS)
+
+
+def get_workload(name: str, scale: int = 1, seed: int = 12345) -> Workload:
+    """Instantiate a calibrated workload at ``1/scale`` footprint."""
+    spec = ALL_WORKLOADS.get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; known: {', '.join(ALL_WORKLOADS)}"
+        )
+    return Workload(spec, scale=scale, seed=seed)
+
+
+def graph_workload_with_nodes(
+    name: str, nodes: int, scale: int = 1, seed: int = 12345
+) -> Workload:
+    """A graph application rescaled to ``nodes`` input nodes (Figure 15).
+
+    Footprint scales linearly with the node count relative to the 1M-node
+    reference inputs; data_gb scales alongside.
+    """
+    if name not in GRAPH_WORKLOADS:
+        raise ConfigurationError(f"{name} is not a graph workload")
+    spec = ALL_WORKLOADS[name]
+    factor = nodes / GRAPH_REFERENCE_NODES
+    blocks = max(32, int(spec.touched_blocks * factor))
+    scaled = WorkloadSpec(
+        name=f"{spec.name}-{nodes}",
+        kind=spec.kind,
+        data_gb=spec.data_gb * factor,
+        touched_blocks=blocks,
+        density=spec.density,
+        thp_coverage=spec.thp_coverage,
+        pattern=spec.pattern,
+        fullscale_accesses=spec.fullscale_accesses * factor,
+        description=f"{spec.description} with {nodes} nodes",
+    )
+    return Workload(scaled, scale=scale, seed=seed)

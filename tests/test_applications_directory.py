@@ -1,0 +1,73 @@
+"""Unit tests for the cuckoo directory (repro.applications.directory)."""
+
+import pytest
+
+from repro.applications.directory import CuckooDirectory
+from repro.common.errors import ConfigurationError
+
+
+class TestCoherenceProtocol:
+    def test_first_read_is_exclusive(self):
+        directory = CuckooDirectory(cores=4)
+        directory.record_read(0x100, 2)
+        assert directory.state_of(0x100) == "E"
+        assert directory.sharers_of(0x100) == 0b0100
+
+    def test_second_reader_shares(self):
+        directory = CuckooDirectory(cores=4)
+        directory.record_read(0x100, 0)
+        directory.record_read(0x100, 1)
+        assert directory.state_of(0x100) == "S"
+        assert directory.sharers_of(0x100) == 0b0011
+
+    def test_write_invalidates_others(self):
+        directory = CuckooDirectory(cores=4)
+        directory.record_read(0x100, 0)
+        directory.record_read(0x100, 1)
+        directory.record_read(0x100, 2)
+        mask = directory.record_write(0x100, 1)
+        assert mask == 0b0101
+        assert directory.state_of(0x100) == "M"
+        assert directory.sharers_of(0x100) == 0b0010
+
+    def test_write_to_untracked_line(self):
+        directory = CuckooDirectory(cores=2)
+        assert directory.record_write(0x200, 0) == 0
+        assert directory.state_of(0x200) == "M"
+
+    def test_evict(self):
+        directory = CuckooDirectory()
+        directory.record_read(0x300, 0)
+        assert directory.evict(0x300)
+        assert directory.sharers_of(0x300) is None
+
+    def test_core_range_checked(self):
+        directory = CuckooDirectory(cores=4)
+        with pytest.raises(ConfigurationError):
+            directory.record_read(0x1, 4)
+
+    def test_core_count_limits(self):
+        with pytest.raises(ConfigurationError):
+            CuckooDirectory(cores=65)
+
+
+class TestSizing:
+    def test_grows_with_working_set(self):
+        directory = CuckooDirectory(initial_slots=64)
+        before = sum(directory.way_sizes())
+        for line in range(5000):
+            directory.record_read(line * 64, line % 8)
+        assert directory.tracked_lines() == 5000
+        assert sum(directory.way_sizes()) > before
+
+    def test_shrinks_after_mass_eviction(self):
+        directory = CuckooDirectory(initial_slots=64)
+        for line in range(5000):
+            directory.record_read(line * 64, 0)
+        grown = directory.total_bytes()
+        for line in range(4900):
+            directory.evict(line * 64)
+        directory.drain()
+        assert directory.total_bytes() < grown
+        # Survivors remain valid.
+        assert directory.sharers_of(4950 * 64) == 0b1

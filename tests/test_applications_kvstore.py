@@ -1,0 +1,76 @@
+"""Unit tests for the ME key-value store (repro.applications.kvstore)."""
+
+from repro.applications.kvstore import MemEfficientKVStore
+from repro.mem.allocator import CostModelAllocator
+
+
+class TestMappingSemantics:
+    def test_put_get(self):
+        store = MemEfficientKVStore()
+        store.put("alpha", 1)
+        store.put("beta", {"x": 2})
+        assert store.get("alpha") == 1
+        assert store.get("beta") == {"x": 2}
+        assert store.get("gamma") is None
+        assert store.get("gamma", default=-1) == -1
+
+    def test_update(self):
+        store = MemEfficientKVStore()
+        store.put("k", 1)
+        store.put("k", 2)
+        assert store.get("k") == 2
+        assert len(store) == 1
+
+    def test_delete(self):
+        store = MemEfficientKVStore()
+        store.put("k", 1)
+        assert store.delete("k")
+        assert "k" not in store
+        assert not store.delete("k")
+
+    def test_contains(self):
+        store = MemEfficientKVStore()
+        store.put("here", 0)
+        assert "here" in store
+        assert "gone" not in store
+
+    def test_items_roundtrip(self):
+        store = MemEfficientKVStore()
+        expected = {f"key-{i}": i for i in range(500)}
+        for key, value in expected.items():
+            store.put(key, value)
+        assert dict(store.items()) == expected
+
+
+class TestElasticity:
+    def test_grows_under_load(self):
+        store = MemEfficientKVStore(initial_slots=16)
+        for i in range(5000):
+            store.put(f"item-{i}", i)
+        assert len(store) == 5000
+        for i in range(0, 5000, 101):
+            assert store.get(f"item-{i}") == i
+
+    def test_contiguous_need_bounded_by_chunk(self):
+        allocator = CostModelAllocator(fmfi=0.3)
+        store = MemEfficientKVStore(
+            initial_slots=16, chunk_bytes=8 * 1024, allocator=allocator
+        )
+        for i in range(20000):
+            store.put(f"item-{i}", i)
+        assert allocator.stats.max_contiguous_bytes <= 8 * 1024
+        assert store.max_contiguous_bytes() == 8 * 1024
+
+    def test_peak_close_to_final(self):
+        """In-place resizing: peak memory ~= final memory, not 1.5x."""
+        store = MemEfficientKVStore(initial_slots=16)
+        for i in range(5000):
+            store.put(f"item-{i}", i)
+        assert store.peak_bytes() <= store.total_bytes() * 1.26
+
+    def test_occupancy_and_kicks_reported(self):
+        store = MemEfficientKVStore(initial_slots=16)
+        for i in range(1000):
+            store.put(f"item-{i}", i)
+        assert 0.0 < store.occupancy() <= 1.0
+        assert store.mean_kicks() >= 0.0

@@ -1,0 +1,72 @@
+"""Unit tests for Level Hashing (repro.applications.level_hashing)."""
+
+import pytest
+
+from repro.applications.level_hashing import BUCKET_SLOTS, LevelHashTable
+from repro.common.errors import ConfigurationError
+
+
+class TestBasicOperations:
+    def test_put_get_delete(self):
+        table = LevelHashTable()
+        table.put(1, "a")
+        table.put(2, "b")
+        assert table.get(1) == "a"
+        assert table.get(3) is None
+        assert table.delete(1)
+        assert table.get(1) is None
+        assert not table.delete(1)
+
+    def test_update_in_place(self):
+        table = LevelHashTable()
+        table.put(1, "a")
+        table.put(1, "b")
+        assert table.get(1) == "b"
+        assert len(table) == 1
+
+    def test_items(self):
+        table = LevelHashTable()
+        expected = {k: k * 2 for k in range(100)}
+        for key, value in expected.items():
+            table.put(key, value)
+        assert dict(table.items()) == expected
+
+    def test_four_probe_locations(self):
+        table = LevelHashTable()
+        assert table.probes_per_lookup == 4
+        assert len(table._probe_buckets(12345)) == 4
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigurationError):
+            LevelHashTable(initial_top_buckets=12)
+
+
+class TestResizing:
+    def test_grows_and_preserves_contents(self):
+        table = LevelHashTable(initial_top_buckets=4)
+        for key in range(2000):
+            table.put(key, key)
+        assert len(table) == 2000
+        assert table.resizes > 0
+        for key in range(0, 2000, 37):
+            assert table.get(key) == key
+
+    def test_moved_fraction_about_one_third(self):
+        """Section IX: Level Hashing moves ~1/3 of entries per resize."""
+        table = LevelHashTable(initial_top_buckets=16)
+        for key in range(20_000):
+            table.put(key, key)
+        assert 0.2 < table.moved_fraction() < 0.45
+
+    def test_capacity_doubles_per_resize(self):
+        # Before: N top + N/2 bottom buckets; after: 2N top + N bottom.
+        table = LevelHashTable(initial_top_buckets=4)
+        cap_before = table.capacity()
+        table._resize()
+        assert table.capacity() == cap_before * 2
+
+    def test_load_factor_bounded(self):
+        table = LevelHashTable(initial_top_buckets=8)
+        for key in range(5000):
+            table.put(key, key)
+            assert table.load_factor() <= 1.0

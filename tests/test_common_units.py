@@ -1,0 +1,75 @@
+"""Unit tests for repro.common.units."""
+
+import pytest
+
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    align_down,
+    align_up,
+    format_bytes,
+    is_power_of_two,
+    log2_int,
+    next_power_of_two,
+)
+
+
+class TestPowerOfTwo:
+    def test_powers_are_powers(self):
+        for exp in range(0, 40):
+            assert is_power_of_two(1 << exp)
+
+    def test_non_powers(self):
+        for value in (0, -1, -8, 3, 6, 12, 1000):
+            assert not is_power_of_two(value)
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(0) == 1
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(1025) == 2048
+
+    def test_next_power_of_two_idempotent_on_powers(self):
+        for exp in range(20):
+            assert next_power_of_two(1 << exp) == 1 << exp
+
+    def test_log2_int(self):
+        assert log2_int(1) == 0
+        assert log2_int(64 * MB) == 26
+        with pytest.raises(ValueError):
+            log2_int(3)
+
+
+class TestAlignment:
+    def test_align_up(self):
+        assert align_up(0, 8) == 0
+        assert align_up(1, 8) == 8
+        assert align_up(8, 8) == 8
+        assert align_up(9, 8) == 16
+
+    def test_align_down(self):
+        assert align_down(7, 8) == 0
+        assert align_down(8, 8) == 8
+        assert align_down(15, 8) == 8
+
+    def test_alignment_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            align_up(5, 3)
+        with pytest.raises(ValueError):
+            align_down(5, 6)
+
+
+class TestFormatBytes:
+    def test_exact_units(self):
+        assert format_bytes(8 * KB) == "8KB"
+        assert format_bytes(1 * MB) == "1MB"
+        assert format_bytes(64 * MB) == "64MB"
+        assert format_bytes(3 * GB) == "3GB"
+
+    def test_sub_kb(self):
+        assert format_bytes(512) == "512B"
+
+    def test_fractional(self):
+        assert format_bytes(1536) == "1.50KB"

@@ -1,0 +1,95 @@
+"""Unit tests for the adaptive chunk policy (repro.core.adaptive)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, L2POverflowError
+from repro.common.units import KB, MB
+from repro.core.adaptive import AdaptiveChunkPolicy
+from repro.core.chunks import ChunkLadder
+from repro.core.mehpt import MeHptPageTables
+from repro.mem.allocator import CostModelAllocator
+
+
+class TestPrediction:
+    def test_no_history_no_extrapolation(self):
+        policy = AdaptiveChunkPolicy()
+        assert policy.predict_final_way_bytes(1 * MB, recent_upsizes=0) == 1 * MB
+
+    def test_momentum_extrapolates(self):
+        policy = AdaptiveChunkPolicy(growth_lookahead=2)
+        assert policy.predict_final_way_bytes(1 * MB, recent_upsizes=5) == 4 * MB
+
+    def test_lookahead_caps_extrapolation(self):
+        policy = AdaptiveChunkPolicy(growth_lookahead=1)
+        assert policy.predict_final_way_bytes(1 * MB, recent_upsizes=10) == 2 * MB
+
+    def test_negative_lookahead_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveChunkPolicy(growth_lookahead=-1)
+
+
+class TestSelection:
+    def test_never_shrinks_chunks(self):
+        policy = AdaptiveChunkPolicy(fmfi=0.1)
+        assert policy.choose(2 * MB, current_chunk=1 * MB) >= 8 * MB
+
+    def test_low_fragmentation_prefers_large_chunks(self):
+        # At FMFI 0.1 big chunks are cheap: one 8MB chunk beats eight 1MB
+        # ones for a way predicted to keep growing.
+        policy = AdaptiveChunkPolicy(fmfi=0.1, growth_lookahead=2)
+        choice = policy.choose(1 * MB, current_chunk=8 * KB, recent_upsizes=8)
+        assert choice >= 1 * MB
+
+    def test_high_fragmentation_avoids_failing_sizes(self):
+        # Above 0.7 FMFI a 64MB chunk can fail outright: never chosen.
+        policy = AdaptiveChunkPolicy(fmfi=0.75)
+        choice = policy.choose(100 * MB, current_chunk=1 * MB, recent_upsizes=8)
+        assert choice == 8 * MB
+
+    def test_safe_choice_respects_budget(self):
+        # A 1GB way cannot be covered by 8MB chunks (64 x 8MB = 512MB);
+        # at high fragmentation 64MB chunks are unsafe -> no safe size.
+        policy = AdaptiveChunkPolicy(fmfi=0.75)
+        with pytest.raises(L2POverflowError):
+            policy.choose(1024 * MB, current_chunk=8 * MB)
+
+    def test_ladder_top_exhausted(self):
+        policy = AdaptiveChunkPolicy(ladder=ChunkLadder([8 * KB, 1 * MB]))
+        with pytest.raises(L2POverflowError):
+            policy.choose(2 * MB, current_chunk=1 * MB)
+
+    def test_decisions_recorded(self):
+        policy = AdaptiveChunkPolicy(fmfi=0.3)
+        policy.choose(1 * MB, current_chunk=8 * KB)
+        assert len(policy.decisions) == 1
+
+
+class TestIntegrationWithMeHpt:
+    def _grow(self, policy, blocks=40_000):
+        tables = MeHptPageTables(
+            CostModelAllocator(fmfi=policy.fmfi if policy else 0.3),
+            adaptive_policy=policy,
+        )
+        for i in range(blocks):
+            tables.map(0x1000 + i * 8, i)
+        return tables
+
+    def test_adaptive_tables_stay_correct(self):
+        policy = AdaptiveChunkPolicy(fmfi=0.3)
+        tables = self._grow(policy)
+        for i in range(0, 40_000, 977):
+            assert tables.translate(0x1000 + i * 8) is not None
+        assert policy.decisions  # transitions actually consulted the policy
+
+    def test_low_fragmentation_jumps_ladder_rungs(self):
+        # With cheap allocations and strong growth momentum, the policy
+        # may skip 1MB and go straight to a larger chunk.
+        eager = AdaptiveChunkPolicy(fmfi=0.05, growth_lookahead=3)
+        tables = self._grow(eager)
+        assert max(tables.chunk_bytes_per_way("4K")) >= 1 * MB
+
+    def test_high_fragmentation_matches_fixed_ladder_safety(self):
+        policy = AdaptiveChunkPolicy(fmfi=0.75)
+        tables = self._grow(policy)
+        # Never allocated anything that can fail above 0.7 FMFI.
+        assert tables.max_contiguous_bytes() < 64 * MB

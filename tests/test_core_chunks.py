@@ -1,0 +1,72 @@
+"""Unit tests for the chunk ladder (repro.core.chunks)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, L2POverflowError
+from repro.common.units import GB, KB, MB
+from repro.core.chunks import DEFAULT_CHUNK_SIZES, ChunkLadder
+
+
+class TestLadderConstruction:
+    def test_paper_default(self):
+        assert DEFAULT_CHUNK_SIZES == (8 * KB, 1 * MB, 8 * MB, 64 * MB)
+
+    def test_must_be_increasing(self):
+        with pytest.raises(ConfigurationError):
+            ChunkLadder([1 * MB, 8 * KB])
+
+    def test_must_be_powers_of_two(self):
+        with pytest.raises(ConfigurationError):
+            ChunkLadder([3 * KB])
+
+    def test_cannot_be_empty(self):
+        with pytest.raises(ConfigurationError):
+            ChunkLadder([])
+
+
+class TestTransitions:
+    def test_next_size(self):
+        ladder = ChunkLadder()
+        assert ladder.next_size(8 * KB) == 1 * MB
+        assert ladder.next_size(1 * MB) == 8 * MB
+        assert ladder.next_size(64 * MB) is None
+
+    def test_next_size_unknown(self):
+        with pytest.raises(ConfigurationError):
+            ChunkLadder().next_size(16 * KB)
+
+    def test_chunks_needed(self):
+        ladder = ChunkLadder()
+        assert ladder.chunks_needed(512 * KB, 8 * KB) == 64
+        assert ladder.chunks_needed(1, 8 * KB) == 1
+        assert ladder.chunks_needed(9 * KB, 8 * KB) == 2
+
+
+class TestTableTwoNumbers:
+    """The ladder arithmetic must reproduce Table II exactly."""
+
+    @pytest.mark.parametrize(
+        "chunk,max_way",
+        [(8 * KB, 512 * KB), (1 * MB, 64 * MB), (8 * MB, 512 * MB), (64 * MB, 4 * GB)],
+    )
+    def test_max_way_sizes(self, chunk, max_way):
+        assert ChunkLadder().max_way_bytes(chunk) == max_way
+
+
+class TestSizeForWay:
+    def test_smallest_adequate_size(self):
+        ladder = ChunkLadder()
+        assert ladder.size_for_way(100 * KB) == 8 * KB
+        assert ladder.size_for_way(512 * KB) == 8 * KB
+        assert ladder.size_for_way(513 * KB) == 1 * MB
+        assert ladder.size_for_way(64 * MB) == 1 * MB
+        assert ladder.size_for_way(65 * MB) == 8 * MB
+
+    def test_at_least_floor(self):
+        ladder = ChunkLadder()
+        assert ladder.size_for_way(100 * KB, at_least=1 * MB) == 1 * MB
+
+    def test_overflow_raises(self):
+        ladder = ChunkLadder()
+        with pytest.raises(L2POverflowError):
+            ladder.size_for_way(5 * GB)

@@ -1,0 +1,58 @@
+"""Unit tests for the ME-HPT walker (repro.core.walker)."""
+
+from repro.core.mehpt import MeHptPageTables
+from repro.core.walker import MeHptWalker
+from repro.mem.allocator import CostModelAllocator
+from repro.mem.cache import CacheHierarchy
+
+
+def make_system():
+    tables = MeHptPageTables(CostModelAllocator(fmfi=0.1))
+    walker = MeHptWalker(tables, CacheHierarchy())
+    return tables, walker
+
+
+class TestLatencyHiding:
+    def test_l2p_adds_no_walk_latency(self):
+        """Section V-D: L2P (4 cyc) overlaps the CWC access (4 cyc)."""
+        tables, walker = make_system()
+        tables.map(0x1000, 7)
+        cold = walker.walk(0x1000)
+        warm = walker.walk(0x1000)
+        # Identical to the ECPT walker's costs — no extra cycles.
+        assert cold.cycles == 4 + 200 + 200
+        assert warm.cycles == 4 + 16
+        assert walker.l2p_hidden_accesses == 2
+
+    def test_slower_l2p_partially_exposed(self):
+        tables = MeHptPageTables(CostModelAllocator(fmfi=0.1))
+        walker = MeHptWalker(tables, CacheHierarchy(), l2p_cycles=10, cwc_cycles=4)
+        tables.map(0x1000, 7)
+        result = walker.walk(0x1000)
+        # Only the portion beyond the CWC round trip shows.
+        assert result.cycles == 4 + (10 - 4) + 200 + 200
+
+    def test_reinsertion_exposes_l2p(self):
+        _tables, walker = make_system()
+        assert walker.reinsertion_cycles(3) == 3 * 4
+        assert walker.l2p_exposed_cycles == 12
+
+    def test_translation_correct(self):
+        tables, walker = make_system()
+        for i in range(3000):
+            tables.map(0x1000 + i, i)
+        for i in range(0, 3000, 71):
+            assert walker.walk(0x1000 + i).ppn == i
+
+    def test_faults_propagate(self):
+        _tables, walker = make_system()
+        assert walker.walk(0xDEAD000).fault
+
+    def test_walks_during_inplace_resize(self):
+        tables, walker = make_system()
+        # Enough mappings to keep at least one resize in flight.
+        for i in range(5000):
+            tables.map(0x1000 + i * 8, i)
+            if i % 997 == 0:
+                result = walker.walk(0x1000 + i * 8)
+                assert result.ppn == i

@@ -1,0 +1,92 @@
+"""Unit tests for Cuckoo Walk Tables and Caches (repro.ecpt.cwt)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.ecpt.cwt import CuckooWalkCache, CuckooWalkTable
+
+
+class TestCuckooWalkTable:
+    def test_region_granularity(self):
+        pmd = CuckooWalkTable("pmd")
+        pmd.add(0, "4K")
+        assert pmd.sizes_for(511) == frozenset(["4K"])  # same 2MB region
+        assert pmd.sizes_for(512) == frozenset()
+
+    def test_pud_granularity(self):
+        pud = CuckooWalkTable("pud")
+        pud.add(0, "1G")
+        assert pud.sizes_for((1 << 18) - 1) == frozenset(["1G"])
+        assert pud.sizes_for(1 << 18) == frozenset()
+
+    def test_add_reports_set_changes(self):
+        cwt = CuckooWalkTable("pmd")
+        assert cwt.add(0, "4K") is True
+        assert cwt.add(1, "4K") is False  # refcount bump only
+        assert cwt.add(2, "2M") is True
+
+    def test_remove_refcounting(self):
+        cwt = CuckooWalkTable("pmd")
+        cwt.add(0, "4K")
+        cwt.add(1, "4K")
+        assert cwt.remove(0, "4K") is False  # one 4K mapping remains
+        assert cwt.remove(1, "4K") is True
+        assert cwt.sizes_for(0) == frozenset()
+
+    def test_underflow_rejected(self):
+        cwt = CuckooWalkTable("pmd")
+        with pytest.raises(ConfigurationError):
+            cwt.remove(0, "4K")
+
+    def test_unknown_granularity(self):
+        with pytest.raises(ConfigurationError):
+            CuckooWalkTable("pgd")
+
+    def test_line_addr_clusters_regions(self):
+        cwt = CuckooWalkTable("pmd")
+        assert cwt.line_addr(0) == cwt.line_addr(512 * 7)  # regions 0..7
+        assert cwt.line_addr(0) != cwt.line_addr(512 * 8)
+
+    def test_region_count(self):
+        cwt = CuckooWalkTable("pmd")
+        cwt.add(0, "4K")
+        cwt.add(512, "4K")
+        assert len(cwt) == 2
+
+
+class TestCuckooWalkCache:
+    def make(self, entries=2):
+        cwt = CuckooWalkTable("pmd")
+        return cwt, CuckooWalkCache(cwt, entries=entries)
+
+    def test_miss_then_hit(self):
+        _cwt, cwc = self.make()
+        assert cwc.lookup(0) is None
+        cwc.fill(0, frozenset(["4K"]))
+        assert cwc.lookup(100) == frozenset(["4K"])  # same region
+
+    def test_lru_eviction(self):
+        _cwt, cwc = self.make(entries=2)
+        cwc.fill(0 * 512, frozenset(["4K"]))
+        cwc.fill(1 * 512, frozenset(["4K"]))
+        cwc.fill(2 * 512, frozenset(["4K"]))
+        assert cwc.lookup(0) is None
+
+    def test_invalidate(self):
+        _cwt, cwc = self.make()
+        cwc.fill(0, frozenset(["4K"]))
+        cwc.invalidate(0)
+        assert cwc.lookup(0) is None
+
+    def test_fill_updates_existing(self):
+        _cwt, cwc = self.make()
+        cwc.fill(0, frozenset(["4K"]))
+        cwc.fill(0, frozenset(["4K", "2M"]))
+        assert cwc.lookup(0) == frozenset(["4K", "2M"])
+
+    def test_hit_rate(self):
+        _cwt, cwc = self.make()
+        cwc.lookup(0)
+        cwc.fill(0, frozenset())
+        cwc.lookup(0)
+        assert cwc.hit_rate() == 0.5

@@ -1,0 +1,103 @@
+"""Unit tests for ECPT page tables (repro.ecpt.tables)."""
+
+import pytest
+
+from repro.common.errors import ContiguousAllocationError
+from repro.common.units import KB, MB
+from repro.ecpt.tables import EcptPageTables
+from repro.mem.allocator import CostModelAllocator
+
+
+def make_tables(fmfi=0.3, **kwargs):
+    return EcptPageTables(CostModelAllocator(fmfi=fmfi), **kwargs)
+
+
+class TestKernelApi:
+    def test_map_translate_multiple_sizes(self):
+        tables = make_tables()
+        tables.map(0x100, 0xA, "4K")
+        tables.map(512 * 4, 0xB, "2M")
+        tables.map((1 << 18) * 2, 0xC, "1G")
+        assert tables.translate(0x100) == (0xA, "4K")
+        assert tables.translate(512 * 4 + 5) == (0xB, "2M")
+        assert tables.translate((1 << 18) * 2 + 99) == (0xC, "1G")
+        assert tables.translate(0x500000) is None
+
+    def test_unmap(self):
+        tables = make_tables()
+        tables.map(0x100, 0xA)
+        assert tables.unmap(0x100)
+        assert tables.translate(0x100) is None
+        assert not tables.unmap(0x100)
+
+    def test_cwt_updated_on_map(self):
+        tables = make_tables()
+        tables.map(0x100, 0xA)
+        assert "4K" in tables.pmd_cwt.sizes_for(0x100)
+        assert "4K" in tables.pud_cwt.sizes_for(0x100)
+        tables.unmap(0x100)
+        assert tables.pmd_cwt.sizes_for(0x100) == frozenset()
+
+
+class TestContiguityBehaviour:
+    def test_ways_are_contiguous_allocations(self):
+        tables = make_tables(initial_slots=128)
+        # One page per 8-page block: 40K distinct HPT entries.
+        for i in range(40_000):
+            tables.map(0x1000 + i * 8, i)
+        # The biggest single allocation equals the biggest way.
+        way_bytes = max(w.total_bytes() for w in tables.tables["4K"].table.ways)
+        assert tables.max_contiguous_bytes() >= way_bytes // 2
+        assert tables.max_contiguous_bytes() >= 1 * MB
+
+    def test_upsize_fails_on_fragmented_memory(self):
+        # At FMFI > 0.7, a 64MB way allocation must crash the run,
+        # reproducing the paper's ECPT failure.  scale=64 makes a 1MB way
+        # count as a 64MB full-scale allocation.
+        tables = EcptPageTables(
+            CostModelAllocator(fmfi=0.75, scale=64), initial_slots=2
+        )
+        with pytest.raises(ContiguousAllocationError):
+            for i in range(100_000):
+                tables.map(0x1000 + i * 8, i)
+
+    def test_all_ways_resize_together(self):
+        tables = make_tables(initial_slots=128)
+        for i in range(10_000):
+            tables.map(0x1000 + i, i)
+        tables.drain()
+        sizes = {w.size for w in tables.tables["4K"].table.ways}
+        assert len(sizes) == 1
+
+    def test_peak_includes_resize_overlap(self):
+        tables = make_tables(initial_slots=128)
+        for i in range(40_000):
+            tables.map(0x1000 + i, i)
+        # Out-of-place resizing keeps old+new alive: peak > final unless
+        # the final state itself still holds both tables.
+        assert tables.peak_total_bytes >= tables.total_bytes()
+
+
+class TestStatistics:
+    def test_upsizes_per_way_tracked(self):
+        tables = make_tables(initial_slots=128)
+        for i in range(10_000):
+            tables.map(0x1000 + i, i)
+        upsizes = tables.upsizes_per_way("4K")
+        assert len(upsizes) == 3
+        assert all(u > 0 for u in upsizes)
+
+    def test_kick_histogram_merged(self):
+        tables = make_tables()
+        for i in range(5_000):
+            tables.map(0x1000 + i, i)
+        histogram = tables.kick_histogram()
+        assert sum(histogram.values()) > 0
+
+    def test_relocated_counter(self):
+        tables = make_tables(initial_slots=128)
+        for i in range(10_000):
+            tables.map(0x1000 + i, i)
+        tables.drain()
+        # Out-of-place resizes relocate every rehashed entry.
+        assert tables.total_relocated_entries() > 0

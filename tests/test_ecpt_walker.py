@@ -1,0 +1,104 @@
+"""Unit tests for the ECPT walker (repro.ecpt.walker)."""
+
+from repro.ecpt.tables import EcptPageTables
+from repro.ecpt.walker import EcptWalker
+from repro.mem.allocator import CostModelAllocator
+from repro.mem.cache import CacheHierarchy
+
+
+def make_system():
+    tables = EcptPageTables(CostModelAllocator(fmfi=0.1))
+    walker = EcptWalker(tables, CacheHierarchy())
+    return tables, walker
+
+
+class TestWalks:
+    def test_hit_4k(self):
+        tables, walker = make_system()
+        tables.map(0x1000, 77)
+        result = walker.walk(0x1000)
+        assert result.ppn == 77 and result.page_size == "4K"
+
+    def test_hit_2m(self):
+        tables, walker = make_system()
+        tables.map(512 * 3, 88, "2M")
+        result = walker.walk(512 * 3 + 21)
+        assert result.ppn == 88 and result.page_size == "2M"
+
+    def test_unmapped_faults(self):
+        _tables, walker = make_system()
+        assert walker.walk(0x12345).fault
+
+    def test_unmapped_region_skips_probes(self):
+        tables, walker = make_system()
+        tables.map(0x1000, 1)
+        walker.walk(0x1000)
+        # A VA in a region with no mappings at all: after the CWT read the
+        # walker knows there is nothing to probe.
+        result = walker.walk(0x900000)
+        assert result.fault
+
+    def test_probes_are_parallel_one_latency(self):
+        tables, walker = make_system()
+        tables.map(0x2000, 5)
+        cold = walker.walk(0x2000)
+        warm = walker.walk(0x2000)
+        # Cold: CWC miss -> CWT read (DRAM) + parallel probes (DRAM).
+        assert cold.cycles == 4 + 200 + 200
+        # Warm: CWC hit + all probe lines now cached in L2.
+        assert warm.cycles == 4 + 16
+
+    def test_cwc_hit_avoids_cwt_read(self):
+        tables, walker = make_system()
+        tables.map(0x3000, 5)
+        walker.walk(0x3000)
+        reads_before = walker.cwt_memory_reads
+        walker.walk(0x3000 + 1)  # same 2MB region -> PMD-CWC hit
+        assert walker.cwt_memory_reads == reads_before
+
+    def test_coarse_pud_path_on_pmd_cwc_miss(self):
+        tables, walker = make_system()
+        # Map pages in many distinct 2MB regions to overflow the PMD-CWC
+        # (16 entries) while staying in one 1GB region.
+        for region in range(64):
+            tables.map(region * 512, region)
+        for region in range(64):
+            result = walker.walk(region * 512)
+            assert result.ppn == region
+        # The PUD-CWC (1GB granularity) serves most of these walks.
+        assert walker.pud_cwc.hits > 0
+
+    def test_cwc_invalidated_on_new_size_in_region(self):
+        tables, walker = make_system()
+        tables.map(0x4000, 1)
+        walker.walk(0x4000)
+        # Adding a 2MB page to the same 1GB region changes the CWT entry.
+        base_2m = (0x4000 // 512) * 512 + 512  # next 2MB region, same 1GB
+        tables.map(base_2m, 2, "2M")
+        result = walker.walk(base_2m + 3)
+        assert result.page_size == "2M"
+
+    def test_statistics_accumulate(self):
+        tables, walker = make_system()
+        tables.map(0x5000, 1)
+        walker.walk(0x5000)
+        walker.walk(0x5000)
+        assert walker.walks == 2
+        assert walker.mean_walk_cycles() > 0
+
+
+class TestMixedSizes:
+    def test_4k_and_2m_in_same_pud_region(self):
+        tables, walker = make_system()
+        tables.map(0x100, 1, "4K")
+        tables.map(512 * 8, 2, "2M")
+        assert walker.walk(0x100).page_size == "4K"
+        assert walker.walk(512 * 8 + 1).page_size == "2M"
+        assert walker.walk(0x100).ppn == 1
+
+    def test_1g_page_found(self):
+        tables, walker = make_system()
+        base = (1 << 18) * 5
+        tables.map(base, 9, "1G")
+        result = walker.walk(base + 777)
+        assert result.page_size == "1G" and result.ppn == 9

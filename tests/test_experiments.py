@@ -1,0 +1,136 @@
+"""Smoke tests for every experiment driver, at reduced scale.
+
+Each paper table/figure driver must run end-to-end and produce sane,
+paper-shaped output.  Scale 256 keeps these fast; the benchmarks run the
+real settings.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+from repro.experiments import (
+    alloc_cost,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.runner import clear_caches
+
+#: Tiny settings: three representative apps, small footprints/traces.
+FAST = ExperimentSettings(
+    scale=256, trace_length=8_000, apps=("GUPS", "BFS", "MUMmer")
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestTableDrivers:
+    def test_alloc_cost(self):
+        result = alloc_cost.run(memory_gb=1)
+        # The Section III anchors must appear verbatim at FMFI 0.7.
+        assert result.cycles[(4 * 1024, 0.7)] == pytest.approx(4000)
+        assert result.cycles[(64 * 1024 * 1024, 0.75)] is None
+        assert result.buddy_check[0.5] is True
+        assert result.buddy_check[0.99] is False
+        assert "FAIL" in alloc_cost.format_result(result)
+
+    def test_table1(self):
+        rows = table1.run(FAST)
+        by_app = {row.app: row for row in rows}
+        assert by_app["GUPS"].tree_contig_kb == 4
+        assert by_app["GUPS"].ecpt_contig_kb > by_app["MUMmer"].ecpt_contig_kb
+        assert by_app["GUPS"].ecpt_total_mb > by_app["GUPS"].tree_total_mb
+        assert "GeoMean" in table1.format_result(rows)
+
+    def test_table2(self):
+        rows = table2.run()
+        assert rows[0].max_way_bytes == 512 * 1024
+        assert rows[1].max_way_bytes == 64 * 1024 * 1024
+        assert table2.verify_smallest_row_live(rows[0])
+        assert "384GB" in table2.format_result(rows)
+
+    def test_table3(self):
+        assert all(table3.live_check().values())
+        assert "L2P table" in table3.format_result(table3.run())
+
+
+class TestFigureDrivers:
+    def test_fig8(self):
+        result = fig8.run(FAST)
+        by_app = {row.app: row for row in result.rows}
+        assert by_app["GUPS"].mehpt_bytes < by_app["GUPS"].ecpt_bytes
+        assert result.mean_reduction > 0.5
+        assert "Reduction" in fig8.format_result(result)
+
+    def test_fig9(self):
+        result = fig9.run(FAST)
+        # ME-HPT must beat radix on the TLB-hostile workload.
+        assert result.speedups["GUPS"][("mehpt", False)] > 1.0
+        # THP must help the fully-covered workload.
+        assert result.speedups["GUPS"][("radix", True)] > 1.5
+        assert "GeoMean" in fig9.format_result(result)
+
+    def test_fig10(self):
+        result = fig10.run(FAST)
+        assert result.mean_reduction(False) > 0.0
+        gups = [r for r in result.rows if r.app == "GUPS" and not r.thp][0]
+        assert gups.mehpt_peak < gups.ecpt_peak
+        assert "In-place share" in fig10.format_result(result)
+
+    def test_fig11(self):
+        result = fig11.run(FAST)
+        assert result.upsizes[("GUPS", False)][0] > 5
+        assert result.upsizes[("GUPS", True)] == [0, 0, 0]
+        assert "Average" in fig11.format_result(result)
+
+    def test_fig12(self):
+        result = fig12.run(FAST)
+        gups = result.way_bytes[("GUPS", False)]
+        assert all(b == gups[0] for b in gups)
+        # With THP, GUPS's 4KB table never grows beyond the initial size.
+        assert max(result.way_bytes[("GUPS", True)]) <= 64 * 1024
+        assert "Way0" in fig12.format_result(result)
+
+    def test_fig13(self):
+        result = fig13.run(FAST)
+        assert 0.4 < result.average(False) < 0.6
+        assert result.fraction[("GUPS", True)] == 0.0
+        assert "0.5" in fig13.format_result(result)
+
+    def test_fig14(self):
+        result = fig14.run(FAST)
+        assert result.entries[("GUPS", False)] > result.entries[("BFS", False)]
+        assert 0 < result.average() <= 288
+        assert "288" in fig14.format_result(result)
+
+    def test_fig15(self):
+        result = fig15.run(ExperimentSettings(scale=1))
+        small_fixed = result.mean_way_bytes[("ME-HPT 1MB", 1_000)]
+        small_mixed = result.mean_way_bytes[("ME-HPT 1MB+8KB", 1_000)]
+        assert small_fixed >= 1024 * 1024
+        assert small_mixed < small_fixed / 10
+        big_fixed = result.mean_way_bytes[("ME-HPT 1MB", 100_000)]
+        big_mixed = result.mean_way_bytes[("ME-HPT 1MB+8KB", 100_000)]
+        assert 0.5 < big_mixed / big_fixed <= 1.0
+        assert "1K nodes" in fig15.format_result(result)
+
+    def test_fig16(self):
+        result = fig16.run(FAST)
+        assert abs(sum(result.distribution) - 1.0) < 1e-9
+        assert result.p_zero > 0.4
+        assert 0.0 <= result.mean < 3.0
+        assert "re-insertions" in fig16.format_result(result)

@@ -1,0 +1,130 @@
+"""Failure-injection tests: behaviour under allocation failures.
+
+The paper's key failure mode is a contiguous allocation that cannot be
+served on a fragmented machine.  These tests verify that the failure
+surfaces as the right exception at the right moment, that tables remain
+*readable and consistent* afterwards (a crashed grow must not corrupt
+existing translations), and that ME-HPT configurations never reach the
+failing path.
+"""
+
+import pytest
+
+from repro.common.errors import ContiguousAllocationError
+from repro.common.units import MB
+from repro.ecpt.tables import EcptPageTables
+from repro.core.mehpt import MeHptPageTables
+from repro.mem.allocator import AllocationStats, CostModelAllocator
+
+
+class FlakyAllocator(CostModelAllocator):
+    """Fails every allocation at or above a byte threshold."""
+
+    def __init__(self, fail_at_bytes, fmfi=0.3, fail_after=0):
+        super().__init__(fmfi=fmfi)
+        self.fail_at_bytes = fail_at_bytes
+        self.fail_after = fail_after  # successful big allocations allowed
+        self._big_allocs = 0
+
+    def alloc(self, nbytes):
+        if nbytes >= self.fail_at_bytes:
+            if self._big_allocs >= self.fail_after:
+                self.stats.on_failure()
+                raise ContiguousAllocationError(nbytes, self.fmfi)
+            self._big_allocs += 1
+        return super().alloc(nbytes)
+
+
+def grow_until_failure(tables, limit=2_000_000):
+    for i in range(limit):
+        tables.map(0x1000 + i * 8, i)
+    raise AssertionError("expected a failure before the limit")
+
+
+class TestEcptFailurePath:
+    def test_exception_type_and_moment(self):
+        tables = EcptPageTables(FlakyAllocator(fail_at_bytes=1 * MB), initial_slots=16)
+        with pytest.raises(ContiguousAllocationError):
+            grow_until_failure(tables)
+        assert tables.allocation_stats.failed_allocations == 1
+
+    def test_existing_translations_survive_the_crash(self):
+        tables = EcptPageTables(FlakyAllocator(fail_at_bytes=1 * MB), initial_slots=16)
+        mapped = 0
+        try:
+            for i in range(2_000_000):
+                tables.map(0x1000 + i * 8, i)
+                mapped += 1
+        except ContiguousAllocationError:
+            pass
+        assert mapped > 1000
+        # Everything mapped before the crash still translates correctly.
+        for i in range(0, mapped, max(1, mapped // 200)):
+            assert tables.translate(0x1000 + i * 8) == (i, "4K")
+        # And the internal structures are consistent.
+        tables.tables["4K"].table.check_invariants()
+
+    def test_failed_insert_key_is_present(self):
+        """The insert that *triggered* the failing resize has landed; only
+        the capacity growth failed."""
+        tables = EcptPageTables(FlakyAllocator(fail_at_bytes=1 * MB), initial_slots=16)
+        last = None
+        try:
+            for i in range(2_000_000):
+                tables.map(0x1000 + i * 8, i)
+                last = i
+        except ContiguousAllocationError:
+            pass
+        # The triggering mapping may or may not be the last successful
+        # one, but lookups must not see torn state for any key tried.
+        assert tables.translate(0x1000 + last * 8) == (last, "4K")
+
+    def test_repeated_failures_do_not_corrupt(self):
+        tables = EcptPageTables(
+            FlakyAllocator(fail_at_bytes=256 * 1024), initial_slots=16
+        )
+        failures = 0
+        i = 0
+        while failures < 3 and i < 200_000:
+            try:
+                tables.map(0x1000 + i * 8, i)
+                i += 1
+            except ContiguousAllocationError:
+                failures += 1
+                # The OS would back off; we just retry, which re-triggers
+                # the resize attempt on a later insert.
+                i += 1
+        tables.tables["4K"].table.check_invariants()
+
+
+class TestMeHptNeverFails:
+    def test_small_chunks_below_any_failure_threshold(self):
+        # Fail anything >= 2MB: ME-HPT's 8KB/1MB chunks never trip it.
+        tables = MeHptPageTables(FlakyAllocator(fail_at_bytes=2 * MB), initial_slots=16)
+        for i in range(60_000):
+            tables.map(0x1000 + i * 8, i)
+        assert tables.translate(0x1000) is not None
+        assert tables.allocation_stats.failed_allocations == 0
+
+    def test_transient_big_chunk_failure_only_with_big_ladder(self):
+        # If the ladder is forced to 8MB chunks, ME-HPT can also fail —
+        # the protection comes from small chunks, not magic.
+        from repro.core.chunks import ChunkLadder
+
+        with pytest.raises(ContiguousAllocationError):
+            # Even building the initial ways needs an 8MB chunk.
+            MeHptPageTables(
+                FlakyAllocator(fail_at_bytes=8 * MB, fmfi=0.3),
+                initial_slots=16,
+                chunk_ladder=ChunkLadder([8 * MB, 64 * MB]),
+            )
+
+
+class TestStatsUnderFailure:
+    def test_failure_counter_and_no_leak(self):
+        stats = AllocationStats()
+        allocator = CostModelAllocator(fmfi=0.9, stats=stats)
+        with pytest.raises(ContiguousAllocationError):
+            allocator.alloc(64 * MB)
+        assert stats.failed_allocations == 1
+        assert stats.current_bytes == 0  # nothing was charged

@@ -1,0 +1,77 @@
+"""Unit tests for repro.hashing.hashes."""
+
+import pytest
+
+from repro.hashing.hashes import HashFamily, crc32c, mix64
+
+
+class TestCrc32c:
+    def test_known_determinism(self):
+        assert crc32c(0x1234) == crc32c(0x1234)
+
+    def test_seed_changes_output(self):
+        assert crc32c(0x1234, seed=1) != crc32c(0x1234, seed=2)
+
+    def test_range_is_32_bit(self):
+        for value in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= crc32c(value) < 2**32
+
+    def test_distinct_inputs_rarely_collide(self):
+        outputs = {crc32c(v) for v in range(2000)}
+        assert len(outputs) == 2000
+
+
+class TestMix64:
+    def test_bijective_like_no_collisions_on_small_range(self):
+        outputs = {mix64(v) for v in range(5000)}
+        assert len(outputs) == 5000
+
+    def test_64_bit_range(self):
+        for value in (0, 1, 2**64 - 1):
+            assert 0 <= mix64(value) < 2**64
+
+    def test_avalanche(self):
+        # Flipping one input bit should flip roughly half the output bits.
+        base = mix64(0xDEADBEEF)
+        flipped = mix64(0xDEADBEEF ^ 1)
+        differing = bin(base ^ flipped).count("1")
+        assert 16 <= differing <= 48
+
+
+class TestHashFamily:
+    @pytest.mark.parametrize("kind", ["mix64", "crc32c"])
+    def test_ways_are_independent(self, kind):
+        family = HashFamily(seed=3, kind=kind)
+        f0, f1 = family.functions(2)
+        same = sum(
+            1
+            for v in range(1000)
+            if (f0(v) & 1023) == (f1(v) & 1023)
+        )
+        # Two independent functions agree on a 1024-bucket index ~1/1024.
+        assert same < 15
+
+    @pytest.mark.parametrize("kind", ["mix64", "crc32c"])
+    def test_functions_are_stable(self, kind):
+        family = HashFamily(seed=3, kind=kind)
+        f_a = family.function(0)
+        f_b = family.function(0)
+        assert all(f_a(v) == f_b(v) for v in range(100))
+
+    def test_distinct_seeds_distinct_families(self):
+        f_a = HashFamily(seed=1).function(0)
+        f_b = HashFamily(seed=2).function(0)
+        assert any(f_a(v) != f_b(v) for v in range(10))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            HashFamily(kind="md5")
+
+    def test_uniformity_over_buckets(self):
+        f = HashFamily(seed=9).function(0)
+        buckets = [0] * 64
+        n = 6400
+        for v in range(n):
+            buckets[f(v) & 63] += 1
+        expected = n / 64
+        assert all(expected * 0.5 < b < expected * 1.5 for b in buckets)

@@ -1,0 +1,174 @@
+"""Integration tests across subsystems.
+
+These check the properties that hold *between* page-table organizations
+and through the whole stack — the guarantees a downstream user of the
+library relies on.
+"""
+
+import pytest
+
+from repro.core.mehpt import MeHptPageTables
+from repro.ecpt.tables import EcptPageTables
+from repro.kernel.address_space import AddressSpace
+from repro.kernel.thp import ThpPolicy
+from repro.mem.allocator import CostModelAllocator
+from repro.radix.table import RadixPageTable
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import TranslationSimulator, memory_result, populate_tables
+from repro.workloads import get_workload
+
+SCALE = 128
+
+
+def organizations():
+    return {
+        "radix": RadixPageTable(),
+        "ecpt": EcptPageTables(CostModelAllocator(fmfi=0.3)),
+        "mehpt": MeHptPageTables(CostModelAllocator(fmfi=0.3)),
+    }
+
+
+class TestTranslationEquivalence:
+    """All three organizations must implement the same mapping function."""
+
+    def test_same_translations_for_same_mappings(self):
+        tables = organizations()
+        mappings = [(0x1000 + i * 7, 0x9000 + i, "4K") for i in range(2000)]
+        mappings += [((512 * (100 + i)), 0x80000 + i, "2M") for i in range(20)]
+        for vpn, ppn, size in mappings:
+            for org in tables.values():
+                org.map(vpn, ppn, size)
+        probes = [vpn for vpn, _p, _s in mappings] + [0x555555, 0x1, 512 * 105 + 77]
+        for vpn in probes:
+            results = {name: org.translate(vpn) for name, org in tables.items()}
+            values = set(results.values())
+            assert len(values) == 1, f"divergence at {vpn:#x}: {results}"
+
+    def test_same_translations_after_unmap(self):
+        tables = organizations()
+        for vpn in range(100):
+            for org in tables.values():
+                org.map(vpn, vpn + 1, "4K")
+        for vpn in range(0, 100, 3):
+            for org in tables.values():
+                org.unmap(vpn, "4K")
+        for vpn in range(100):
+            values = {org.translate(vpn) for org in tables.values()}
+            assert len(values) == 1
+
+    def test_walkers_agree_with_functional_translate(self):
+        for org in ("radix", "ecpt", "mehpt"):
+            config = SimulationConfig(organization=org, scale=SCALE)
+            workload = get_workload("TC", scale=SCALE)
+            system = config.build(workload)
+            populate_tables(system)
+            pages = workload.page_set()
+            for vpn in pages[:: max(1, len(pages) // 50)]:
+                vpn = int(vpn)
+                functional = system.page_tables.translate(vpn)
+                walked = system.walker.walk(vpn)
+                assert functional is not None
+                assert walked.ppn == functional[0]
+
+
+class TestFaultPathEquivalence:
+    def test_same_pages_mapped_under_demand_paging(self):
+        counts = {}
+        for org in ("radix", "ecpt", "mehpt"):
+            config = SimulationConfig(organization=org, scale=SCALE)
+            workload = get_workload("BFS", scale=SCALE)
+            system = config.build(workload)
+            populate_tables(system)
+            counts[org] = (
+                system.address_space.totals.pages_mapped_4k,
+                system.address_space.totals.pages_mapped_2m,
+            )
+        assert len(set(counts.values())) == 1
+
+    def test_thp_decisions_identical_across_orgs(self):
+        counts = {}
+        for org in ("radix", "ecpt", "mehpt"):
+            config = SimulationConfig(organization=org, scale=SCALE, thp_enabled=True)
+            workload = get_workload("MUMmer", scale=SCALE)
+            system = config.build(workload)
+            populate_tables(system)
+            counts[org] = system.address_space.totals.pages_mapped_2m
+        assert len(set(counts.values())) == 1
+        assert list(counts.values())[0] > 0
+
+
+class TestMemoryHeadlines:
+    """The paper's three headline memory claims, end-to-end."""
+
+    def test_mehpt_needs_less_contiguous_memory(self):
+        ecpt = memory_result(
+            SimulationConfig(organization="ecpt", scale=SCALE).build(
+                get_workload("GUPS", scale=SCALE)
+            )
+        )
+        mehpt = memory_result(
+            SimulationConfig(organization="mehpt", scale=SCALE).build(
+                get_workload("GUPS", scale=SCALE)
+            )
+        )
+        assert mehpt.max_contiguous_bytes < ecpt.max_contiguous_bytes / 8
+
+    def test_mehpt_uses_less_total_memory(self):
+        for app in ("GUPS", "BFS"):
+            ecpt = memory_result(
+                SimulationConfig(organization="ecpt", scale=SCALE).build(
+                    get_workload(app, scale=SCALE)
+                )
+            )
+            mehpt = memory_result(
+                SimulationConfig(organization="mehpt", scale=SCALE).build(
+                    get_workload(app, scale=SCALE)
+                )
+            )
+            assert mehpt.peak_pt_bytes < ecpt.peak_pt_bytes
+
+    def test_ecpt_crashes_mehpt_survives_fragmentation(self):
+        workload = get_workload("GUPS", scale=SCALE)
+        ecpt = memory_result(
+            SimulationConfig(organization="ecpt", scale=SCALE, fmfi=0.75).build(workload)
+        )
+        mehpt = memory_result(
+            SimulationConfig(organization="mehpt", scale=SCALE, fmfi=0.75).build(workload)
+        )
+        assert ecpt.failed
+        assert not mehpt.failed
+
+
+class TestScaleInvariance:
+    """Power-of-two scaling must preserve full-scale-equivalent results."""
+
+    @pytest.mark.parametrize("app", ["GUPS", "TC"])
+    def test_contiguous_equivalents_match_across_scales(self, app):
+        results = {}
+        for scale in (64, 128):
+            workload = get_workload(app, scale=scale)
+            system = SimulationConfig(organization="ecpt", scale=scale).build(workload)
+            results[scale] = memory_result(system).max_contiguous_bytes
+        assert results[64] == results[128]
+
+    def test_upsize_counts_shift_by_log2_scale(self):
+        upsizes = {}
+        for scale in (64, 128):
+            workload = get_workload("GUPS", scale=scale)
+            system = SimulationConfig(organization="mehpt", scale=scale).build(workload)
+            upsizes[scale] = memory_result(system).upsizes_per_way_4k
+        # Same initial slots floor (4) at both scales here, so the way at
+        # half footprint needs exactly one fewer doubling.
+        assert [u - 1 for u in upsizes[64]] == upsizes[128]
+
+
+class TestEndToEndSimulation:
+    def test_full_pipeline_radix_vs_mehpt(self):
+        results = {}
+        for org in ("radix", "mehpt"):
+            workload = get_workload("GUPS", scale=SCALE)
+            config = SimulationConfig(organization=org, scale=SCALE)
+            results[org] = TranslationSimulator(workload, config, trace_length=15_000).run()
+        assert results["mehpt"].cycles_per_access() < results["radix"].cycles_per_access()
+        for result in results.values():
+            assert result.walks + result.l1_hits + result.l2_hits <= result.accesses

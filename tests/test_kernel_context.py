@@ -1,0 +1,42 @@
+"""Unit tests for the context-switch model (repro.kernel.context)."""
+
+from repro.core.l2p import L2PTable
+from repro.kernel.context import ContextSwitchModel
+
+
+class TestContextSwitchModel:
+    def test_non_mehpt_pays_base_only(self):
+        model = ContextSwitchModel(base_cycles=1000)
+        assert model.switch_cost(None, None) == 1000
+
+    def test_l2p_cost_scales_with_usage(self):
+        model = ContextSwitchModel(base_cycles=1000, l2p_entry_cycles=4)
+        out = L2PTable()
+        out.subtable(0, "4K").reserve(50)
+        incoming = L2PTable()
+        incoming.subtable(1, "2M").reserve(10)
+        cost = model.switch_cost(out, incoming)
+        assert cost == 1000 + 50 * 4 + 10 * 4
+
+    def test_virtualized_guest_skips_l2p(self):
+        """Section V-C: no guest L2P tables; host table not switched."""
+        model = ContextSwitchModel(base_cycles=1000, virtualized=True)
+        l2p = L2PTable()
+        l2p.subtable(0, "4K").reserve(64)
+        assert model.switch_cost(l2p, l2p) == 1000
+
+    def test_statistics(self):
+        model = ContextSwitchModel(base_cycles=100)
+        model.switch_cost(None, None)
+        model.switch_cost(None, None)
+        assert model.switches == 2
+        assert model.mean_cost() == 100
+
+    def test_paper_average_usage_is_cheap(self):
+        # 53 entries on average (Section V-C) -> few hundred cycles.
+        model = ContextSwitchModel(base_cycles=1500, l2p_entry_cycles=4)
+        l2p = L2PTable()
+        l2p.subtable(0, "4K").reserve(53)
+        overhead = model.switch_cost(l2p, None) - 1500
+        assert overhead == 53 * 4
+        assert overhead < 500

@@ -1,0 +1,56 @@
+"""Unit tests for the THP policy (repro.kernel.thp)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.kernel.thp import PAGES_PER_2M, ThpPolicy
+
+
+class TestCoverage:
+    def test_disabled_always_4k(self):
+        policy = ThpPolicy(enabled=False, coverage=1.0)
+        assert all(policy.page_size_for(v) == "4K" for v in range(0, 10000, 37))
+
+    def test_full_coverage_always_2m(self):
+        policy = ThpPolicy(enabled=True, coverage=1.0)
+        assert all(policy.page_size_for(v) == "2M" for v in range(0, 10000, 37))
+
+    def test_zero_coverage_always_4k(self):
+        policy = ThpPolicy(enabled=True, coverage=0.0)
+        assert all(policy.page_size_for(v) == "4K" for v in range(0, 10000, 37))
+
+    def test_partial_coverage_fraction(self):
+        policy = ThpPolicy(enabled=True, coverage=0.5, seed=3)
+        regions = 4000
+        huge = sum(
+            1 for r in range(regions)
+            if policy.page_size_for(r * PAGES_PER_2M) == "2M"
+        )
+        assert 0.42 < huge / regions < 0.58
+
+    def test_decision_stable_within_region(self):
+        policy = ThpPolicy(enabled=True, coverage=0.5, seed=9)
+        for region in range(50):
+            base = region * PAGES_PER_2M
+            sizes = {policy.page_size_for(base + off) for off in (0, 1, 255, 511)}
+            assert len(sizes) == 1
+
+    def test_decision_deterministic_across_instances(self):
+        a = ThpPolicy(enabled=True, coverage=0.5, seed=4)
+        b = ThpPolicy(enabled=True, coverage=0.5, seed=4)
+        assert all(
+            a.page_size_for(v) == b.page_size_for(v) for v in range(0, 50000, 511)
+        )
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ConfigurationError):
+            ThpPolicy(coverage=1.5)
+
+
+class TestRegionBase:
+    def test_region_base(self):
+        policy = ThpPolicy()
+        assert policy.region_base(0) == 0
+        assert policy.region_base(511) == 0
+        assert policy.region_base(512) == 512
+        assert policy.region_base(1025) == 1024

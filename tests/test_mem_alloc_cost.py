@@ -1,0 +1,92 @@
+"""Unit tests for the allocation cost model (repro.mem.alloc_cost)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ContiguousAllocationError
+from repro.common.units import KB, MB
+from repro.mem.alloc_cost import ANCHOR_FMFI, PAPER_ANCHORS, AllocationCostModel
+
+
+class TestPaperAnchors:
+    """The Section III measurements must be reproduced exactly."""
+
+    @pytest.mark.parametrize("size,cycles", list(PAPER_ANCHORS))
+    def test_anchor_exact_at_measured_fmfi(self, size, cycles):
+        model = AllocationCostModel()
+        assert model.cycles(size, ANCHOR_FMFI) == pytest.approx(cycles)
+
+    def test_paper_values(self):
+        model = AllocationCostModel()
+        assert model.cycles(4 * KB, 0.7) == pytest.approx(4_000)
+        assert model.cycles(8 * KB, 0.7) == pytest.approx(5_000)
+        assert model.cycles(1 * MB, 0.7) == pytest.approx(750_000)
+        assert model.cycles(8 * MB, 0.7) == pytest.approx(13_000_000)
+        assert model.cycles(64 * MB, 0.7) == pytest.approx(120_000_000)
+
+
+class TestFailureRule:
+    def test_64mb_fails_above_070(self):
+        model = AllocationCostModel()
+        with pytest.raises(ContiguousAllocationError):
+            model.cycles(64 * MB, 0.71)
+
+    def test_64mb_ok_at_070(self):
+        assert AllocationCostModel().cycles(64 * MB, 0.7) > 0
+
+    def test_small_sizes_never_fail(self):
+        model = AllocationCostModel()
+        assert model.cycles(1 * MB, 0.99) > 0
+
+    def test_can_allocate_mirrors_check(self):
+        model = AllocationCostModel()
+        assert model.can_allocate(64 * MB, 0.7)
+        assert not model.can_allocate(64 * MB, 0.8)
+        assert not model.can_allocate(128 * MB, 0.8)
+
+
+class TestInterpolation:
+    def test_monotonic_in_size(self):
+        model = AllocationCostModel()
+        sizes = [4 * KB, 16 * KB, 128 * KB, 1 * MB, 4 * MB, 8 * MB, 32 * MB, 64 * MB]
+        costs = [model.cycles(s, 0.7) for s in sizes]
+        assert costs == sorted(costs)
+
+    def test_monotonic_in_fmfi(self):
+        model = AllocationCostModel()
+        costs = [model.cycles(1 * MB, level) for level in (0.0, 0.2, 0.4, 0.6, 0.7)]
+        assert costs == sorted(costs)
+
+    def test_fmfi_zero_is_zeroing_cost(self):
+        model = AllocationCostModel()
+        assert model.cycles(1 * MB, 0.0) == pytest.approx(
+            AllocationCostModel.zeroing_cycles(1 * MB)
+        )
+
+    def test_between_anchor_interpolation_is_bounded(self):
+        model = AllocationCostModel()
+        mid = model.cycles(2 * MB, 0.7)
+        assert model.cycles(1 * MB, 0.7) < mid < model.cycles(8 * MB, 0.7)
+
+    def test_extrapolation_beyond_largest_anchor(self):
+        model = AllocationCostModel()
+        # 128MB extrapolates the 8MB->64MB slope (superlinear growth).
+        big = model.cycles(128 * MB, 0.5)
+        assert big > model.cycles(64 * MB, 0.5) * 1.5
+
+    def test_below_smallest_anchor_scales_linearly(self):
+        model = AllocationCostModel()
+        assert model.cycles(2 * KB, 0.7) == pytest.approx(2_000)
+
+
+class TestConfiguration:
+    def test_needs_two_anchors(self):
+        with pytest.raises(ConfigurationError):
+            AllocationCostModel(anchors=[(4096, 4000.0)])
+
+    def test_positive_anchors_required(self):
+        with pytest.raises(ConfigurationError):
+            AllocationCostModel(anchors=[(4096, 0.0), (8192, 100.0)])
+
+    def test_cost_cache_consistency(self):
+        model = AllocationCostModel()
+        assert model.cycles(1 * MB, 0.7) == model.cycles(1 * MB, 0.7)

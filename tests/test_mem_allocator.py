@@ -1,0 +1,94 @@
+"""Unit tests for allocator objects (repro.mem.allocator)."""
+
+import pytest
+
+from repro.common.errors import ContiguousAllocationError, OutOfMemoryError
+from repro.common.units import GB, KB, MB
+from repro.mem.allocator import AllocationStats, BuddyBackedAllocator, CostModelAllocator
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.fragmentation import Fragmenter
+
+
+class TestAllocationStats:
+    def test_peak_and_current_tracking(self):
+        stats = AllocationStats()
+        stats.on_alloc(100, 10.0)
+        stats.on_alloc(200, 10.0)
+        stats.on_free(100)
+        assert stats.current_bytes == 200
+        assert stats.peak_bytes == 300
+        assert stats.max_contiguous_bytes == 200
+
+    def test_size_histogram(self):
+        stats = AllocationStats()
+        stats.on_alloc(64, 1.0)
+        stats.on_alloc(64, 1.0)
+        stats.on_alloc(128, 1.0)
+        assert stats.size_histogram == {64: 2, 128: 1}
+
+
+class TestCostModelAllocator:
+    def test_charges_cycles(self):
+        allocator = CostModelAllocator(fmfi=0.7)
+        allocator.alloc(1 * MB)
+        assert allocator.stats.cycles == pytest.approx(750_000)
+
+    def test_free_returns_bytes(self):
+        allocator = CostModelAllocator(fmfi=0.1)
+        handle = allocator.alloc(8 * KB)
+        allocator.free(handle)
+        assert allocator.stats.current_bytes == 0
+
+    def test_failure_recorded_and_raised(self):
+        allocator = CostModelAllocator(fmfi=0.9)
+        with pytest.raises(ContiguousAllocationError):
+            allocator.alloc(64 * MB)
+        assert allocator.stats.failed_allocations == 1
+
+    def test_scale_reports_fullscale_equivalents(self):
+        scaled = CostModelAllocator(fmfi=0.7, scale=16)
+        scaled.alloc(4 * MB)  # full-scale equivalent: 64MB
+        assert scaled.stats.max_contiguous_bytes == 64 * MB
+        assert scaled.stats.cycles == pytest.approx(120_000_000)
+
+    def test_scale_applies_failure_rule(self):
+        scaled = CostModelAllocator(fmfi=0.8, scale=16)
+        with pytest.raises(ContiguousAllocationError):
+            scaled.alloc(4 * MB)  # 64MB full-scale equivalent fails > 0.7
+
+    def test_shared_stats_aggregate(self):
+        stats = AllocationStats()
+        a = CostModelAllocator(fmfi=0.1, stats=stats)
+        b = CostModelAllocator(fmfi=0.1, stats=stats)
+        a.alloc(4 * KB)
+        b.alloc(8 * KB)
+        assert stats.allocations == 2
+
+
+class TestBuddyBackedAllocator:
+    def test_places_and_frees(self):
+        buddy = BuddyAllocator(64 * MB)
+        allocator = BuddyBackedAllocator(buddy)
+        handle = allocator.alloc(1 * MB)
+        assert buddy.free_frames() < buddy.total_frames
+        allocator.free(handle)
+        assert buddy.free_frames() == buddy.total_frames
+
+    def test_failure_from_real_fragmentation(self):
+        buddy = BuddyAllocator(256 * MB)
+        Fragmenter(buddy).fragment_to(1.0, buddy.order_for_bytes(64 * MB))
+        allocator = BuddyBackedAllocator(buddy)
+        with pytest.raises(OutOfMemoryError):
+            allocator.alloc(64 * MB)
+        assert allocator.stats.failed_allocations == 1
+
+    def test_cost_tracks_live_fmfi(self):
+        pristine = BuddyBackedAllocator(BuddyAllocator(1 * GB))
+        fragmented_buddy = BuddyAllocator(1 * GB)
+        Fragmenter(fragmented_buddy).fragment_to(
+            0.6, fragmented_buddy.order_for_bytes(8 * MB)
+        )
+        fragmented = BuddyBackedAllocator(fragmented_buddy)
+        pristine.alloc(8 * MB)
+        fragmented.alloc(8 * MB)
+        assert fragmented.stats.cycles > pristine.stats.cycles

@@ -1,0 +1,79 @@
+"""Unit tests for the cache-hierarchy model (repro.mem.cache)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.mem.cache import CacheHierarchy, CacheLevel
+
+
+class TestCacheLevel:
+    def test_miss_then_hit(self):
+        level = CacheLevel("L2", 64 * 1024, 8, 16)
+        assert not level.access(0x42)
+        assert level.access(0x42)
+        assert level.hit_rate() == 0.5
+
+    def test_lru_eviction_within_set(self):
+        level = CacheLevel("tiny", 4 * 64, 2, 10)  # 4 lines, 2 ways, 2 sets
+        # Lines 0 and 2 map to set 0; line 4 also set 0 -> evicts LRU (0).
+        level.access(0)
+        level.access(2)
+        level.access(4)
+        assert not level.contains(0)
+        assert level.contains(2) and level.contains(4)
+
+    def test_mru_promotion(self):
+        level = CacheLevel("tiny", 4 * 64, 2, 10)
+        level.access(0)
+        level.access(2)
+        level.access(0)  # promote 0
+        level.access(4)  # evicts 2, not 0
+        assert level.contains(0)
+        assert not level.contains(2)
+
+    def test_effective_fraction_shrinks_capacity(self):
+        full = CacheLevel("a", 64 * 1024, 8, 16, effective_fraction=1.0)
+        quarter = CacheLevel("b", 64 * 1024, 8, 16, effective_fraction=0.25)
+        assert quarter.num_sets < full.num_sets
+
+    def test_invalidate_all(self):
+        level = CacheLevel("L2", 8 * 1024, 8, 16)
+        level.access(7)
+        level.invalidate_all()
+        assert not level.contains(7)
+
+
+class TestCacheHierarchy:
+    def test_latency_progression(self):
+        hierarchy = CacheHierarchy()
+        first = hierarchy.access(0x100)   # DRAM
+        second = hierarchy.access(0x100)  # L2 now
+        assert first == 200
+        assert second == 16
+
+    def test_l3_hit_after_l2_eviction(self):
+        small_l2 = CacheLevel("L2", 2 * 64, 1, 16)  # 2 direct-mapped lines
+        big_l3 = CacheLevel("L3", 1024 * 64, 16, 56)
+        hierarchy = CacheHierarchy(levels=[small_l2, big_l3], dram_cycles=200)
+        hierarchy.access(0)
+        hierarchy.access(2)  # evicts 0 from L2 (same set), stays in L3
+        assert hierarchy.access(0) == 56
+
+    def test_parallel_access_is_max(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0x1)
+        cycles = hierarchy.access_parallel([0x1, 0x999])
+        assert cycles == 200  # the DRAM miss dominates
+
+    def test_parallel_empty(self):
+        assert CacheHierarchy().access_parallel([]) == 0
+
+    def test_needs_levels(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(levels=[])
+
+    def test_dram_counter(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0xA)
+        hierarchy.access(0xA)
+        assert hierarchy.dram_accesses == 1

@@ -1,0 +1,77 @@
+"""Unit tests for FMFI and the fragmenter (repro.mem.fragmentation)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, OutOfMemoryError
+from repro.common.units import GB, MB
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.fragmentation import Fragmenter, fmfi
+
+
+class TestFmfi:
+    def test_pristine_memory_is_unfragmented(self):
+        buddy = BuddyAllocator(256 * MB)
+        assert fmfi(buddy, buddy.order_for_bytes(64 * MB)) == 0.0
+
+    def test_exhausted_memory_reports_one(self):
+        buddy = BuddyAllocator(4 * MB, max_order=5)
+        while True:
+            try:
+                buddy.alloc_order(0)
+            except OutOfMemoryError:
+                break
+        assert fmfi(buddy, 3) == 1.0
+
+    def test_order_zero_always_usable(self):
+        buddy = BuddyAllocator(64 * MB)
+        buddy.alloc_order(0)
+        assert fmfi(buddy, 0) == 0.0
+
+    def test_scattered_frames_unusable_for_large_orders(self):
+        buddy = BuddyAllocator(64 * MB, max_order=10)
+        frag = Fragmenter(buddy)
+        frag.grab_all()
+        # Free isolated even frames: all free memory is order-0.
+        for frame in range(0, 2000, 2):
+            frag._held.discard(frame)
+            buddy.free(frame)
+        assert fmfi(buddy, 10) == 1.0
+
+
+class TestFragmenter:
+    @pytest.mark.parametrize("target", [0.0, 0.3, 0.7, 0.9])
+    def test_reaches_target(self, target):
+        buddy = BuddyAllocator(1 * GB)
+        frag = Fragmenter(buddy)
+        order = buddy.order_for_bytes(64 * MB)
+        achieved = frag.fragment_to(target, order)
+        assert abs(achieved - target) < 0.05
+
+    def test_full_fragmentation_blocks_64mb(self):
+        buddy = BuddyAllocator(1 * GB)
+        frag = Fragmenter(buddy)
+        order = buddy.order_for_bytes(64 * MB)
+        frag.fragment_to(1.0, order)
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc_bytes(64 * MB)
+
+    def test_moderate_fragmentation_allows_64mb(self):
+        buddy = BuddyAllocator(1 * GB)
+        frag = Fragmenter(buddy)
+        order = buddy.order_for_bytes(64 * MB)
+        frag.fragment_to(0.5, order)
+        assert buddy.alloc_bytes(64 * MB) is not None
+
+    def test_release_all_restores_memory(self):
+        buddy = BuddyAllocator(256 * MB)
+        frag = Fragmenter(buddy)
+        frag.fragment_to(0.8, buddy.order_for_bytes(8 * MB))
+        frag.release_all()
+        assert buddy.free_frames() == buddy.total_frames
+
+    def test_invalid_target_rejected(self):
+        frag = Fragmenter(BuddyAllocator(64 * MB))
+        with pytest.raises(ConfigurationError):
+            frag.fragment_to(1.5, 5)
+        with pytest.raises(ConfigurationError):
+            frag.fragment_to(0.5, 5, free_fraction=0.0)

@@ -1,0 +1,63 @@
+"""Unit tests for the TLB hierarchy (repro.mmu.hierarchy)."""
+
+from repro.ecpt.tables import EcptPageTables
+from repro.ecpt.walker import EcptWalker
+from repro.mem.allocator import CostModelAllocator
+from repro.mem.cache import CacheHierarchy
+from repro.mmu.hierarchy import TlbHierarchy
+
+
+def make_hierarchy():
+    tables = EcptPageTables(CostModelAllocator(fmfi=0.1))
+    walker = EcptWalker(tables, CacheHierarchy())
+    return tables, TlbHierarchy(walker)
+
+
+class TestTranslationPath:
+    def test_walk_then_l1_hits(self):
+        tables, tlb = make_hierarchy()
+        tables.map(0x1000, 7)
+        first = tlb.translate(0x1000)
+        second = tlb.translate(0x1000)
+        assert first.level == "walk" and first.cycles > 0
+        assert second.level == "l1" and second.cycles == 0
+
+    def test_l2_hit_after_l1_eviction(self):
+        tables, tlb = make_hierarchy()
+        # Fill far more 4KB translations than L1 (64) holds but fewer
+        # than L2 (1024); all map to rotating sets.
+        for i in range(512):
+            tables.map(0x1000 + i, i)
+            tlb.translate(0x1000 + i)
+        outcome = tlb.translate(0x1000)
+        assert outcome.level in ("l1", "l2")
+        assert tlb.l2_hits > 0
+
+    def test_fault_outcome(self):
+        _tables, tlb = make_hierarchy()
+        outcome = tlb.translate(0xBAD000)
+        assert outcome.level == "fault"
+        assert outcome.walk is not None and outcome.walk.fault
+
+    def test_huge_page_uses_2m_tlb(self):
+        tables, tlb = make_hierarchy()
+        tables.map(512 * 4, 9, "2M")
+        first = tlb.translate(512 * 4 + 17)
+        second = tlb.translate(512 * 4 + 400)  # same 2MB page, other vpn
+        assert first.level == "walk" and first.page_size == "2M"
+        assert second.level == "l1"
+
+    def test_fill_and_invalidate(self):
+        _tables, tlb = make_hierarchy()
+        tlb.fill(0x2000, "4K")
+        assert tlb.translate(0x2000).level == "l1"
+        tlb.invalidate(0x2000, "4K")
+        tlb.flush()
+        assert tlb.l1["4K"].occupancy() == 0
+
+    def test_miss_rate(self):
+        tables, tlb = make_hierarchy()
+        tables.map(0x3000, 1)
+        tlb.translate(0x3000)
+        tlb.translate(0x3000)
+        assert tlb.miss_rate() == 0.5

@@ -1,0 +1,75 @@
+"""Unit tests for set-associative TLBs (repro.mmu.tlb)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.mmu.tlb import SetAssociativeTlb
+
+
+class TestGeometry:
+    def test_entries_divisible_by_ways(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeTlb("bad", 100, 3, 2)
+
+    def test_sets_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeTlb("bad", 24, 4, 2)  # 6 sets
+
+    def test_table3_geometries_valid(self):
+        SetAssociativeTlb("L1-4K", 64, 4, 2)
+        SetAssociativeTlb("L1-2M", 32, 4, 2)
+        SetAssociativeTlb("L1-1G", 4, 4, 2)
+        SetAssociativeTlb("L2-4K", 1024, 8, 12)
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        tlb = SetAssociativeTlb("t", 16, 4, 2)
+        assert not tlb.lookup(42)
+        tlb.fill(42)
+        assert tlb.lookup(42)
+        assert tlb.hits == 1 and tlb.misses == 1
+
+    def test_lru_within_set(self):
+        tlb = SetAssociativeTlb("t", 8, 2, 2)  # 4 sets, 2 ways
+        tlb.fill(0)
+        tlb.fill(4)   # same set 0
+        tlb.fill(8)   # evicts LRU (0)
+        assert not tlb.lookup(0)
+        assert tlb.lookup(4) and tlb.lookup(8)
+
+    def test_lookup_refreshes_lru(self):
+        tlb = SetAssociativeTlb("t", 8, 2, 2)
+        tlb.fill(0)
+        tlb.fill(4)
+        tlb.lookup(0)
+        tlb.fill(8)  # evicts 4
+        assert tlb.lookup(0)
+        assert not tlb.lookup(4)
+
+    def test_fill_idempotent(self):
+        tlb = SetAssociativeTlb("t", 8, 2, 2)
+        tlb.fill(3)
+        tlb.fill(3)
+        assert tlb.occupancy() == 1
+
+    def test_invalidate(self):
+        tlb = SetAssociativeTlb("t", 8, 2, 2)
+        tlb.fill(5)
+        assert tlb.invalidate(5)
+        assert not tlb.lookup(5)
+        assert not tlb.invalidate(5)
+
+    def test_flush(self):
+        tlb = SetAssociativeTlb("t", 16, 4, 2)
+        for i in range(10):
+            tlb.fill(i)
+        tlb.flush()
+        assert tlb.occupancy() == 0
+
+    def test_hit_rate(self):
+        tlb = SetAssociativeTlb("t", 16, 4, 2)
+        tlb.lookup(1)
+        tlb.fill(1)
+        tlb.lookup(1)
+        assert tlb.hit_rate() == 0.5

@@ -1,0 +1,146 @@
+"""Property-based tests on system-level invariants (hypothesis).
+
+Beyond the cuckoo-vs-dict model checks, these pin down the invariants
+the paper's design arguments rest on: L2P accounting, chunk-ladder
+algebra, page-table equivalence under random mapping programs, and the
+power-of-two scaling law of the methodology.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.units import CACHE_LINE, KB, MB
+from repro.core.chunks import ChunkLadder
+from repro.core.l2p import ENTRIES_PER_SUBTABLE, L2PTable
+from repro.core.mehpt import MeHptPageTables
+from repro.ecpt.tables import EcptPageTables
+from repro.mem.allocator import CostModelAllocator
+from repro.mem.alloc_cost import AllocationCostModel
+from repro.radix.table import RadixPageTable
+
+slow = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# L2P invariants
+# ---------------------------------------------------------------------------
+
+@slow
+@given(ops=st.lists(
+    st.tuples(st.integers(0, 2), st.sampled_from(["4K", "2M", "1G"]),
+              st.integers(1, 20), st.booleans()),
+    max_size=80,
+))
+def test_l2p_never_overcommits(ops):
+    l2p = L2PTable(ways=3)
+    held = {}
+    for way, size, count, release in ops:
+        sub = l2p.subtable(way, size)
+        key = (way, size)
+        if release and held.get(key, 0) > 0:
+            sub.release(1)
+            held[key] -= 1
+        elif sub.reserve(count):
+            held[key] = held.get(key, 0) + count
+        # Invariants: per-subtable cap (with stealing) and way-group cap.
+        assert sub.in_use <= 2 * ENTRIES_PER_SUBTABLE
+        assert sub.group.in_use() <= 3 * ENTRIES_PER_SUBTABLE
+    assert l2p.entries_used() == sum(held.values())
+
+
+# ---------------------------------------------------------------------------
+# Chunk-ladder algebra
+# ---------------------------------------------------------------------------
+
+@slow
+@given(way_kb=st.integers(1, 4 * 1024 * 1024))
+def test_ladder_choice_is_minimal_and_sufficient(way_kb):
+    ladder = ChunkLadder()
+    way_bytes = way_kb * KB
+    try:
+        chosen = ladder.size_for_way(way_bytes)
+    except Exception:
+        assert way_bytes > ladder.max_way_bytes(ladder.largest)
+        return
+    assert ladder.chunks_needed(way_bytes, chosen) <= ladder.max_chunks_per_way
+    for smaller in ladder.sizes:
+        if smaller >= chosen:
+            break
+        assert ladder.chunks_needed(way_bytes, smaller) > ladder.max_chunks_per_way
+
+
+@slow
+@given(fmfi=st.floats(0.0, 0.7), size_kb=st.sampled_from([4, 8, 64, 1024, 8192]))
+def test_alloc_cost_bounded_by_anchor(fmfi, size_kb):
+    model = AllocationCostModel()
+    cost = model.cycles(size_kb * KB, fmfi)
+    assert model.zeroing_cycles(size_kb * KB) <= cost
+    assert cost <= model.cycles(size_kb * KB, 0.7) + 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Cross-organization equivalence under random mapping programs
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["map4k", "map2m", "unmap"]),
+              st.integers(0, 400)),
+    max_size=120,
+))
+def test_all_organizations_implement_the_same_function(ops):
+    radix = RadixPageTable()
+    ecpt = EcptPageTables(CostModelAllocator(fmfi=0.1), initial_slots=16)
+    mehpt = MeHptPageTables(CostModelAllocator(fmfi=0.1), initial_slots=16)
+    orgs = (radix, ecpt, mehpt)
+    mapped_2m_bases = set()
+    mapped_4k = set()
+    for op, value in ops:
+        if op == "map4k":
+            vpn = value
+            if vpn // 512 * 512 in mapped_2m_bases:
+                continue  # radix forbids nesting under a huge leaf
+            for org in orgs:
+                org.map(vpn, value + 7, "4K")
+            mapped_4k.add(vpn)
+        elif op == "map2m":
+            base = (value % 16 + 1) * 512 * 64  # away from the 4K range
+            for org in orgs:
+                org.map(base, value + 9, "2M")
+            mapped_2m_bases.add(base)
+        else:
+            vpn = value
+            for org in orgs:
+                org.unmap(vpn, "4K")
+            mapped_4k.discard(vpn)
+    for vpn in list(mapped_4k) + [401, 999999]:
+        results = {org.translate(vpn) for org in orgs}
+        assert len(results) == 1
+
+
+# ---------------------------------------------------------------------------
+# The scaling law of the methodology
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(blocks=st.integers(500, 4000), seed=st.integers(0, 5))
+def test_full_scale_equivalents_are_scale_invariant(blocks, seed):
+    """Running the same footprint at half scale with 2x accounting must
+    report identical full-scale contiguous needs."""
+    results = {}
+    for scale in (1, 2):
+        tables = EcptPageTables(
+            CostModelAllocator(fmfi=0.3, scale=scale),
+            initial_slots=max(4, 16 // scale),
+            hash_seed=seed,
+        )
+        for i in range(blocks // scale):
+            tables.map(0x1000 + i * 8, i)
+        results[scale] = tables.max_contiguous_bytes()
+    assert results[1] == results[2]

@@ -1,0 +1,74 @@
+"""Unit tests for page-walk caches (repro.radix.pwc)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.radix.pwc import PageWalkCaches, _FullyAssociativeCache
+
+
+class TestFullyAssociativeCache:
+    def test_lru_eviction(self):
+        cache = _FullyAssociativeCache(2)
+        cache.fill(1)
+        cache.fill(2)
+        cache.fill(3)
+        assert not cache.lookup(1)
+        assert cache.lookup(2) and cache.lookup(3)
+
+    def test_lookup_promotes(self):
+        cache = _FullyAssociativeCache(2)
+        cache.fill(1)
+        cache.fill(2)
+        cache.lookup(1)
+        cache.fill(3)  # evicts 2 (LRU), not 1
+        assert cache.lookup(1)
+        assert not cache.lookup(2)
+
+
+class TestPageWalkCaches:
+    def test_cold_lookup_starts_at_root(self):
+        pwc = PageWalkCaches()
+        assert pwc.lookup(0x12345, max_depth=3) == 0
+
+    def test_fill_then_deepest_hit(self):
+        pwc = PageWalkCaches()
+        pwc.fill(0x12345, reached_depth=3)
+        assert pwc.lookup(0x12345, max_depth=3) == 3
+
+    def test_max_depth_respected_for_huge_walks(self):
+        pwc = PageWalkCaches()
+        pwc.fill(0x12345, reached_depth=3)
+        # A 2MB walk only has 3 node levels; the depth-3 pointer is too deep.
+        assert pwc.lookup(0x12345, max_depth=2) == 2
+
+    def test_neighbouring_pages_share_upper_entries(self):
+        pwc = PageWalkCaches()
+        pwc.fill(0x1000, reached_depth=3)
+        # Same PTE node (same vpn >> 9) -> depth-3 hit.
+        assert pwc.lookup(0x11FF, max_depth=3) == 3
+        # Same PMD node but different PTE node -> depth-2 hit.
+        assert pwc.lookup(0x1000 + (1 << 9), max_depth=3) == 2
+
+    def test_capacity_eviction(self):
+        pwc = PageWalkCaches(entries_per_level=2)
+        for i in range(4):
+            pwc.fill(i << 27, reached_depth=1)  # distinct PGD entries
+        assert pwc.lookup(0 << 27, max_depth=3) == 0  # evicted
+        assert pwc.lookup(3 << 27, max_depth=3) == 1
+
+    def test_five_level_tree_caches_deepest_three(self):
+        pwc = PageWalkCaches(levels=5, num_caches=3)
+        pwc.fill(0xABCDE, reached_depth=4)
+        assert pwc.lookup(0xABCDE, max_depth=4) == 4
+        assert len(pwc._caches) == 3
+
+    def test_hit_rate(self):
+        pwc = PageWalkCaches()
+        pwc.lookup(1, max_depth=3)
+        pwc.fill(1, reached_depth=3)
+        pwc.lookup(1, max_depth=3)
+        assert 0.0 < pwc.hit_rate() < 1.0
+
+    def test_needs_two_levels(self):
+        with pytest.raises(ConfigurationError):
+            PageWalkCaches(levels=1)

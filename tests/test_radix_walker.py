@@ -1,0 +1,59 @@
+"""Unit tests for the radix walker (repro.radix.walker)."""
+
+from repro.mem.cache import CacheHierarchy
+from repro.radix.pwc import PageWalkCaches
+from repro.radix.table import RadixPageTable
+from repro.radix.walker import RadixWalker
+
+
+def make_walker(table=None):
+    table = table or RadixPageTable()
+    return RadixWalker(table, CacheHierarchy()), table
+
+
+class TestWalks:
+    def test_cold_walk_pays_four_sequential_accesses(self):
+        walker, table = make_walker()
+        table.map(0x3000, 9)
+        result = walker.walk(0x3000)
+        assert result.ppn == 9
+        assert result.memory_accesses == 4
+        # 4 cold accesses at DRAM latency plus the PWC lookup.
+        assert result.cycles == 4 + 4 * 200
+
+    def test_warm_walk_uses_pwc(self):
+        walker, table = make_walker()
+        table.map(0x3000, 9)
+        walker.walk(0x3000)
+        result = walker.walk(0x3001 + 0)  # unmapped but same PTE node
+        table.map(0x3001, 10)
+        result = walker.walk(0x3001)
+        assert result.memory_accesses == 1  # PWC skips to the PTE access
+
+    def test_sequential_latency_adds_up(self):
+        walker, table = make_walker()
+        table.map(0x5000, 1)
+        cold = walker.walk(0x5000).cycles
+        warm = walker.walk(0x5000).cycles
+        assert warm < cold
+
+    def test_fault_result(self):
+        walker, _table = make_walker()
+        result = walker.walk(0x77777)
+        assert result.fault
+        assert result.ppn is None
+
+    def test_huge_page_walk_is_shorter(self):
+        walker, table = make_walker()
+        table.map(0, 1, "2M")
+        result = walker.walk(5)
+        assert result.page_size == "2M"
+        assert result.memory_accesses == 3
+
+    def test_statistics(self):
+        walker, table = make_walker()
+        table.map(1, 1)
+        walker.walk(1)
+        walker.walk(1)
+        assert walker.walks == 2
+        assert walker.mean_walk_cycles() > 0

@@ -1,0 +1,40 @@
+"""Unit tests for the combined report driver (repro.experiments.run_all)."""
+
+import io
+
+from repro.experiments import run_all as run_all_mod
+from repro.experiments.runner import ExperimentSettings
+
+
+class TestSectionWiring:
+    def test_all_thirteen_experiments_present(self):
+        sections = run_all_mod._sections(ExperimentSettings())
+        titles = [title for title, _fn in sections]
+        assert titles[0].startswith("Section III")
+        for expected in ("Table I", "Table II", "Table III"):
+            assert expected in titles
+        for figure in range(8, 17):
+            assert f"Figure {figure}" in titles
+        assert len(sections) == 13
+
+    def test_report_streams_sections(self, monkeypatch):
+        # Stub the producers so the loop itself is cheap to test.
+        stub = [(f"S{i}", lambda i=i: f"body-{i}") for i in range(3)]
+        monkeypatch.setattr(run_all_mod, "_sections", lambda settings: stub)
+        stream = io.StringIO()
+        run_all_mod.run_all(ExperimentSettings(), stream=stream)
+        text = stream.getvalue()
+        for i in range(3):
+            assert f"# S{i}" in text
+            assert f"body-{i}" in text
+        assert "all experiments completed" in text
+
+    def test_cli_parses_flags(self, monkeypatch):
+        calls = {}
+
+        def fake_run_all(settings, stream=None):
+            calls["scale"] = settings.scale
+
+        monkeypatch.setattr(run_all_mod, "run_all", fake_run_all)
+        run_all_mod.main(["--scale", "128"])
+        assert calls["scale"] == 128

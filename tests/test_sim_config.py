@@ -1,0 +1,83 @@
+"""Unit tests for simulation configuration (repro.sim.config)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import KB, MB
+from repro.core.mehpt import MeHptPageTables
+from repro.ecpt.tables import EcptPageTables
+from repro.radix.table import RadixPageTable
+from repro.sim.config import SimulationConfig, table3_parameters
+from repro.workloads import get_workload
+
+
+class TestValidation:
+    def test_unknown_organization(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(organization="hash_trie")
+
+    def test_scale_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(scale=3)
+
+
+class TestScaledParameters:
+    def test_initial_slots_scale(self):
+        assert SimulationConfig(scale=1).scaled_initial_slots() == 128
+        assert SimulationConfig(scale=16).scaled_initial_slots() == 8
+        assert SimulationConfig(scale=64).scaled_initial_slots() == 4  # floor
+
+    def test_ladder_scales(self):
+        ladder = SimulationConfig(scale=16).scaled_ladder()
+        assert ladder.sizes[0] == 8 * KB // 16
+        assert ladder.sizes[1] == 1 * MB // 16
+
+    def test_ladder_floor_dedupes(self):
+        # At very large scales, small rungs collapse to the 64B floor.
+        ladder = SimulationConfig(scale=1024).scaled_ladder()
+        assert ladder.sizes[0] == 64
+        assert len(ladder.sizes) == len(set(ladder.sizes))
+
+
+class TestBuild:
+    @pytest.mark.parametrize(
+        "org,table_type",
+        [("radix", RadixPageTable), ("ecpt", EcptPageTables), ("mehpt", MeHptPageTables)],
+    )
+    def test_builds_each_organization(self, org, table_type):
+        config = SimulationConfig(organization=org, scale=64)
+        system = config.build(get_workload("TC", scale=64))
+        assert isinstance(system.page_tables, table_type)
+        assert system.tlb.walker is system.walker
+
+    def test_vmas_installed(self):
+        config = SimulationConfig(organization="mehpt", scale=64)
+        workload = get_workload("TC", scale=64)
+        system = config.build(workload)
+        assert system.address_space.total_vma_pages() == workload.span_pages
+
+    def test_thp_coverage_wired_from_workload(self):
+        config = SimulationConfig(organization="mehpt", scale=64, thp_enabled=True)
+        system = config.build(get_workload("GUPS", scale=64))
+        assert system.address_space.thp.enabled
+        assert system.address_space.thp.coverage == 1.0
+
+    def test_ablation_flags_reach_tables(self):
+        config = SimulationConfig(organization="mehpt", scale=64, enable_inplace=False)
+        system = config.build(get_workload("TC", scale=64))
+        assert not system.page_tables.tables["4K"].table.inplace_enabled
+
+    def test_cache_scaling_flag(self):
+        scaled = SimulationConfig(scale=32).build_cache_hierarchy()
+        unscaled = SimulationConfig(
+            scale=32, scale_cache_with_footprint=False
+        ).build_cache_hierarchy()
+        assert scaled.levels[0].num_sets < unscaled.levels[0].num_sets
+
+
+class TestTable3Dump:
+    def test_headline_parameters_present(self):
+        params = table3_parameters()
+        assert "L2P table" in params
+        assert "0.6 upsize" in params["HPT occupancy thresholds"]
+        assert "0.7 FMFI" in params["Memory fragmentation"]

@@ -1,0 +1,94 @@
+"""Unit tests for result containers and speedup math (repro.sim.results)."""
+
+import pytest
+
+from repro.sim.results import (
+    MemoryFootprintResult,
+    PerformanceResult,
+    format_table,
+    geomean,
+    speedup,
+)
+
+
+def make_perf(translation=100.0, os_cycles=0.0, failed=False, accesses=100):
+    return PerformanceResult(
+        workload="X",
+        organization="radix",
+        thp=False,
+        accesses=accesses,
+        base_cycles_per_access=10.0,
+        translation_cycles=translation,
+        l1_hits=0,
+        l2_hits=0,
+        walks=10,
+        faults=1,
+        pt_alloc_cycles=os_cycles,
+        reinsert_cycles=0.0,
+        l2p_exposed_cycles=0.0,
+        fullscale_accesses=1000.0,
+        failed=failed,
+    )
+
+
+class TestPerformanceResult:
+    def test_cpa_composition(self):
+        result = make_perf(translation=200.0, os_cycles=5000.0)
+        assert result.translation_cpa() == 2.0
+        assert result.os_cpa() == 5.0
+        assert result.cycles_per_access() == 17.0
+
+    def test_miss_rate(self):
+        assert make_perf().tlb_miss_rate() == 0.1
+
+    def test_zero_accesses_safe(self):
+        result = make_perf(accesses=0)
+        result.fullscale_accesses = 0.0
+        assert result.translation_cpa() == 0.0
+        assert result.os_cpa() == 0.0
+
+
+class TestSpeedup:
+    def test_faster_configuration(self):
+        fast = make_perf(translation=0.0)
+        slow = make_perf(translation=1000.0)
+        assert speedup(fast, slow) == 2.0
+
+    def test_failed_faster_is_zero(self):
+        assert speedup(make_perf(failed=True), make_perf()) == 0.0
+
+    def test_failed_baseline_is_inf(self):
+        assert speedup(make_perf(), make_perf(failed=True)) == float("inf")
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_skips_zeros(self):
+        assert geomean([0.0, 4.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestMemoryFootprintResult:
+    def test_mean_moved_fraction_skips_idle_ways(self):
+        result = MemoryFootprintResult(
+            workload="X", organization="mehpt", thp=False,
+            max_contiguous_bytes=1, total_pt_bytes=1, peak_pt_bytes=1,
+            pt_alloc_cycles=0.0, pages_mapped_4k=0, pages_mapped_2m=0,
+            moved_fractions_4k=[0.5, 0.0, 0.52],
+        )
+        assert result.mean_moved_fraction() == pytest.approx(0.51)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["App", "Value"], [["GUPS", "1"], ["BC", "22"]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "App" in lines[2]
+        assert all(len(line) >= 4 for line in lines[3:])

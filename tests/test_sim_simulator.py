@@ -1,0 +1,107 @@
+"""Unit tests for the trace-driven simulator (repro.sim.simulator)."""
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.sim.results import speedup
+from repro.sim.simulator import TranslationSimulator, memory_result, populate_tables
+from repro.workloads import get_workload
+
+SCALE = 64
+FAST = dict(scale=SCALE)
+
+
+def run(org, thp=False, app="TC", n=8_000, **overrides):
+    workload = get_workload(app, scale=SCALE)
+    config = SimulationConfig(organization=org, thp_enabled=thp, **FAST, **overrides)
+    return TranslationSimulator(workload, config, trace_length=n).run()
+
+
+class TestPopulate:
+    def test_every_page_mapped(self):
+        workload = get_workload("TC", scale=SCALE)
+        system = SimulationConfig(organization="mehpt", **FAST).build(workload)
+        populate_tables(system)
+        pages = workload.page_set()
+        for vpn in pages[:: max(1, len(pages) // 100)]:
+            assert system.page_tables.translate(int(vpn)) is not None
+
+    def test_memory_result_fields(self):
+        workload = get_workload("TC", scale=SCALE)
+        system = SimulationConfig(organization="mehpt", **FAST).build(workload)
+        result = memory_result(system)
+        assert result.total_pt_bytes > 0
+        assert result.max_contiguous_bytes > 0
+        assert len(result.upsizes_per_way_4k) == 3
+        assert not result.failed
+
+    def test_memory_result_radix(self):
+        workload = get_workload("TC", scale=SCALE)
+        system = SimulationConfig(organization="radix", **FAST).build(workload)
+        result = memory_result(system)
+        assert result.max_contiguous_bytes == 4096
+        assert result.total_pt_bytes > 0
+
+    def test_ecpt_failure_recorded_not_raised(self):
+        workload = get_workload("GUPS", scale=SCALE)
+        system = SimulationConfig(organization="ecpt", fmfi=0.75, **FAST).build(workload)
+        result = memory_result(system)
+        assert result.failed
+        assert "contiguous" in result.failure_reason
+
+
+class TestTraceRuns:
+    @pytest.mark.parametrize("org", ["radix", "ecpt", "mehpt"])
+    def test_runs_and_counts(self, org):
+        result = run(org)
+        assert result.accesses >= 8_000
+        assert result.walks > 0
+        assert result.translation_cycles > 0
+        assert 0.0 < result.tlb_miss_rate() <= 1.0
+
+    def test_accesses_include_repeats(self):
+        result = run("radix")
+        repeats = get_workload("TC", scale=SCALE).spec.pattern.page_repeats
+        assert result.accesses == 8_000 * repeats
+
+    def test_faults_bounded_by_footprint(self):
+        result = run("mehpt")
+        workload = get_workload("TC", scale=SCALE)
+        assert result.faults <= len(workload.page_set())
+
+    def test_thp_reduces_misses_for_covered_app(self):
+        no_thp = run("radix", thp=False, app="GUPS")
+        thp = run("radix", thp=True, app="GUPS")
+        assert thp.walks < no_thp.walks
+
+    def test_cycles_per_access_composition(self):
+        result = run("mehpt")
+        assert result.cycles_per_access() == pytest.approx(
+            result.base_cycles_per_access + result.translation_cpa() + result.os_cpa()
+        )
+
+    def test_speedup_self_is_one(self):
+        result = run("radix")
+        assert speedup(result, result) == 1.0
+
+    def test_hpt_faster_than_radix_on_tlb_hostile_app(self):
+        base = run("radix", app="GUPS", n=20_000)
+        me = run("mehpt", app="GUPS", n=20_000)
+        assert speedup(me, base) > 1.0
+
+    def test_failed_run_flagged(self):
+        # scale=512 makes the fatal 64MB-equivalent way reachable within a
+        # short trace (the failure needs the table to actually grow there).
+        workload = get_workload("GUPS", scale=512)
+        config = SimulationConfig(organization="ecpt", fmfi=0.75, scale=512)
+        result = TranslationSimulator(workload, config, trace_length=30_000).run()
+        assert result.failed
+        base = run("radix", app="GUPS", n=20_000)
+        assert speedup(result, base) == 0.0
+
+    def test_differential_costs_populated_for_hpts(self):
+        result = run("ecpt", app="GUPS", n=20_000)
+        assert result.pt_alloc_cycles > 0
+        assert result.rehash_move_cycles > 0
+        me = run("mehpt", app="GUPS", n=20_000)
+        assert me.l2p_exposed_cycles >= 0

@@ -1,0 +1,140 @@
+"""Unit tests for workload generation (repro.workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.base import (
+    DATA_VMA_BASE,
+    PAGES_PER_BLOCK,
+    AccessPattern,
+    Workload,
+    WorkloadSpec,
+)
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    GRAPH_WORKLOADS,
+    get_workload,
+    graph_workload_with_nodes,
+    workload_names,
+)
+
+
+class TestAccessPattern:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            AccessPattern(sequential=0.5, uniform=0.2, zipf=0.1)
+
+    def test_valid_pattern(self):
+        AccessPattern(sequential=0.3, uniform=0.4, zipf=0.3)
+
+
+class TestRegistry:
+    def test_eleven_applications(self):
+        assert len(workload_names()) == 11
+        assert set(GRAPH_WORKLOADS) <= set(workload_names())
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("nosuchapp")
+
+    def test_table1_data_sizes(self):
+        assert ALL_WORKLOADS["GUPS"].data_gb == 64.0
+        assert ALL_WORKLOADS["BFS"].data_gb == 9.3
+        assert ALL_WORKLOADS["MUMmer"].data_gb == 6.9
+
+    def test_thp_coverage_calibration(self):
+        assert ALL_WORKLOADS["GUPS"].thp_coverage == 1.0
+        assert ALL_WORKLOADS["SysBench"].thp_coverage == 1.0
+        assert ALL_WORKLOADS["BFS"].thp_coverage == 0.0
+        assert 0.0 < ALL_WORKLOADS["MUMmer"].thp_coverage < 1.0
+
+
+class TestFootprint:
+    def test_block_set_size_scales(self):
+        full = get_workload("BFS", scale=1)
+        scaled = get_workload("BFS", scale=8)
+        assert abs(len(scaled.block_set()) - len(full.block_set()) / 8) < 8
+
+    def test_scale_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            Workload(ALL_WORKLOADS["BFS"], scale=3)
+
+    def test_blocks_inside_vma(self):
+        workload = get_workload("GUPS", scale=64)
+        (start, pages, _name), = workload.vma_layout()
+        page_set = workload.page_set()
+        assert page_set.min() >= start
+        assert page_set.max() < start + pages
+
+    def test_page_set_is_sorted_unique(self):
+        workload = get_workload("TC", scale=16)
+        pages = workload.page_set()
+        assert np.all(np.diff(pages) > 0)
+
+    def test_density_limits_pages_per_block(self):
+        workload = get_workload("GUPS", scale=64)  # density 0.6
+        pages = workload.page_set()
+        blocks = np.unique(pages // PAGES_PER_BLOCK)
+        per_block = len(pages) / len(blocks)
+        assert 4.0 <= per_block <= 5.5  # 0.6 * 8 = 4.8
+
+    def test_footprint_stable_across_instances(self):
+        a = get_workload("BFS", scale=32, seed=1)
+        b = get_workload("BFS", scale=32, seed=1)
+        assert np.array_equal(a.page_set(), b.page_set())
+
+    def test_different_seeds_differ(self):
+        a = get_workload("GUPS", scale=64, seed=1)
+        b = get_workload("GUPS", scale=64, seed=2)
+        assert not np.array_equal(a.page_set(), b.page_set())
+
+    def test_unscale(self):
+        workload = get_workload("BFS", scale=16)
+        assert workload.unscale_bytes(100) == 1600
+
+
+class TestTraces:
+    def test_trace_length_and_domain(self):
+        workload = get_workload("BFS", scale=32)
+        trace = workload.trace(5000)
+        assert len(trace) == 5000
+        page_set = set(workload.page_set().tolist())
+        sample = trace[:: max(1, len(trace) // 200)]
+        assert all(int(v) in page_set for v in sample)
+
+    def test_trace_deterministic(self):
+        workload = get_workload("GUPS", scale=64)
+        assert np.array_equal(workload.trace(1000), workload.trace(1000))
+
+    def test_seed_offset_changes_trace(self):
+        workload = get_workload("GUPS", scale=64)
+        assert not np.array_equal(
+            workload.trace(1000, seed_offset=0), workload.trace(1000, seed_offset=1)
+        )
+
+    def test_sequential_pattern_has_runs(self):
+        workload = get_workload("MUMmer", scale=8)  # 65% sequential
+        trace = workload.trace(4000)
+        diffs = np.diff(trace)
+        assert (diffs == 1).mean() > 0.3
+
+    def test_uniform_pattern_spreads(self):
+        workload = get_workload("GUPS", scale=64)
+        trace = workload.trace(4000)
+        assert len(np.unique(trace)) > 3000  # random over a large footprint
+
+
+class TestGraphScaling:
+    def test_fig15_node_scaling(self):
+        small = graph_workload_with_nodes("BFS", 1_000)
+        big = graph_workload_with_nodes("BFS", 100_000)
+        assert big.blocks > 50 * small.blocks
+
+    def test_non_graph_rejected(self):
+        with pytest.raises(ConfigurationError):
+            graph_workload_with_nodes("GUPS", 1000)
+
+    def test_describe(self):
+        text = get_workload("BFS", scale=8).describe()
+        assert "BFS" in text and "1/8" in text

@@ -1,0 +1,154 @@
+"""Unit tests for structural workload generators (graph + kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.workloads.graph import (
+    NODE_RECORD_BYTES,
+    SyntheticGraph,
+    TRAVERSALS,
+    structural_trace,
+)
+from repro.workloads.kernels import GupsKernel, MummerKernel, SysbenchMemoryKernel
+
+
+class TestSyntheticGraph:
+    def test_csr_consistency(self):
+        graph = SyntheticGraph(nodes=2000, seed=3)
+        assert graph.offsets[0] == 0
+        assert graph.offsets[-1] == graph.edge_count
+        assert np.all(np.diff(graph.offsets) >= 1)
+        assert graph.edges.min() >= 0
+        assert graph.edges.max() < graph.nodes
+
+    def test_power_law_hubs(self):
+        graph = SyntheticGraph(nodes=5000, seed=3)
+        # Preferential targets: the lowest-id 10% of nodes receive a
+        # disproportionate share of edges.
+        hub_share = (graph.edges < graph.nodes // 10).mean()
+        assert hub_share > 0.25
+
+    def test_layout_regions_disjoint_and_ordered(self):
+        graph = SyntheticGraph(nodes=3000)
+        assert graph.node_base < graph.offset_base < graph.edge_base < graph.end_vpn
+        assert graph.node_vpn(graph.nodes - 1) < graph.offset_base
+        assert graph.edge_vpn(graph.edge_count - 1) < graph.end_vpn
+
+    def test_node_vpn_packing(self):
+        graph = SyntheticGraph(nodes=1000)
+        per_page = 4096 // NODE_RECORD_BYTES
+        assert graph.node_vpn(0) == graph.node_vpn(per_page - 1)
+        assert graph.node_vpn(per_page) == graph.node_vpn(0) + 1
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticGraph(nodes=1)
+
+    def test_deterministic(self):
+        a = SyntheticGraph(nodes=1000, seed=5)
+        b = SyntheticGraph(nodes=1000, seed=5)
+        assert np.array_equal(a.edges, b.edges)
+
+
+class TestTraversalTraces:
+    @pytest.mark.parametrize("method", ["bfs_trace", "dfs_trace",
+                                        "pagerank_trace", "triangle_trace"])
+    def test_traces_stay_in_graph_memory(self, method):
+        graph = SyntheticGraph(nodes=2000, seed=9)
+        trace = getattr(graph, method)(5000)
+        assert len(trace) == 5000
+        assert trace.min() >= graph.base_vpn
+        assert trace.max() < graph.end_vpn
+
+    def test_bfs_covers_many_nodes(self):
+        graph = SyntheticGraph(nodes=2000, seed=9)
+        trace = graph.bfs_trace(8000)
+        node_pages = trace[(trace >= graph.node_base) & (trace < graph.offset_base)]
+        assert len(np.unique(node_pages)) > 10
+
+    def test_pagerank_streams_node_array(self):
+        graph = SyntheticGraph(nodes=20000, seed=9)
+        trace = graph.pagerank_trace(20000)
+        node_pages = trace[(trace >= graph.node_base) & (trace < graph.offset_base)]
+        # The sweep advances through the node array.
+        assert len(np.unique(node_pages)) > 50
+
+    def test_triangle_hits_edge_array_hard(self):
+        graph = SyntheticGraph(nodes=2000, seed=9)
+        trace = graph.triangle_trace(8000)
+        edge_hits = ((trace >= graph.edge_base) & (trace < graph.end_vpn)).mean()
+        assert edge_hits > 0.3
+
+    def test_structural_trace_dispatch(self):
+        for app in TRAVERSALS:
+            trace = structural_trace(app, nodes=800, length=500)
+            assert len(trace) == 500
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ConfigurationError):
+            structural_trace("GUPS", nodes=100, length=10)
+
+
+class TestGupsKernel:
+    def test_uniform_coverage(self):
+        kernel = GupsKernel(table_pages=1000)
+        trace = kernel.trace(20000)
+        assert len(np.unique(trace)) > 900
+        assert trace.min() >= kernel.base_vpn
+        assert trace.max() < kernel.base_vpn + 1000
+
+    def test_no_locality(self):
+        kernel = GupsKernel(table_pages=4096)
+        trace = kernel.trace(10000)
+        assert (np.abs(np.diff(trace)) <= 1).mean() < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GupsKernel(table_pages=0)
+
+
+class TestMummerKernel:
+    def test_mixes_streaming_and_descents(self):
+        kernel = MummerKernel(reference_pages=5000, index_pages=2000)
+        trace = kernel.trace(10000)
+        ref = trace < kernel.index_base
+        assert 0.5 < ref.mean() < 0.95  # mostly streaming
+        seq = (np.diff(trace) == 1).mean()
+        assert seq > 0.4
+
+    def test_index_pages_scattered(self):
+        kernel = MummerKernel(reference_pages=100, index_pages=5000)
+        trace = kernel.trace(10000)
+        index_hits = trace[trace >= kernel.index_base]
+        assert len(np.unique(index_hits)) > 500
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MummerKernel(reference_pages=0, index_pages=10)
+
+
+class TestSysbenchKernel:
+    def test_block_runs(self):
+        kernel = SysbenchMemoryKernel(buffer_pages=4096, block_pages=4)
+        trace = kernel.trace(8000)
+        # Within blocks, accesses are sequential.
+        assert (np.diff(trace) == 1).mean() > 0.5
+
+    def test_random_mode_spreads(self):
+        kernel = SysbenchMemoryKernel(
+            buffer_pages=8192, block_pages=4, random_fraction=1.0
+        )
+        trace = kernel.trace(8000)
+        assert len(np.unique(trace // 4)) > 1000
+
+    def test_sequential_mode_sweeps(self):
+        kernel = SysbenchMemoryKernel(
+            buffer_pages=64, block_pages=4, random_fraction=0.0
+        )
+        trace = kernel.trace(64)
+        assert np.array_equal(trace, kernel.base_vpn + np.arange(64))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SysbenchMemoryKernel(buffer_pages=2, block_pages=4)
