@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import os
 
-from repro.experiments.runner import ExperimentSettings
+import pytest
+
+from repro.experiments.runner import ExperimentSettings, clear_caches
 
 #: One settings object shared by all benchmarks (shared memoisation).
 BENCH_SETTINGS = ExperimentSettings(scale=64, trace_length=25_000)
@@ -38,3 +40,14 @@ def save_output(name: str, text: str) -> None:
 def once(benchmark, fn):
     """Run an expensive driver exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _drop_sweep_caches():
+    """Release the memoised sweep results when the benchmark session ends.
+
+    Within the session the caches are the point (shared populate runs);
+    afterwards they only pin memory in whatever process embeds pytest.
+    """
+    yield
+    clear_caches()

@@ -13,6 +13,7 @@ from repro.common.errors import (
     OutOfMemoryError,
     SimulationError,
     TableFullError,
+    TransientAllocationError,
 )
 from repro.common.rng import DeterministicRng
 from repro.common.units import (
@@ -44,6 +45,7 @@ __all__ = [
     "DeterministicRng",
     "MEHPTError",
     "ContiguousAllocationError",
+    "TransientAllocationError",
     "OutOfMemoryError",
     "TableFullError",
     "L2POverflowError",

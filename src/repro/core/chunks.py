@@ -69,6 +69,16 @@ class ChunkLadder:
             return None
         return self.sizes[index + 1]
 
+    def prev_size(self, current: int) -> Optional[int]:
+        """The ladder size before ``current``, or None at the bottom."""
+        try:
+            index = self.sizes.index(current)
+        except ValueError:
+            raise ConfigurationError(f"{current} is not a ladder size") from None
+        if index == 0:
+            return None
+        return self.sizes[index - 1]
+
     def chunks_needed(self, way_bytes: int, chunk_bytes: int) -> int:
         """Chunks of ``chunk_bytes`` required to hold a way of ``way_bytes``."""
         return max(1, -(-way_bytes // chunk_bytes))

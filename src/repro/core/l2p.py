@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SimulationError
 from repro.hashing.storage import ChunkBudget
 
 PAGE_SIZES = ("4K", "2M", "1G")
@@ -153,3 +153,36 @@ class L2PTable:
         extremes, Section V-C), once out and once in.
         """
         return 2 * self.entries_used() * cycles_per_entry
+
+    # -- invariants --------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify the capacity rules of Section V-A.
+
+        Every subtable must hold ``0 <= in_use <= 64`` entries (32 plus at
+        most one stolen neighbour subtable), ``peak_in_use`` must dominate
+        ``in_use``, and each way-group's three subtables must fit in its 96
+        physical entries.  Raises
+        :class:`~repro.common.errors.SimulationError` with structured
+        context on violation.
+        """
+        for way, group in enumerate(self._groups):
+            for page_size, sub in group.subtables.items():
+                if not 0 <= sub.in_use <= sub.capacity_with_steal:
+                    raise SimulationError(
+                        "L2P subtable usage outside [0, 2x32]",
+                        component="l2p", way=way, page_size=page_size,
+                        in_use=sub.in_use, limit=sub.capacity_with_steal,
+                    )
+                if sub.peak_in_use < sub.in_use:
+                    raise SimulationError(
+                        "L2P subtable peak below current usage",
+                        component="l2p", way=way, page_size=page_size,
+                        in_use=sub.in_use, peak_in_use=sub.peak_in_use,
+                    )
+            if group.in_use() > group.capacity():
+                raise SimulationError(
+                    "L2P way-group exceeds its 96 physical entries",
+                    component="l2p", way=way,
+                    in_use=group.in_use(), capacity=group.capacity(),
+                )

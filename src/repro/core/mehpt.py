@@ -23,11 +23,17 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from repro.common.errors import ConfigurationError, L2POverflowError
+from repro.common.errors import (
+    ConfigurationError,
+    ContiguousAllocationError,
+    L2POverflowError,
+)
 from repro.common.rng import DeterministicRng, make_rng
 from repro.common.units import CACHE_LINE
 from repro.core.chunks import ChunkLadder
 from repro.core.l2p import L2PTable
+from repro.faults.log import EVENT_FALLBACK, DegradationLog
+from repro.faults.plan import FaultInjectedBudget, FaultPlan
 from repro.ecpt.tables import (
     DEFAULT_INITIAL_SLOTS,
     DEFAULT_WAYS,
@@ -75,11 +81,15 @@ class MeHptPageTables(HashedPageTableSet):
         l2p: Optional[L2PTable] = None,
         adaptive_policy: Optional["AdaptiveChunkPolicy"] = None,
         page_sizes: Iterable[str] = PAGE_SIZES,
+        fault_plan: Optional[FaultPlan] = None,
+        degradation: Optional[DegradationLog] = None,
     ) -> None:
         rng = make_rng(rng)
         self.allocator = allocator if allocator is not None else CostModelAllocator()
         self.ladder = chunk_ladder if chunk_ladder is not None else ChunkLadder()
         self.l2p = l2p if l2p is not None else L2PTable(ways)
+        self.fault_plan = fault_plan
+        self.degradation = degradation
         self.enable_inplace = enable_inplace
         self.enable_perway = enable_perway
         #: Optional Section V-B heuristic: fragmentation/growth-aware
@@ -134,7 +144,7 @@ class MeHptPageTables(HashedPageTableSet):
                 chunk_bytes=self.ladder.smallest,
                 slot_bytes=CACHE_LINE,
                 allocator=self.allocator,
-                budget=self.l2p.subtable(w, page_size),
+                budget=self._budget(w, page_size),
             )
             way_objs.append(ElasticWay(w, family.function(w), storage))
         if self.enable_perway:
@@ -158,9 +168,18 @@ class MeHptPageTables(HashedPageTableSet):
             rng=rng.fork(salt=100 + size_index),
             rehashes_per_insert=rehashes_per_insert,
             inplace_enabled=self.enable_inplace,
+            fault_plan=self.fault_plan,
+            degradation=self.degradation,
         )
         table_ref["table"] = table
         return ClusteredHashedPageTable(page_size, table)
+
+    def _budget(self, way_index: int, page_size: str):
+        """The chunk budget for one (way, page size) — fault-wrapped if armed."""
+        budget = self.l2p.subtable(way_index, page_size)
+        if self.fault_plan is not None:
+            return FaultInjectedBudget(budget, self.fault_plan, self.degradation)
+        return budget
 
     def _resize_storage(
         self,
@@ -206,9 +225,25 @@ class MeHptPageTables(HashedPageTableSet):
                     chunk_bytes=chunk_bytes,
                     slot_bytes=CACHE_LINE,
                     allocator=self.allocator,
-                    budget=self.l2p.subtable(way_index, page_size),
+                    budget=self._budget(way_index, page_size),
                 )
                 break
+            except ContiguousAllocationError:
+                # The chunks themselves failed to allocate (the storage
+                # rolled its budget reservation back atomically).  Fall
+                # back to a smaller chunk size if one can still cover the
+                # way — smaller contiguous requests survive higher
+                # fragmentation (the paper's core argument in reverse).
+                smaller = self._fallback_chunk(chunk_bytes, way_bytes)
+                if smaller is None:
+                    raise
+                if self.degradation is not None:
+                    self.degradation.record(
+                        EVENT_FALLBACK, "chunk_alloc",
+                        page_size=page_size, way=way_index,
+                        from_chunk=chunk_bytes, to_chunk=smaller,
+                    )
+                chunk_bytes = smaller
             except ConfigurationError:
                 # Old + new chunks do not fit the L2P budget simultaneously.
                 if table.inplace_enabled:
@@ -226,6 +261,23 @@ class MeHptPageTables(HashedPageTableSet):
         if chunk_bytes != current_chunk:
             self.chunk_transitions[page_size] += 1
         return storage
+
+    def _fallback_chunk(self, chunk_bytes: int, way_bytes: int) -> Optional[int]:
+        """Largest ladder size below ``chunk_bytes`` that still covers the way."""
+        smaller = self.ladder.prev_size(chunk_bytes)
+        while smaller is not None:
+            needed = self.ladder.chunks_needed(way_bytes, smaller)
+            if needed <= self.ladder.max_chunks_per_way:
+                return smaller
+            smaller = self.ladder.prev_size(smaller)
+        return None
+
+    # -- invariants ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Cuckoo-table invariants plus the L2P capacity rules."""
+        super().check_invariants()
+        self.l2p.check_invariants()
 
     # -- reporting ----------------------------------------------------------
 

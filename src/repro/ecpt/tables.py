@@ -20,6 +20,8 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import DeterministicRng, make_rng
+from repro.faults.log import DegradationLog
+from repro.faults.plan import FaultPlan
 from repro.hashing.clustered import ClusteredHashedPageTable, MapResult
 from repro.hashing.cuckoo import ElasticCuckooTable, ElasticWay
 from repro.hashing.hashes import HashFamily
@@ -144,6 +146,16 @@ class HashedPageTableSet:
         for table in self.tables.values():
             table.table.drain()
 
+    def check_invariants(self) -> None:
+        """Verify every page size's cuckoo table (and its storages).
+
+        Subclasses extend this with their own structures (ME-HPT adds the
+        L2P table).  Raises
+        :class:`~repro.common.errors.SimulationError` on violation.
+        """
+        for table in self.tables.values():
+            table.table.check_invariants()
+
     def _track_peak(self) -> None:
         total = self.total_bytes()
         if total > self.peak_total_bytes:
@@ -170,6 +182,8 @@ class EcptPageTables(HashedPageTableSet):
         rehashes_per_insert: int = 2,
         allow_downsize: bool = True,
         page_sizes: Iterable[str] = PAGE_SIZES,
+        fault_plan: Optional[FaultPlan] = None,
+        degradation: Optional[DegradationLog] = None,
     ) -> None:
         rng = make_rng(rng)
         self.allocator = allocator if allocator is not None else CostModelAllocator()
@@ -201,6 +215,8 @@ class EcptPageTables(HashedPageTableSet):
                 factory,
                 rng=rng.fork(salt=size_index),
                 rehashes_per_insert=rehashes_per_insert,
+                fault_plan=fault_plan,
+                degradation=degradation,
             )
             tables[page_size] = ClusteredHashedPageTable(page_size, table)
         super().__init__(tables, self.allocator.stats)

@@ -21,6 +21,7 @@ Module          Reproduces
 ``fig14``       Figure 14 — L2P table entries used
 ``fig15``       Figure 15 — small-graph way sizes, chunk-ladder ablation
 ``fig16``       Figure 16 — cuckoo re-insertion distribution
+``resilience``  Robustness — FMFI survival sweep with fault injection
 ==============  ===========================================================
 """
 

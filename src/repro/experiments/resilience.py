@@ -1,0 +1,188 @@
+"""Fragmentation-resilience experiment: survival under rising FMFI.
+
+The paper's Section III observation, turned into a survival curve: sweep
+machine fragmentation (FMFI) from pristine to pathological and populate
+GUPS — whose 4KB HPT ways reach the 64MB contiguous allocations of
+Table I — under each organization.  ECPT's contiguous ways abort (the
+failure is *recorded*, never an unhandled crash) once a way doubling
+needs 64MB of contiguous memory above 0.7 FMFI; ME-HPT's chunked ways
+never request more than 1MB contiguously and complete at every point.
+
+A deterministic transient-fault plan is armed on top of the FMFI rule so
+the sweep also exercises the graceful-degradation machinery: injected
+transient allocation failures are retried with cycle-charged backoff,
+and ``check_invariants()`` runs periodically during population, so each
+row reports degradation events, recovery cycles, and that the surviving
+tables stayed verified-consistent.
+
+``python -m repro.experiments.resilience`` prints the survival table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.units import format_bytes
+from repro.experiments.runner import ExperimentSettings
+from repro.faults.plan import SITE_CHUNK_ALLOC, FaultPlan, FaultSpec
+from repro.sim.results import format_table
+from repro.sim.simulator import memory_result
+from repro.workloads import get_workload
+
+#: Dense below the paper's 0.7 threshold, then the failure region.
+DEFAULT_FMFI_POINTS: Tuple[float, ...] = (
+    0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.9
+)
+
+#: GUPS is the workload whose ways grow largest (64MB in Table I).
+DEFAULT_APP = "GUPS"
+
+#: Invariant-check cadence during population (pages).
+DEFAULT_CHECK_EVERY = 2048
+
+
+def default_fault_plan(seed: int = 12345) -> FaultPlan:
+    """Transient allocation faults: every 17th eligible request, 24 max.
+
+    Deterministic (``every``-based), so two runs of the sweep produce
+    identical degradation logs — the determinism acceptance test relies
+    on this plan.
+    """
+    return FaultPlan(
+        [FaultSpec(SITE_CHUNK_ALLOC, every=17, max_failures=24)],
+        seed=seed,
+    )
+
+
+@dataclass
+class ResilienceRow:
+    """One (FMFI, organization) survival point."""
+
+    fmfi: float
+    organization: str
+    completed: bool
+    failure_reason: str = ""
+    invariant_violation: str = ""
+    max_contiguous_bytes: int = 0
+    degradation_counts: Dict[str, int] = field(default_factory=dict)
+    recovery_cycles: float = 0.0
+
+    def degradation_events(self) -> int:
+        return sum(self.degradation_counts.values())
+
+
+@dataclass
+class ResilienceResult:
+    rows: List[ResilienceRow]
+    #: Lowest FMFI at which ECPT failed to complete (None = never).
+    ecpt_crash_fmfi: Optional[float]
+    #: Whether ME-HPT completed every point with zero invariant violations.
+    mehpt_survived_all: bool
+
+
+def run(
+    settings: ExperimentSettings = ExperimentSettings(),
+    fmfi_points: Sequence[float] = DEFAULT_FMFI_POINTS,
+    app: str = DEFAULT_APP,
+    fault_plan: Optional[FaultPlan] = None,
+    invariant_check_every: int = DEFAULT_CHECK_EVERY,
+) -> ResilienceResult:
+    """Sweep FMFI for ECPT and ME-HPT; no sweep cache (each point is unique)."""
+    plan = fault_plan if fault_plan is not None else default_fault_plan(settings.seed)
+    rows: List[ResilienceRow] = []
+    for fmfi in fmfi_points:
+        for org in ("ecpt", "mehpt"):
+            workload = get_workload(app, scale=settings.scale, seed=settings.seed)
+            config = settings.config(
+                org,
+                thp=False,
+                fmfi=fmfi,
+                fault_plan=plan,
+                invariant_check_every=invariant_check_every,
+            )
+            system = config.build(workload)
+            try:
+                result = memory_result(system)
+            except SimulationError as exc:
+                # An invariant violation is a finding, not a crash: the
+                # row records it and the sweep continues.
+                rows.append(
+                    ResilienceRow(
+                        fmfi=fmfi,
+                        organization=org,
+                        completed=False,
+                        invariant_violation=repr(exc),
+                        degradation_counts=dict(system.degradation.counts()),
+                        recovery_cycles=system.degradation.recovery_cycles,
+                    )
+                )
+                continue
+            rows.append(
+                ResilienceRow(
+                    fmfi=fmfi,
+                    organization=org,
+                    completed=not result.failed,
+                    failure_reason=result.failure_reason,
+                    max_contiguous_bytes=result.max_contiguous_bytes,
+                    degradation_counts=result.degradation_counts,
+                    recovery_cycles=result.recovery_cycles,
+                )
+            )
+    ecpt_failures = sorted(
+        row.fmfi for row in rows if row.organization == "ecpt" and not row.completed
+    )
+    mehpt_ok = all(
+        row.completed and not row.invariant_violation
+        for row in rows
+        if row.organization == "mehpt"
+    )
+    return ResilienceResult(
+        rows=rows,
+        ecpt_crash_fmfi=ecpt_failures[0] if ecpt_failures else None,
+        mehpt_survived_all=mehpt_ok,
+    )
+
+
+def format_result(result: ResilienceResult) -> str:
+    headers = ["FMFI", "Org", "Outcome", "Max contig", "Degradations", "Recovery cyc"]
+    body = []
+    for row in result.rows:
+        if row.invariant_violation:
+            outcome = "INVARIANT VIOLATION"
+        elif row.completed:
+            outcome = "completed"
+        else:
+            outcome = "aborted"
+        body.append([
+            f"{row.fmfi:.2f}",
+            row.organization,
+            outcome,
+            format_bytes(row.max_contiguous_bytes),
+            str(row.degradation_events()),
+            f"{row.recovery_cycles:.0f}",
+        ])
+    crash = (
+        f"{result.ecpt_crash_fmfi:.2f}"
+        if result.ecpt_crash_fmfi is not None
+        else "never"
+    )
+    survived = "yes" if result.mehpt_survived_all else "NO"
+    table = format_table(
+        headers, body,
+        title="Fragmentation resilience: survival vs FMFI (GUPS, 4KB HPTs)",
+    )
+    return (
+        f"{table}\n"
+        f"ECPT first abort at FMFI: {crash}\n"
+        f"ME-HPT survived all points, invariants verified: {survived}"
+    )
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,7 @@ repeat the work.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -59,8 +60,37 @@ class ExperimentSettings:
         return replace(self, scale=max(self.scale, 64), trace_length=30_000)
 
 
-_MEMORY_CACHE: Dict[Tuple[ExperimentSettings, MemKey, Tuple], MemoryFootprintResult] = {}
-_PERF_CACHE: Dict[Tuple[ExperimentSettings, MemKey, Tuple], PerformanceResult] = {}
+class _LruDict(OrderedDict):
+    """A dict memo with an LRU size cap.
+
+    Long-lived processes (the benchmark suite, a notebook sweeping many
+    settings) would otherwise accumulate one result per distinct
+    (settings, run, overrides) triple forever; results hold whole kick
+    histograms, so the cap matters.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        super().__init__()
+        self.maxsize = maxsize
+
+    def __getitem__(self, key):
+        value = super().__getitem__(key)
+        self.move_to_end(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        while len(self) > self.maxsize:
+            self.popitem(last=False)
+
+
+_MEMORY_CACHE: Dict[Tuple[ExperimentSettings, MemKey, Tuple], MemoryFootprintResult] = (
+    _LruDict()
+)
+_PERF_CACHE: Dict[Tuple[ExperimentSettings, MemKey, Tuple], PerformanceResult] = (
+    _LruDict()
+)
 
 
 def memory_sweep(

@@ -1,0 +1,73 @@
+"""Deterministic fault injection and graceful-degradation machinery.
+
+The paper's central robustness claim (Section III, Figure 8) is that
+ECPT *crashes* above 0.7 FMFI — a 64MB contiguous allocation fails —
+while ME-HPT's small chunked ways survive.  This package makes that
+claim testable end to end:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — seeded, deterministic fault
+  injection at named sites (contiguous allocation, transient chunk
+  allocation, cuckoo kick-bound overruns, L2P reservation refusals).
+  The same seed and plan produce the same fault decisions and therefore
+  the same degradation-event log on every run.
+* :class:`DegradationLog` / :class:`DegradationEvent` — the structured
+  record of every fault, retry, fallback, rollback and abort, with the
+  cycles spent recovering.  Simulation results carry its summary so any
+  experiment can report degradation behaviour.
+* :class:`RecoveryPolicy` — cycle-accounted retry-with-backoff used by
+  the allocators for transient failures.
+* :class:`FaultInjectedBudget` — wraps a chunk budget (the L2P
+  subtable) so reservation refusals can be injected, exercising the
+  chunk-size-transition path.
+
+The degradation paths themselves live where the state lives: atomic
+in-place growth and :meth:`ElasticCuckooTable.rollback_resize` in
+:mod:`repro.hashing`, fall-back-to-smaller-chunk in
+:mod:`repro.core.mehpt`, retry-with-backoff in :mod:`repro.mem`, and
+periodic invariant checking in :mod:`repro.sim`.
+"""
+
+from repro.faults.log import (
+    EVENT_ABORT,
+    EVENT_DEGRADE_OOP,
+    EVENT_EAGER_RETRY,
+    EVENT_FALLBACK,
+    EVENT_FAULT,
+    EVENT_RETRY,
+    EVENT_ROLLBACK,
+    DegradationEvent,
+    DegradationLog,
+)
+from repro.faults.plan import (
+    SITE_CHUNK_ALLOC,
+    SITE_CONTIGUOUS_ALLOC,
+    SITE_CUCKOO_KICKS,
+    SITE_L2P_RESERVE,
+    SITES,
+    FaultInjectedBudget,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjectedBudget",
+    "DegradationEvent",
+    "DegradationLog",
+    "RecoveryPolicy",
+    "DEFAULT_RECOVERY",
+    "SITES",
+    "SITE_CHUNK_ALLOC",
+    "SITE_CONTIGUOUS_ALLOC",
+    "SITE_CUCKOO_KICKS",
+    "SITE_L2P_RESERVE",
+    "EVENT_FAULT",
+    "EVENT_RETRY",
+    "EVENT_FALLBACK",
+    "EVENT_DEGRADE_OOP",
+    "EVENT_ROLLBACK",
+    "EVENT_EAGER_RETRY",
+    "EVENT_ABORT",
+]

@@ -1,0 +1,113 @@
+"""The degradation-event log: what went wrong and what it cost.
+
+Every graceful-degradation path (retry, chunk-size fallback, resize
+rollback, degrade-to-out-of-place) records one event here, with the
+cycles spent recovering, so experiments can report "survived, at this
+cost" rather than a bare pass/fail.  Events are frozen and ordered, so
+two runs of the same seeded :class:`~repro.faults.plan.FaultPlan`
+produce logs that compare equal — the determinism contract tests rely
+on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, List, Tuple
+
+#: Event kinds, in roughly increasing severity.
+EVENT_FAULT = "fault"              # an injected fault fired
+EVENT_RETRY = "retry"              # transient failure retried with backoff
+EVENT_FALLBACK = "fallback"        # chunk-size transition fell back to smaller chunks
+EVENT_DEGRADE_OOP = "degrade_oop"  # in-place resize degraded to gradual out-of-place
+EVENT_EAGER_RETRY = "eager_retry"  # eager migration re-created the old-size way
+EVENT_ROLLBACK = "rollback"        # an in-flight resize was rolled back atomically
+EVENT_ABORT = "abort"              # recovery exhausted; the failure propagated
+
+
+class DegradationEvent:
+    """One degradation event: kind, site, attempt, cycles, detail pairs.
+
+    ``detail`` is a sorted tuple of (key, value) pairs so events are
+    hashable and comparable; structured fields like way index or chunk
+    size go there.
+    """
+
+    __slots__ = ("kind", "site", "attempt", "cycles", "detail")
+
+    def __init__(
+        self,
+        kind: str,
+        site: str,
+        attempt: int = 0,
+        cycles: float = 0.0,
+        detail: Tuple[Tuple[str, Any], ...] = (),
+    ) -> None:
+        self.kind = kind
+        self.site = site
+        self.attempt = attempt
+        self.cycles = float(cycles)
+        self.detail = tuple(detail)
+
+    def _key(self) -> tuple:
+        return (self.kind, self.site, self.attempt, self.cycles, self.detail)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DegradationEvent) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        extra = "".join(f", {k}={v!r}" for k, v in self.detail)
+        return (
+            f"DegradationEvent({self.kind!r}, {self.site!r}, "
+            f"attempt={self.attempt}, cycles={self.cycles:.0f}{extra})"
+        )
+
+
+class DegradationLog:
+    """Ordered record of degradation events plus the recovery-cycle total."""
+
+    def __init__(self) -> None:
+        self.events: List[DegradationEvent] = []
+        self.recovery_cycles = 0.0
+
+    def record(
+        self,
+        kind: str,
+        site: str,
+        attempt: int = 0,
+        cycles: float = 0.0,
+        **detail: Any,
+    ) -> DegradationEvent:
+        event = DegradationEvent(
+            kind, site, attempt=attempt, cycles=cycles,
+            detail=tuple(sorted(detail.items())),
+        )
+        self.events.append(event)
+        self.recovery_cycles += event.cycles
+        return event
+
+    def counts(self) -> Counter:
+        """Event count per kind (the summary results carry)."""
+        counter: Counter = Counter()
+        for event in self.events:
+            counter[event.kind] += 1
+        return counter
+
+    def count(self, kind: str) -> int:
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def signature(self) -> Tuple[tuple, ...]:
+        """A comparable fingerprint of the whole log (determinism tests)."""
+        return tuple(event._key() for event in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.recovery_cycles = 0.0

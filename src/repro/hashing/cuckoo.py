@@ -23,9 +23,22 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Callable, List, Optional, Tuple
 
-from repro.common.errors import ConfigurationError, TableFullError
+from repro.common.errors import (
+    ConfigurationError,
+    ContiguousAllocationError,
+    SimulationError,
+    TableFullError,
+)
 from repro.common.rng import DeterministicRng, make_rng
 from repro.common.units import is_power_of_two
+from repro.faults.log import (
+    EVENT_DEGRADE_OOP,
+    EVENT_EAGER_RETRY,
+    EVENT_FAULT,
+    EVENT_ROLLBACK,
+    DegradationLog,
+)
+from repro.faults.plan import SITE_CUCKOO_KICKS, FaultPlan
 from repro.hashing.storage import Storage
 
 #: Factory signature for out-of-place resize targets.  Called with
@@ -103,6 +116,7 @@ class ElasticWay:
         self.upsizes = 0
         self.downsizes = 0
         self.inplace_upsizes = 0
+        self.rollbacks = 0
         self.rehash_examined = 0
         self.rehash_relocated = 0
 
@@ -205,6 +219,8 @@ class ElasticCuckooTable:
         rehashes_per_insert: int = 2,
         observer: Optional[Any] = None,
         inplace_enabled: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        degradation: Optional[DegradationLog] = None,
     ) -> None:
         if len(ways) < 2:
             raise ConfigurationError("cuckoo hashing needs at least 2 ways")
@@ -215,6 +231,8 @@ class ElasticCuckooTable:
         self.max_kicks = max_kicks
         self.rehashes_per_insert = rehashes_per_insert
         self.observer = observer
+        self.fault_plan = fault_plan
+        self.degradation = degradation
         #: When False (ablation), resizes always go out of place even if
         #: the storage could grow in place.
         self.inplace_enabled = inplace_enabled
@@ -342,7 +360,7 @@ class ElasticCuckooTable:
         if way.resizing:
             self.drain_way(way)
         new_size = way.size * 2
-        if self.inplace_enabled and way.storage.extend_to(new_size):
+        if self.inplace_enabled and self._try_extend(way, new_size):
             way.begin_resize(new_size, None)
             self._notify("on_upsize", way, new_size, True)
         else:
@@ -378,6 +396,80 @@ class ElasticCuckooTable:
 
         return isinstance(storage, ChunkedStorage)
 
+    def _try_extend(self, way: ElasticWay, new_size: int) -> bool:
+        """Attempt the in-place extension, degrading on allocation failure.
+
+        ``extend_to`` is atomic (a mid-batch chunk-allocation failure
+        rolls the storage back), so when it raises the way is untouched
+        and the resize can safely *degrade* to a gradual out-of-place
+        resize instead of aborting — the paper's chunked layout never
+        needs a large contiguous region, so the out-of-place path remains
+        viable when the in-place chunk allocations are failing.
+        """
+        try:
+            return way.storage.extend_to(new_size)
+        except ContiguousAllocationError as exc:
+            if self.degradation is not None:
+                self.degradation.record(
+                    EVENT_DEGRADE_OOP, "inplace_extend",
+                    way=way.index, new_size=new_size,
+                    size_bytes=exc.size_bytes,
+                )
+            return False
+
+    def rollback_resize(self, way: ElasticWay) -> None:
+        """Atomically abandon ``way``'s in-flight resize.
+
+        Restores the pre-resize geometry and re-places every surviving
+        item at its old-mask index, cuckooing conflicts into other ways
+        (during a partial gradual rehash two keys may share one old
+        index: one still in the live region, one already migrated to a
+        new index that maps back onto the same old slot).  The table's
+        total count is conserved, and :meth:`check_invariants` passes
+        afterwards — callers use this to recover from allocation
+        failures striking sibling ways mid-resize.
+        """
+        if not way.resizing:
+            return
+        items = list(self._way_items(way))
+        old_size = way.old_size
+        direction = way.direction
+        out_of_place = way.old_storage is not None
+        if out_of_place:
+            way.storage.release()
+            way.storage = way.old_storage
+            way.old_storage = None
+        # Undo the lifetime counters begin_resize charged.
+        if direction > 0:
+            way.upsizes -= 1
+            if not out_of_place:
+                way.inplace_upsizes -= 1
+        else:
+            way.downsizes -= 1
+        way.rollbacks += 1
+        way.size = old_size
+        way.old_size = None
+        way.rehash_ptr = None
+        way.direction = 0
+        for idx in range(way.storage.size_slots):
+            way.storage.clear(idx)
+        if not out_of_place and direction > 0:
+            way.storage.shrink_to(old_size)
+        way.count = 0
+        for item in items:
+            idx = way.hash(item[0]) & (old_size - 1)
+            if way.storage.get(idx) is None:
+                way.storage.put(idx, item)
+                way.count += 1
+            else:
+                self._place(item, self._other_way(way.index))
+        if self.degradation is not None:
+            self.degradation.record(
+                EVENT_ROLLBACK, "resize",
+                way=way.index, size=old_size,
+                direction=direction, items=len(items),
+            )
+
     # -- internals ---------------------------------------------------------
 
     def _find_slot(self, key: int):
@@ -394,6 +486,18 @@ class ElasticCuckooTable:
 
     def _place(self, item: Tuple[int, Any], way_idx: int) -> int:
         """Cuckoo-place ``item`` starting at ``way_idx``; return kick count."""
+        if (
+            self.fault_plan is not None
+            and self.fault_plan.decide(SITE_CUCKOO_KICKS) is not None
+        ):
+            # Injected kick-bound overrun: behave exactly as if the kick
+            # chain had exceeded max_kicks — force an emergency resize,
+            # then place into the enlarged index space.
+            if self.degradation is not None:
+                self.degradation.record(
+                    EVENT_FAULT, SITE_CUCKOO_KICKS, way=way_idx,
+                )
+            self._emergency_resize()
         kicks = 0
         kicks_since_resize = 0
         while True:
@@ -483,11 +587,27 @@ class ElasticCuckooTable:
         items = list(self._way_items(way))
         old_size = way.size
         way.storage.release()
-        new_storage = self.storage_factory(way.index, new_size)
+        try:
+            new_storage = self.storage_factory(way.index, new_size)
+        except ContiguousAllocationError:
+            new_storage = None
         if new_storage is None:
-            raise ConfigurationError(
-                "storage factory failed even after releasing the old way"
-            )
+            # Even with the old way's space returned, the target size is
+            # unallocatable.  Re-create the way at its old size so it
+            # survives (the resize is abandoned, not the table).
+            new_storage = self.storage_factory(way.index, old_size)
+            if new_storage is None:
+                raise ConfigurationError(
+                    "storage factory failed even after releasing the old way",
+                    way=way.index, old_size=old_size, new_size=new_size,
+                )
+            if self.degradation is not None:
+                self.degradation.record(
+                    EVENT_EAGER_RETRY, "eager_migrate",
+                    way=way.index, old_size=old_size,
+                    abandoned_size=new_size,
+                )
+            new_size = old_size
         way.storage = new_storage
         way.size = new_size
         way.old_size = None
@@ -526,18 +646,48 @@ class ElasticCuckooTable:
     # -- validation (used by tests) ---------------------------------------
 
     def check_invariants(self) -> None:
-        """Verify internal consistency; raises AssertionError on violation."""
+        """Verify internal consistency.
+
+        Raises :class:`~repro.common.errors.SimulationError` with
+        structured context on the first violation: per-way and table
+        entry counts, power-of-two geometry, rehash-pointer bounds,
+        per-storage structural invariants, and reachability of every
+        stored key through :meth:`lookup`.
+        """
         total = 0
         for way in self.ways:
             way_count = sum(1 for _ in self._way_items(way))
-            assert way_count == way.count, (
-                f"way {way.index}: counted {way_count} != tracked {way.count}"
-            )
+            if way_count != way.count:
+                raise SimulationError(
+                    "way entry count does not match tracked count",
+                    component="cuckoo", way=way.index,
+                    counted=way_count, tracked=way.count,
+                )
             total += way_count
-            assert is_power_of_two(way.size)
-            if way.resizing:
-                assert 0 <= way.rehash_ptr <= way.old_size
-        assert total == self.count, f"table count {self.count} != {total}"
+            if not is_power_of_two(way.size):
+                raise SimulationError(
+                    "way size is not a power of two",
+                    component="cuckoo", way=way.index, size=way.size,
+                )
+            if way.resizing and not 0 <= way.rehash_ptr <= way.old_size:
+                raise SimulationError(
+                    "rehash pointer outside the old index space",
+                    component="cuckoo", way=way.index,
+                    rehash_ptr=way.rehash_ptr, old_size=way.old_size,
+                )
+            for storage in (way.storage, way.old_storage):
+                checker = getattr(storage, "check_invariants", None)
+                if checker is not None:
+                    checker()
+        if total != self.count:
+            raise SimulationError(
+                "table count does not match sum of way counts",
+                component="cuckoo", tracked=self.count, counted=total,
+            )
         # Every stored key must be findable via lookup.
         for key, _value in list(self.items()):
-            assert self.lookup(key) is not None, f"key {key} unreachable"
+            if self.lookup(key) is None:
+                raise SimulationError(
+                    "stored key unreachable through lookup",
+                    component="cuckoo", key=key,
+                )

@@ -82,16 +82,37 @@ class AllWayResizePolicy(ResizePolicy):
             and all(way.size > self.min_way_slots for way in table.ways)
             and not table.resizing()
         ):
-            for way in table.ways:
-                table.start_downsize(way)
+            self._downsize_all(table)
 
     def emergency_resize(self, table: "ElasticCuckooTable") -> None:
         self._upsize_all(table)
 
     @staticmethod
     def _upsize_all(table: "ElasticCuckooTable") -> None:
-        for way in table.ways:
-            table.start_upsize(way)
+        # All ways resize together; if a later way's allocation fails,
+        # roll back the ways already started so the table is not left
+        # straddling two generations (atomicity of the group resize).
+        started = []
+        try:
+            for way in table.ways:
+                table.start_upsize(way)
+                started.append(way)
+        except Exception:
+            for way in reversed(started):
+                table.rollback_resize(way)
+            raise
+
+    @staticmethod
+    def _downsize_all(table: "ElasticCuckooTable") -> None:
+        started = []
+        try:
+            for way in table.ways:
+                table.start_downsize(way)
+                started.append(way)
+        except Exception:
+            for way in reversed(started):
+                table.rollback_resize(way)
+            raise
 
 
 class PerWayResizePolicy(ResizePolicy):

@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, List, Optional, Tuple
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.units import is_power_of_two
 
 #: A slot holds a (key, value) tuple or None.
@@ -183,6 +183,21 @@ class ContiguousStorage(Storage):
             self._released = True
             self._slots = []
 
+    def check_invariants(self) -> None:
+        """Verify the storage's structural invariants."""
+        if self._released:
+            if self._slots:
+                raise SimulationError(
+                    "released contiguous storage still holds slots",
+                    component="contiguous_storage", slots=len(self._slots),
+                )
+            return
+        if not is_power_of_two(len(self._slots)):
+            raise SimulationError(
+                "contiguous storage size is not a power of two",
+                component="contiguous_storage", slots=len(self._slots),
+            )
+
 
 class ChunkedStorage(Storage):
     """A way made of fixed-size chunks behind a chunk budget — the ME-HPT layout.
@@ -227,8 +242,7 @@ class ChunkedStorage(Storage):
             raise ConfigurationError(
                 f"chunk budget cannot cover initial way of {slots} slots"
             )
-        for _ in range(needed):
-            self._alloc_chunk()
+        self._alloc_chunks(needed)
         self._released = False
 
     def _chunks_for(self, slots: int) -> int:
@@ -237,6 +251,26 @@ class ChunkedStorage(Storage):
     def _alloc_chunk(self) -> None:
         self._handles.append(self._allocator.alloc(self.chunk_bytes))
         self._chunks.append([None] * self.slots_per_chunk)
+
+    def _alloc_chunks(self, count: int) -> None:
+        """Allocate ``count`` chunks atomically.
+
+        If the allocator fails mid-batch, the chunks already obtained are
+        freed and the whole budget reservation for the batch is released
+        before the failure propagates, so the storage (and the L2P
+        subtable behind the budget) is exactly as it was.
+        """
+        done = 0
+        try:
+            for _ in range(count):
+                self._alloc_chunk()
+                done += 1
+        except Exception:
+            for _ in range(done):
+                self._chunks.pop()
+                self._allocator.free(self._handles.pop())
+            self._budget.release(count)
+            raise
 
     def get(self, index: int) -> Slot:
         return self._chunks[index // self.slots_per_chunk][index % self.slots_per_chunk]
@@ -264,8 +298,7 @@ class ChunkedStorage(Storage):
         if extra > 0:
             if not self._budget.reserve(extra):
                 return False
-            for _ in range(extra):
-                self._alloc_chunk()
+            self._alloc_chunks(extra)
         self._size_slots = new_slots
         return True
 
@@ -295,3 +328,49 @@ class ChunkedStorage(Storage):
             self._chunks = []
             self._handles = []
             self._released = True
+
+    def check_invariants(self) -> None:
+        """Verify the storage's structural invariants.
+
+        Checked: one handle per chunk, every chunk exactly
+        ``slots_per_chunk`` slots, enough chunks allocated to cover
+        ``size_slots``, and (when the budget exposes ``in_use``) at
+        least this storage's chunks reserved against the budget.  The
+        physical array may legitimately exceed ``size_slots`` — a new
+        way inside a larger chunk, or an in-place downsize before
+        :meth:`shrink_to` — so no upper bound is enforced.
+        """
+        if self._released:
+            if self._chunks or self._handles:
+                raise SimulationError(
+                    "released chunked storage still holds chunks",
+                    component="chunked_storage", chunks=len(self._chunks),
+                )
+            return
+        if len(self._chunks) != len(self._handles):
+            raise SimulationError(
+                "chunk/handle count mismatch",
+                component="chunked_storage",
+                chunks=len(self._chunks), handles=len(self._handles),
+            )
+        for i, chunk in enumerate(self._chunks):
+            if len(chunk) != self.slots_per_chunk:
+                raise SimulationError(
+                    "chunk has wrong slot count",
+                    component="chunked_storage", chunk_index=i,
+                    have=len(chunk), want=self.slots_per_chunk,
+                )
+        if self._chunks_for(self._size_slots) > len(self._chunks):
+            raise SimulationError(
+                "not enough chunks to cover the logical size",
+                component="chunked_storage",
+                size_slots=self._size_slots, chunks=len(self._chunks),
+                slots_per_chunk=self.slots_per_chunk,
+            )
+        in_use = getattr(self._budget, "in_use", None)
+        if in_use is not None and in_use < len(self._chunks):
+            raise SimulationError(
+                "chunk budget accounts fewer chunks than allocated",
+                component="chunked_storage",
+                budget_in_use=in_use, chunks=len(self._chunks),
+            )

@@ -20,9 +20,85 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Optional
 
+from repro.common.errors import ContiguousAllocationError, TransientAllocationError
+from repro.faults.log import EVENT_ABORT, EVENT_FAULT, EVENT_RETRY, DegradationLog
+from repro.faults.plan import SITE_CHUNK_ALLOC, SITE_CONTIGUOUS_ALLOC, FaultPlan
+from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryPolicy
 from repro.mem.alloc_cost import AllocationCostModel
 from repro.mem.buddy import BuddyAllocator
 from repro.mem.fragmentation import fmfi as fmfi_of
+
+
+class _FaultHooks:
+    """Shared fault-injection/recovery plumbing for both allocators.
+
+    ``_injected(nbytes, fmfi, attempt)`` raises if the plan fires at one
+    of the allocation sites; ``_recover(exc, attempt)`` decides whether a
+    failure is retryable under the recovery policy, charging the backoff
+    cycles and logging the retry — or logging the abort and returning
+    False so the caller re-raises.
+    """
+
+    fault_plan: Optional[FaultPlan] = None
+    recovery: Optional[RecoveryPolicy] = None
+    degradation: Optional[DegradationLog] = None
+
+    def _arm(
+        self,
+        fault_plan: Optional[FaultPlan],
+        recovery: Optional[RecoveryPolicy],
+        degradation: Optional[DegradationLog],
+    ) -> None:
+        self.fault_plan = fault_plan
+        self.recovery = recovery if recovery is not None else (
+            DEFAULT_RECOVERY if fault_plan is not None else None
+        )
+        self.degradation = degradation
+
+    def _injected(self, nbytes: int, fmfi: float, attempt: int) -> None:
+        if self.fault_plan is None:
+            return
+        if self.fault_plan.decide(SITE_CHUNK_ALLOC, nbytes=nbytes, fmfi=fmfi):
+            if self.degradation is not None:
+                self.degradation.record(
+                    EVENT_FAULT, SITE_CHUNK_ALLOC,
+                    attempt=attempt, nbytes=nbytes, fmfi=fmfi,
+                )
+            raise TransientAllocationError(nbytes, fmfi, attempt=attempt)
+        if self.fault_plan.decide(SITE_CONTIGUOUS_ALLOC, nbytes=nbytes, fmfi=fmfi):
+            if self.degradation is not None:
+                self.degradation.record(
+                    EVENT_FAULT, SITE_CONTIGUOUS_ALLOC,
+                    attempt=attempt, nbytes=nbytes, fmfi=fmfi,
+                )
+            raise ContiguousAllocationError(nbytes, fmfi, attempt=attempt)
+
+    def _recover(self, exc: Exception, attempt: int, nbytes: int) -> bool:
+        """Return True to retry ``exc`` (backoff charged), False to abort."""
+        site = (
+            SITE_CHUNK_ALLOC
+            if getattr(exc, "transient", False)
+            else SITE_CONTIGUOUS_ALLOC
+        )
+        retryable = (
+            getattr(exc, "transient", False)
+            and self.recovery is not None
+            and attempt < self.recovery.max_retries
+        )
+        if not retryable:
+            if self.degradation is not None:
+                self.degradation.record(
+                    EVENT_ABORT, site, attempt=attempt, nbytes=nbytes,
+                )
+            return False
+        backoff = self.recovery.backoff_cycles(attempt + 1)
+        self.stats.cycles += backoff
+        if self.degradation is not None:
+            self.degradation.record(
+                EVENT_RETRY, site,
+                attempt=attempt + 1, cycles=backoff, nbytes=nbytes,
+            )
+        return True
 
 
 class AllocationStats:
@@ -59,7 +135,7 @@ class AllocationStats:
         self.failed_allocations += 1
 
 
-class CostModelAllocator:
+class CostModelAllocator(_FaultHooks):
     """Charge allocations against the measured cost curve; track footprint.
 
     ``scale`` supports scaled-footprint experiments: a request for ``n``
@@ -68,6 +144,12 @@ class CostModelAllocator:
     structure in the system is a power of two, running a workload at
     ``1/scale`` footprint with ``scale``-fold accounting reproduces the
     full-scale allocation sequence exactly (same doubling ladder, shifted).
+
+    With a :class:`~repro.faults.FaultPlan` armed, each allocation first
+    consults the plan (which may inject a transient or permanent
+    failure); transient failures are retried up to
+    ``recovery.max_retries`` times with cycle-charged backoff before
+    aborting.
     """
 
     _ids = itertools.count(1)
@@ -78,20 +160,30 @@ class CostModelAllocator:
         fmfi: float = 0.7,
         stats: Optional[AllocationStats] = None,
         scale: int = 1,
+        fault_plan: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+        degradation: Optional[DegradationLog] = None,
     ) -> None:
         self.cost_model = cost_model if cost_model is not None else AllocationCostModel()
         self.fmfi = fmfi
         self.stats = stats if stats is not None else AllocationStats()
         self.scale = scale
         self._live: Dict[int, int] = {}
+        self._arm(fault_plan, recovery, degradation)
 
     def alloc(self, nbytes: int) -> int:
         effective = nbytes * self.scale
-        try:
-            cycles = self.cost_model.cycles(effective, self.fmfi)
-        except Exception:
-            self.stats.on_failure()
-            raise
+        attempt = 0
+        while True:
+            try:
+                self._injected(effective, self.fmfi, attempt)
+                cycles = self.cost_model.cycles(effective, self.fmfi)
+                break
+            except ContiguousAllocationError as exc:
+                self.stats.on_failure()
+                if not self._recover(exc, attempt, effective):
+                    raise
+                attempt += 1
         handle = next(self._ids)
         self._live[handle] = effective
         self.stats.on_alloc(effective, cycles)
@@ -102,12 +194,14 @@ class CostModelAllocator:
         self.stats.on_free(nbytes)
 
 
-class BuddyBackedAllocator:
+class BuddyBackedAllocator(_FaultHooks):
     """Place allocations in a real buddy system and charge the cost model.
 
     Contiguity failures here come from the buddy allocator itself (no
     block of the needed order exists), which is the mechanism behind the
-    paper's "ECPT runs are unable to finish" observation.
+    paper's "ECPT runs are unable to finish" observation.  A fault plan
+    can additionally inject transient failures, which are retried with
+    backoff like on the cost-model path.
     """
 
     def __init__(
@@ -115,22 +209,32 @@ class BuddyBackedAllocator:
         buddy: BuddyAllocator,
         cost_model: Optional[AllocationCostModel] = None,
         stats: Optional[AllocationStats] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+        degradation: Optional[DegradationLog] = None,
     ) -> None:
         self.buddy = buddy
         self.cost_model = cost_model if cost_model is not None else AllocationCostModel()
         self.stats = stats if stats is not None else AllocationStats()
         self._live: Dict[int, int] = {}
+        self._arm(fault_plan, recovery, degradation)
 
     def current_fmfi(self, nbytes: int) -> float:
         return fmfi_of(self.buddy, self.buddy.order_for_bytes(nbytes))
 
     def alloc(self, nbytes: int) -> int:
-        level = self.current_fmfi(nbytes)
-        try:
-            start = self.buddy.alloc_bytes(nbytes)
-        except Exception:
-            self.stats.on_failure()
-            raise
+        attempt = 0
+        while True:
+            level = self.current_fmfi(nbytes)
+            try:
+                self._injected(nbytes, level, attempt)
+                start = self.buddy.alloc_bytes(nbytes)
+                break
+            except Exception as exc:
+                self.stats.on_failure()
+                if not self._recover(exc, attempt, nbytes):
+                    raise
+                attempt += 1
         cycles = self.cost_model.cycles(
             nbytes, min(level, self.cost_model.fail_fmfi)
         )

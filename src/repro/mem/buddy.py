@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
-from repro.common.errors import ConfigurationError, OutOfMemoryError
+from repro.common.errors import ConfigurationError, OutOfMemoryError, SimulationError
 from repro.common.units import PAGE_4K
 
 
@@ -112,3 +112,64 @@ class BuddyAllocator:
     def allocated_blocks(self) -> Dict[int, int]:
         """Return a copy of the allocated {start_frame: order} map."""
         return dict(self._allocated)
+
+    # -- invariants --------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify the allocator's structural invariants.
+
+        Checked: every block (free or allocated) is aligned to its order
+        and inside memory, no two blocks overlap, free + allocated frames
+        exactly tile memory, and no free block has a free buddy (i.e.
+        coalescing has run to completion).  Raises
+        :class:`~repro.common.errors.SimulationError` with structured
+        context on the first violation.
+        """
+        covered = 0
+        blocks = []  # (start, order, is_free)
+        for order, frees in enumerate(self.free_lists):
+            for start in frees:
+                blocks.append((start, order, True))
+        for start, order in self._allocated.items():
+            blocks.append((start, order, False))
+        for start, order, is_free in blocks:
+            size = 1 << order
+            if start % size != 0:
+                raise SimulationError(
+                    "buddy block misaligned for its order",
+                    component="buddy", start=start, order=order, free=is_free,
+                )
+            if start + size > self.total_frames:
+                raise SimulationError(
+                    "buddy block extends past end of memory",
+                    component="buddy", start=start, order=order,
+                    total_frames=self.total_frames,
+                )
+            covered += size
+        if covered != self.total_frames:
+            raise SimulationError(
+                "buddy blocks do not tile memory (overlap or leak)",
+                component="buddy", covered_frames=covered,
+                total_frames=self.total_frames,
+                free_frames=self.free_frames(),
+                allocated=len(self._allocated),
+            )
+        # Tiling + alignment rules out overlap only if starts are distinct
+        # per order region; do an explicit overlap scan to be safe.
+        blocks.sort()
+        prev_end = 0
+        for start, order, is_free in blocks:
+            if start < prev_end:
+                raise SimulationError(
+                    "buddy blocks overlap",
+                    component="buddy", start=start, order=order,
+                    previous_end=prev_end, free=is_free,
+                )
+            prev_end = start + (1 << order)
+        for order in range(self.max_order):
+            for start in self.free_lists[order]:
+                if start ^ (1 << order) in self.free_lists[order]:
+                    raise SimulationError(
+                        "free buddy pair left uncoalesced",
+                        component="buddy", start=start, order=order,
+                    )

@@ -26,6 +26,9 @@ from repro.core.chunks import DEFAULT_CHUNK_SIZES, ChunkLadder
 from repro.core.mehpt import MeHptPageTables
 from repro.core.walker import MeHptWalker
 from repro.ecpt.tables import EcptPageTables
+from repro.faults.log import DegradationLog
+from repro.faults.plan import FaultPlan
+from repro.faults.recovery import RecoveryPolicy
 from repro.ecpt.walker import EcptWalker
 from repro.kernel.address_space import AddressSpace
 from repro.kernel.thp import ThpPolicy
@@ -95,13 +98,39 @@ class SimulationConfig:
     rehash_entry_cycles: float = 150.0
     charge_data_alloc: bool = False  # identical across organizations
 
+    # Fault injection / robustness (repro.faults).
+    #: Fault plan template; each build() replicates it (fresh counters) so
+    #: repeated builds see identical, deterministic fault sequences.
+    fault_plan: Optional[FaultPlan] = None
+    #: Retry-with-backoff parameters; None = DEFAULT_RECOVERY when a plan
+    #: is armed.
+    recovery: Optional[RecoveryPolicy] = None
+    #: Run check_invariants() on the page tables every N simulated
+    #: accesses / populated pages (0 = disabled).
+    invariant_check_every: int = 0
+
     def __post_init__(self) -> None:
         if self.organization not in ORGANIZATIONS:
             raise ConfigurationError(
-                f"organization {self.organization!r} not in {ORGANIZATIONS}"
+                f"organization {self.organization!r} not in {ORGANIZATIONS}",
+                field="organization", value=self.organization,
             )
         if not is_power_of_two(self.scale):
-            raise ConfigurationError(f"scale {self.scale} must be a power of two")
+            raise ConfigurationError(
+                f"scale {self.scale} must be a power of two",
+                field="scale", value=self.scale,
+            )
+        if not 0.0 <= self.fmfi < 1.0:
+            raise ConfigurationError(
+                f"fmfi {self.fmfi} must be in [0, 1) — 1.0 would mean no "
+                f"free memory at any granularity",
+                field="fmfi", value=self.fmfi,
+            )
+        if self.invariant_check_every < 0:
+            raise ConfigurationError(
+                f"invariant_check_every {self.invariant_check_every} must be >= 0",
+                field="invariant_check_every", value=self.invariant_check_every,
+            )
 
     # -- scaled parameters -------------------------------------------------
 
@@ -135,7 +164,18 @@ class SimulationConfig:
         """Assemble page tables, walker, TLBs, and kernel for ``workload``."""
         cost_model = AllocationCostModel()
         caches = self.build_cache_hierarchy()
-        allocator = CostModelAllocator(cost_model, fmfi=self.fmfi, scale=self.scale)
+        degradation = DegradationLog()
+        # Replicate the plan so each build starts from fresh counters and
+        # the fault sequence is identical across repeated builds.
+        plan = self.fault_plan.replicate() if self.fault_plan is not None else None
+        allocator = CostModelAllocator(
+            cost_model,
+            fmfi=self.fmfi,
+            scale=self.scale,
+            fault_plan=plan,
+            recovery=self.recovery,
+            degradation=degradation,
+        )
 
         if self.organization == "radix":
             tables = RadixPageTable(levels=self.radix_levels)
@@ -158,6 +198,8 @@ class SimulationConfig:
                 downsize_threshold=self.downsize_threshold,
                 rehashes_per_insert=self.rehashes_per_insert,
                 allow_downsize=self.allow_downsize,
+                fault_plan=plan,
+                degradation=degradation,
             )
             walker = EcptWalker(
                 tables, caches,
@@ -179,6 +221,8 @@ class SimulationConfig:
                 chunk_ladder=self.scaled_ladder(),
                 enable_inplace=self.enable_inplace,
                 enable_perway=self.enable_perway,
+                fault_plan=plan,
+                degradation=degradation,
             )
             walker = MeHptWalker(
                 tables, caches,
@@ -205,7 +249,9 @@ class SimulationConfig:
         for start, pages, name in workload.vma_layout():
             aspace.add_vma(start, pages, name)
         tlb = TlbHierarchy(walker)
-        return SimulatedSystem(self, workload, tables, walker, tlb, aspace, allocator)
+        return SimulatedSystem(
+            self, workload, tables, walker, tlb, aspace, allocator, degradation
+        )
 
 
 @dataclass
@@ -219,6 +265,9 @@ class SimulatedSystem:
     tlb: TlbHierarchy
     address_space: AddressSpace
     allocator: CostModelAllocator
+    #: Degradation events recorded by the allocator, resize engines and
+    #: fault hooks during this run.
+    degradation: DegradationLog = field(default_factory=DegradationLog)
 
 
 def table3_parameters() -> Dict[str, str]:

@@ -54,6 +54,10 @@ class MemoryFootprintResult:
     kick_histogram: Dict[int, int] = field(default_factory=dict)
     failed: bool = False
     failure_reason: str = ""
+    #: Degradation-event counts by kind (fault/retry/fallback/rollback/...)
+    #: and the cycles spent recovering, from the run's DegradationLog.
+    degradation_counts: Dict[str, int] = field(default_factory=dict)
+    recovery_cycles: float = 0.0
 
     def mean_moved_fraction(self) -> float:
         examined = [f for f in self.moved_fractions_4k if f > 0]
@@ -87,6 +91,11 @@ class PerformanceResult:
     data_alloc_cycles: float = 0.0
     failed: bool = False
     failure_reason: str = ""
+    #: Degradation-event counts by kind and total recovery cycles (see
+    #: MemoryFootprintResult); recovery cycles are already included in
+    #: pt_alloc_cycles via the allocator's stats.
+    degradation_counts: Dict[str, int] = field(default_factory=dict)
+    recovery_cycles: float = 0.0
 
     def translation_cpa(self) -> float:
         return self.translation_cycles / self.accesses if self.accesses else 0.0

@@ -17,11 +17,40 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.common.errors import ContiguousAllocationError
+from repro.common.errors import (
+    ConfigurationError,
+    ContiguousAllocationError,
+    L2POverflowError,
+    SimulationError,
+    TableFullError,
+)
+from repro.faults.log import EVENT_ABORT
 from repro.kernel.thp import PAGES_PER_2M
 from repro.sim.config import SimulatedSystem, SimulationConfig
 from repro.sim.results import MemoryFootprintResult, PerformanceResult
 from repro.workloads.base import Workload
+
+#: Failure modes a run survives by *recording* rather than crashing: the
+#: paper's contiguous-allocation failure, a cuckoo table stuck despite
+#: emergency resizes, and an exhausted chunk ladder.
+ABORT_ERRORS = (ContiguousAllocationError, TableFullError, L2POverflowError)
+
+
+def check_system_invariants(system: SimulatedSystem, progress: int) -> None:
+    """Run the page tables' invariant checks, annotating any violation.
+
+    Re-raises the :class:`SimulationError` with the simulation progress
+    (accesses or pages processed) merged into its structured context.
+    """
+    checker = getattr(system.page_tables, "check_invariants", None)
+    if checker is None:
+        return
+    try:
+        checker()
+    except SimulationError as exc:
+        exc.context.setdefault("progress", progress)
+        exc.context.setdefault("organization", system.config.organization)
+        raise
 
 
 def populate_tables(system: SimulatedSystem, progress_every: int = 0) -> None:
@@ -35,12 +64,17 @@ def populate_tables(system: SimulatedSystem, progress_every: int = 0) -> None:
     tables = system.page_tables
     translate = tables.translate
     fault = aspace.handle_fault
+    check_every = system.config.invariant_check_every
     for i, vpn in enumerate(system.workload.page_set()):
         vpn = int(vpn)
         if translate(vpn) is None:
             fault(vpn)
+        if check_every and i % check_every == 0 and i:
+            check_system_invariants(system, i)
         if progress_every and i % progress_every == 0 and i:
             print(f"  populated {i} pages...")
+    if check_every:
+        check_system_invariants(system, -1)
 
 
 def memory_result(system: SimulatedSystem, populate: bool = True) -> MemoryFootprintResult:
@@ -52,9 +86,15 @@ def memory_result(system: SimulatedSystem, populate: bool = True) -> MemoryFootp
     if populate:
         try:
             populate_tables(system)
-        except ContiguousAllocationError as exc:
+        except ABORT_ERRORS as exc:
             failed = True
             reason = str(exc)
+            # Allocation failures already logged their abort in the
+            # allocator; record the structural ones here.
+            if not isinstance(exc, ContiguousAllocationError):
+                system.degradation.record(
+                    EVENT_ABORT, "populate", error=type(exc).__name__,
+                )
     tables = system.page_tables
     scale = config.scale
     if config.organization == "radix":
@@ -70,6 +110,8 @@ def memory_result(system: SimulatedSystem, populate: bool = True) -> MemoryFootp
             pages_mapped_2m=system.address_space.totals.pages_mapped_2m,
             failed=failed,
             failure_reason=reason,
+            degradation_counts=dict(system.degradation.counts()),
+            recovery_cycles=system.degradation.recovery_cycles,
         )
     # Hashed organizations: the allocator already reports scale-equivalents.
     result = MemoryFootprintResult(
@@ -88,6 +130,8 @@ def memory_result(system: SimulatedSystem, populate: bool = True) -> MemoryFootp
         kick_histogram=dict(tables.kick_histogram()),
         failed=failed,
         failure_reason=reason,
+        degradation_counts=dict(system.degradation.counts()),
+        recovery_cycles=system.degradation.recovery_cycles,
     )
     if config.organization == "mehpt":
         result.l2p_entries_used = tables.l2p_entries_used()
@@ -105,6 +149,11 @@ class TranslationSimulator:
         trace_length: int = 200_000,
         warmup_fraction: float = 0.0,
     ) -> None:
+        if trace_length <= 0:
+            raise ConfigurationError(
+                f"trace_length {trace_length} must be > 0",
+                field="trace_length", value=trace_length,
+            )
         self.workload = workload
         self.config = config
         self.trace_length = trace_length
@@ -127,8 +176,9 @@ class TranslationSimulator:
         translation_cycles = 0.0
         translate_fn = tlb.translate
         fault_fn = aspace.handle_fault
+        check_every = config.invariant_check_every
         try:
-            for vpn in trace:
+            for i, vpn in enumerate(trace):
                 vpn = int(vpn)
                 outcome = translate_fn(vpn)
                 translation_cycles += outcome.cycles
@@ -138,9 +188,15 @@ class TranslationSimulator:
                         vpn if fault.page_size != "2M" else aspace.thp.region_base(vpn),
                         fault.page_size,
                     )
-        except ContiguousAllocationError as exc:
+                if check_every and i % check_every == 0 and i:
+                    check_system_invariants(system, i)
+        except ABORT_ERRORS as exc:
             failed = True
             reason = str(exc)
+            if not isinstance(exc, ContiguousAllocationError):
+                system.degradation.record(
+                    EVENT_ABORT, "trace", error=type(exc).__name__,
+                )
 
         # Each trace event stands for ``page_repeats`` accesses to that
         # page; the repeats hit the L1 TLB (0 extra translation cycles)
@@ -189,4 +245,6 @@ class TranslationSimulator:
             data_alloc_cycles=totals.data_alloc_cycles,
             failed=failed,
             failure_reason=reason,
+            degradation_counts=dict(system.degradation.counts()),
+            recovery_cycles=system.degradation.recovery_cycles,
         )

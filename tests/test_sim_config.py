@@ -13,12 +13,40 @@ from repro.workloads import get_workload
 
 class TestValidation:
     def test_unknown_organization(self):
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError) as info:
             SimulationConfig(organization="hash_trie")
+        assert info.value.context["field"] == "organization"
 
     def test_scale_power_of_two(self):
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError) as info:
             SimulationConfig(scale=3)
+        assert info.value.context["field"] == "scale"
+
+    @pytest.mark.parametrize("fmfi", [-0.1, 1.0, 1.5])
+    def test_fmfi_must_be_in_unit_interval(self, fmfi):
+        with pytest.raises(ConfigurationError) as info:
+            SimulationConfig(fmfi=fmfi)
+        assert info.value.context["field"] == "fmfi"
+        assert info.value.context["value"] == fmfi
+
+    def test_fmfi_boundaries_accepted(self):
+        SimulationConfig(fmfi=0.0)
+        SimulationConfig(fmfi=0.99)
+
+    def test_invariant_check_every_nonnegative(self):
+        with pytest.raises(ConfigurationError) as info:
+            SimulationConfig(invariant_check_every=-1)
+        assert info.value.context["field"] == "invariant_check_every"
+
+    def test_trace_length_must_be_positive(self):
+        from repro.sim.simulator import TranslationSimulator
+        from repro.workloads import get_workload
+
+        config = SimulationConfig(organization="mehpt", scale=64)
+        workload = get_workload("TC", scale=64)
+        with pytest.raises(ConfigurationError) as info:
+            TranslationSimulator(workload, config, trace_length=0)
+        assert info.value.context["field"] == "trace_length"
 
 
 class TestScaledParameters:
