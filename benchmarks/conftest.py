@@ -12,6 +12,11 @@ at 1/64 scale, 25K-event traces); the experiment drivers' defaults are
 the higher-fidelity configuration.  Sweep results are memoised inside
 one pytest process, so benchmarks that need the same populate runs
 (Table I, Figures 8 and 10-14) share the work.
+
+The sweep engine is configurable from the pytest command line —
+``pytest benchmarks/ --jobs 4 --cache-dir .repro-cache`` fans the sweep
+grids out over 4 worker processes and persists results on disk so a
+second benchmark session starts warm; ``--no-cache`` bypasses the disk.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import os
 
 import pytest
 
+from repro.experiments import engine as engine_mod
 from repro.experiments.runner import ExperimentSettings, clear_caches
 
 #: One settings object shared by all benchmarks (shared memoisation).
@@ -40,6 +46,37 @@ def save_output(name: str, text: str) -> None:
 def once(benchmark, fn):
     """Run an expensive driver exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro sweep engine")
+    group.addoption(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep grids (1 = inline)",
+    )
+    group.addoption(
+        "--cache-dir", default=None,
+        help="persistent sweep-result cache directory (default: off)",
+    )
+    group.addoption(
+        "--no-cache", action="store_true",
+        help="neither read nor write the sweep disk cache",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _configure_sweep_engine(request):
+    """Point the default engine at the session's --jobs/--cache-dir flags."""
+    previous = engine_mod.get_engine()
+    no_cache = request.config.getoption("--no-cache")
+    cache_dir = request.config.getoption("--cache-dir")
+    engine_mod.configure(
+        jobs=request.config.getoption("--jobs"),
+        cache_dir=None if no_cache else cache_dir,
+        use_cache=not no_cache,
+    )
+    yield
+    engine_mod.set_engine(previous)
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -3,7 +3,9 @@
 Every driver exposes ``run(settings) -> result`` returning structured
 data and ``format_result(result) -> str`` rendering the paper-style
 table; ``python -m repro.experiments.<name>`` prints it.  The shared
-sweep machinery lives in :mod:`repro.experiments.runner`.
+sweep machinery lives in :mod:`repro.experiments.runner`, which submits
+through the parallel engine in :mod:`repro.experiments.engine`
+(``--jobs`` process fan-out + persistent disk cache).
 
 ==============  ===========================================================
 Module          Reproduces
@@ -25,6 +27,14 @@ Module          Reproduces
 ==============  ===========================================================
 """
 
+from repro.experiments.engine import SweepEngine, configure, get_engine
 from repro.experiments.runner import ExperimentSettings, memory_sweep, perf_sweep
 
-__all__ = ["ExperimentSettings", "memory_sweep", "perf_sweep"]
+__all__ = [
+    "ExperimentSettings",
+    "SweepEngine",
+    "configure",
+    "get_engine",
+    "memory_sweep",
+    "perf_sweep",
+]

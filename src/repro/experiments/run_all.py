@@ -1,22 +1,32 @@
 """Run every experiment and emit one combined report.
 
-``python -m repro.experiments.run_all [--fast] [--output FILE]``
+``python -m repro.experiments.run_all [--fast] [--jobs N] [--cache-dir D]
+[--no-cache] [--output FILE]``
 
 Regenerates the Section III measurements, Tables I-III and Figures 8-16
 in paper order, at the drivers' default settings (or the cheaper
 ``--fast`` preset), writing the combined report to stdout and optionally
-to a file.  Sweep results are shared across experiments within the run.
+to a file.  Sweep results are shared across experiments within the run;
+with ``--jobs N`` the sweep grids fan out over N worker processes, and
+the persistent cache under ``--cache-dir`` lets repeated invocations
+skip already-computed cells entirely (``--no-cache`` bypasses it).
+
+The report stream carries only the deterministic section bodies — the
+same settings produce a byte-identical report at any ``--jobs`` level.
+Progress and timing go through :mod:`logging` (stderr).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 from typing import Callable, List, Tuple
 
 from repro.experiments import (
     alloc_cost,
+    engine,
     fig8,
     fig9,
     fig10,
@@ -31,6 +41,11 @@ from repro.experiments import (
     table3,
 )
 from repro.experiments.runner import ExperimentSettings
+
+logger = logging.getLogger(__name__)
+
+#: Default persistent sweep cache (relative to the invocation directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def _sections(settings: ExperimentSettings) -> List[Tuple[str, Callable[[], str]]]:
@@ -54,15 +69,30 @@ def _sections(settings: ExperimentSettings) -> List[Tuple[str, Callable[[], str]
 
 
 def run_all(settings: ExperimentSettings, stream=sys.stdout) -> None:
-    """Execute every experiment, streaming formatted sections."""
+    """Execute every experiment, streaming formatted sections.
+
+    Only deterministic section output goes to ``stream``; wall-clock
+    progress is reported through the module logger so parallel and
+    repeated runs stay byte-identical.
+    """
     start = time.time()
     for title, producer in _sections(settings):
         section_start = time.time()
+        logger.info("running %s ...", title)
         print(f"\n{'#' * 70}\n# {title}\n{'#' * 70}", file=stream)
         print(producer(), file=stream)
-        print(f"[{title}: {time.time() - section_start:.1f}s]", file=stream)
+        logger.info("%s done in %.1fs", title, time.time() - section_start)
         stream.flush()
-    print(f"\nall experiments completed in {time.time() - start:.1f}s", file=stream)
+    logger.info("all experiments completed in %.1fs", time.time() - start)
+
+
+def _log_cache_stats() -> None:
+    stats = engine.get_engine().cache_stats()
+    if stats is not None:
+        logger.info(
+            "disk cache: hits=%(hits)d, misses=%(misses)d, stores=%(stores)d, "
+            "corrupt=%(corrupt)d", stats,
+        )
 
 
 def main(argv=None) -> None:
@@ -72,7 +102,22 @@ def main(argv=None) -> None:
     parser.add_argument("--output", help="also write the report to this file")
     parser.add_argument("--scale", type=int, default=None,
                         help="override the footprint scale divisor")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep grids (1 = inline)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="persistent sweep-result cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the disk cache")
     args = parser.parse_args(argv)
+    logging.basicConfig(
+        stream=sys.stderr, level=logging.INFO, format="[%(levelname)s] %(message)s"
+    )
+    engine.configure(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        use_cache=not args.no_cache,
+    )
     settings = ExperimentSettings()
     if args.fast:
         settings = settings.fast()
@@ -84,6 +129,7 @@ def main(argv=None) -> None:
     if args.output:
         with open(args.output, "w") as handle:
             run_all(settings, stream=handle)  # cached sweeps make this cheap
+    _log_cache_stats()
 
 
 if __name__ == "__main__":

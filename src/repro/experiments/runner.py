@@ -4,22 +4,26 @@
 (organization, THP) system and collects
 :class:`~repro.sim.results.MemoryFootprintResult`; ``perf_sweep`` runs
 traces and collects :class:`~repro.sim.results.PerformanceResult`.
-Results are memoised per settings within the process so that e.g. the
-Figure 8 and Figure 10 drivers (which need the same populate runs) don't
-repeat the work.
+
+Both submit through the :mod:`repro.experiments.engine` — a process-pool
+fan-out with a persistent on-disk cache — and additionally memoise
+results within the process so that e.g. the Figure 8 and Figure 10
+drivers (which need the same populate runs) don't repeat the work.
+Cache keys are *normalized* per sweep kind: memory results depend only
+on which pages exist, so changing ``trace_length`` (or any other
+trace-window knob) neither evicts nor misses memory entries.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.common.errors import ContiguousAllocationError
+from repro.experiments import engine as _engine
 from repro.sim.config import SimulationConfig
 from repro.sim.results import MemoryFootprintResult, PerformanceResult
-from repro.sim.simulator import TranslationSimulator, memory_result
-from repro.workloads import get_workload, workload_names
+from repro.workloads import workload_names
 
 MemKey = Tuple[str, str, bool]  # (workload, organization, thp)
 
@@ -39,6 +43,8 @@ class ExperimentSettings:
     fmfi: float = 0.7
     base_cycles_per_access: float = 30.0
     apps: Tuple[str, ...] = ()
+    #: Leading fraction of the trace that warms TLBs/tables unmeasured.
+    warmup_fraction: float = 0.0
 
     def app_list(self) -> List[str]:
         return list(self.apps) if self.apps else workload_names()
@@ -85,12 +91,38 @@ class _LruDict(OrderedDict):
             self.popitem(last=False)
 
 
-_MEMORY_CACHE: Dict[Tuple[ExperimentSettings, MemKey, Tuple], MemoryFootprintResult] = (
-    _LruDict()
-)
-_PERF_CACHE: Dict[Tuple[ExperimentSettings, MemKey, Tuple], PerformanceResult] = (
-    _LruDict()
-)
+#: In-process memo layers, keyed by the engine's normalized content hash
+#: (the same key addresses the disk cache).
+_MEMORY_CACHE: Dict[str, MemoryFootprintResult] = _LruDict()
+_PERF_CACHE: Dict[str, PerformanceResult] = _LruDict()
+
+
+def _sweep(
+    kind: str,
+    memo: Dict[str, object],
+    settings: ExperimentSettings,
+    organizations: Iterable[str],
+    thp_options: Iterable[bool],
+    apps: Optional[Iterable[str]],
+    config_overrides: Dict[str, object],
+) -> Dict[MemKey, object]:
+    """Resolve the sweep grid: memo, then disk cache / pool via the engine."""
+    grid: List[Tuple[MemKey, str]] = []
+    for app in apps if apps is not None else settings.app_list():
+        for org in organizations:
+            for thp in thp_options:
+                cell = (app, org, thp)
+                key, _ = _engine.cell_key(kind, settings, cell, config_overrides)
+                grid.append((cell, key))
+    missing = [cell for cell, key in grid if key not in memo]
+    if missing:
+        resolved = _engine.get_engine().run_cells(
+            kind, settings, missing, config_overrides
+        )
+        for cell, result in resolved.items():
+            key, _ = _engine.cell_key(kind, settings, cell, config_overrides)
+            memo[key] = result
+    return {cell: memo[key] for cell, key in grid}
 
 
 def memory_sweep(
@@ -101,20 +133,10 @@ def memory_sweep(
     **config_overrides,
 ) -> Dict[MemKey, MemoryFootprintResult]:
     """Populate footprints and collect memory results for the sweep grid."""
-    out: Dict[MemKey, MemoryFootprintResult] = {}
-    override_key = tuple(sorted(config_overrides.items()))
-    for app in apps if apps is not None else settings.app_list():
-        for org in organizations:
-            for thp in thp_options:
-                key = (app, org, thp)
-                cache_key = (settings, key, override_key)
-                if cache_key not in _MEMORY_CACHE:
-                    workload = get_workload(app, scale=settings.scale, seed=settings.seed)
-                    config = settings.config(org, thp, **config_overrides)
-                    system = config.build(workload)
-                    _MEMORY_CACHE[cache_key] = memory_result(system)
-                out[key] = _MEMORY_CACHE[cache_key]
-    return out
+    return _sweep(
+        "memory", _MEMORY_CACHE, settings, organizations, thp_options, apps,
+        config_overrides,
+    )
 
 
 def perf_sweep(
@@ -125,25 +147,17 @@ def perf_sweep(
     **config_overrides,
 ) -> Dict[MemKey, PerformanceResult]:
     """Run traces and collect performance results for the sweep grid."""
-    out: Dict[MemKey, PerformanceResult] = {}
-    override_key = tuple(sorted(config_overrides.items()))
-    for app in apps if apps is not None else settings.app_list():
-        for org in organizations:
-            for thp in thp_options:
-                key = (app, org, thp)
-                cache_key = (settings, key, override_key)
-                if cache_key not in _PERF_CACHE:
-                    workload = get_workload(app, scale=settings.scale, seed=settings.seed)
-                    config = settings.config(org, thp, **config_overrides)
-                    sim = TranslationSimulator(
-                        workload, config, trace_length=settings.trace_length
-                    )
-                    _PERF_CACHE[cache_key] = sim.run()
-                out[key] = _PERF_CACHE[cache_key]
-    return out
+    return _sweep(
+        "perf", _PERF_CACHE, settings, organizations, thp_options, apps,
+        config_overrides,
+    )
 
 
 def clear_caches() -> None:
-    """Drop memoised sweep results (tests use this for isolation)."""
+    """Drop memoised sweep results (tests use this for isolation).
+
+    Only the in-process memo is dropped; the engine's disk cache is
+    persistent by design and is invalidated by content hash instead.
+    """
     _MEMORY_CACHE.clear()
     _PERF_CACHE.clear()

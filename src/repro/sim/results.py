@@ -26,8 +26,8 @@ differential signal at trace lengths tractable in pure Python).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Union
 
 
 @dataclass
@@ -115,6 +115,39 @@ class PerformanceResult:
 
     def tlb_miss_rate(self) -> float:
         return self.walks / self.accesses if self.accesses else 0.0
+
+
+SweepResult = Union[MemoryFootprintResult, PerformanceResult]
+
+#: JSON type tags for the two sweep result dataclasses (disk cache records).
+_RESULT_TYPES: Dict[str, type] = {
+    "memory": MemoryFootprintResult,
+    "perf": PerformanceResult,
+}
+
+
+def result_to_record(result: SweepResult) -> Dict:
+    """Serialize a sweep result to a JSON-safe record (see ``result_from_record``)."""
+    for tag, cls in _RESULT_TYPES.items():
+        if isinstance(result, cls):
+            return {"type": tag, "fields": asdict(result)}
+    raise TypeError(f"not a sweep result: {type(result).__name__}")
+
+
+def result_from_record(record: Dict) -> SweepResult:
+    """Rebuild a sweep result from :func:`result_to_record` output.
+
+    Raises ``KeyError``/``TypeError``/``ValueError`` on malformed records;
+    the disk cache treats those as corrupt entries and recomputes.
+    """
+    cls = _RESULT_TYPES[record["type"]]
+    fields = dict(record["fields"])
+    if "kick_histogram" in fields:
+        # JSON object keys are strings; the histogram is keyed by kick depth.
+        fields["kick_histogram"] = {
+            int(depth): count for depth, count in fields["kick_histogram"].items()
+        }
+    return cls(**fields)
 
 
 def speedup(faster: PerformanceResult, baseline: PerformanceResult) -> float:

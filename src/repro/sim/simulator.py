@@ -15,6 +15,7 @@ Two entry points:
 
 from __future__ import annotations
 
+import logging
 from typing import Optional
 
 from repro.common.errors import (
@@ -29,6 +30,8 @@ from repro.kernel.thp import PAGES_PER_2M
 from repro.sim.config import SimulatedSystem, SimulationConfig
 from repro.sim.results import MemoryFootprintResult, PerformanceResult
 from repro.workloads.base import Workload
+
+logger = logging.getLogger(__name__)
 
 #: Failure modes a run survives by *recording* rather than crashing: the
 #: paper's contiguous-allocation failure, a cuckoo table stuck despite
@@ -72,7 +75,9 @@ def populate_tables(system: SimulatedSystem, progress_every: int = 0) -> None:
         if check_every and i % check_every == 0 and i:
             check_system_invariants(system, i)
         if progress_every and i % progress_every == 0 and i:
-            print(f"  populated {i} pages...")
+            # logging, not print: parallel sweep workers would otherwise
+            # interleave progress lines on the shared stdout.
+            logger.info("populated %d pages...", i)
     if check_every:
         check_system_invariants(system, -1)
 
@@ -154,6 +159,12 @@ class TranslationSimulator:
                 f"trace_length {trace_length} must be > 0",
                 field="trace_length", value=trace_length,
             )
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ConfigurationError(
+                f"warmup_fraction {warmup_fraction} must be in [0, 1) — the "
+                f"measured window must be non-empty",
+                field="warmup_fraction", value=warmup_fraction,
+            )
         self.workload = workload
         self.config = config
         self.trace_length = trace_length
@@ -173,7 +184,16 @@ class TranslationSimulator:
         reason = ""
 
         trace = self.workload.trace(self.trace_length)
-        translation_cycles = 0.0
+        # The first ``warmup_fraction`` of the trace warms the TLBs and
+        # page tables (translations and demand faults run normally) but
+        # is excluded from the measured window: translation cycles, TLB
+        # hit/walk/fault counters and the access count all start at the
+        # warmup boundary.
+        warmup_events = int(self.warmup_fraction * len(trace))
+        events_done = 0
+        total_cycles = 0.0
+        warm_cycles = 0.0
+        warm_l1 = warm_l2 = warm_walks = warm_faults = 0
         translate_fn = tlb.translate
         fault_fn = aspace.handle_fault
         check_every = config.invariant_check_every
@@ -181,7 +201,7 @@ class TranslationSimulator:
             for i, vpn in enumerate(trace):
                 vpn = int(vpn)
                 outcome = translate_fn(vpn)
-                translation_cycles += outcome.cycles
+                total_cycles += outcome.cycles
                 if outcome.level == "fault":
                     fault = fault_fn(vpn)
                     tlb.fill(
@@ -190,6 +210,11 @@ class TranslationSimulator:
                     )
                 if check_every and i % check_every == 0 and i:
                     check_system_invariants(system, i)
+                events_done = i + 1
+                if events_done == warmup_events:
+                    warm_cycles = total_cycles
+                    warm_l1, warm_l2 = tlb.l1_hits, tlb.l2_hits
+                    warm_walks, warm_faults = tlb.walks, tlb.faults
         except ABORT_ERRORS as exc:
             failed = True
             reason = str(exc)
@@ -198,11 +223,24 @@ class TranslationSimulator:
                     EVENT_ABORT, "trace", error=type(exc).__name__,
                 )
 
+        if events_done >= warmup_events:
+            translation_cycles = total_cycles - warm_cycles
+            l1_hits = tlb.l1_hits - warm_l1
+            l2_hits = tlb.l2_hits - warm_l2
+            walks = tlb.walks - warm_walks
+            faults = tlb.faults - warm_faults
+        else:
+            # Aborted inside the warmup window: nothing was measured.
+            translation_cycles = 0.0
+            l1_hits = l2_hits = walks = faults = 0
+
         # Each trace event stands for ``page_repeats`` accesses to that
         # page; the repeats hit the L1 TLB (0 extra translation cycles)
-        # and only scale the access count.
+        # and only scale the access count.  ``events_done`` — not
+        # ``len(trace)`` — feeds the count, so an aborted run's per-access
+        # rates divide the prefix's cycles by the prefix's accesses.
         repeats = max(1, self.workload.spec.pattern.page_repeats)
-        accesses = len(trace) * repeats
+        accesses = max(0, events_done - warmup_events) * repeats
 
         totals = aspace.totals
         rehash_moves = 0.0
@@ -232,10 +270,10 @@ class TranslationSimulator:
             accesses=accesses,
             base_cycles_per_access=config.base_cycles_per_access,
             translation_cycles=translation_cycles,
-            l1_hits=tlb.l1_hits,
-            l2_hits=tlb.l2_hits,
-            walks=tlb.walks,
-            faults=tlb.faults,
+            l1_hits=l1_hits,
+            l2_hits=l2_hits,
+            walks=walks,
+            faults=faults,
             pt_alloc_cycles=pt_alloc,
             reinsert_cycles=reinsert,
             l2p_exposed_cycles=l2p_exposed,

@@ -1,0 +1,245 @@
+"""Tests for the parallel sweep engine and its persistent disk cache
+(repro.experiments.engine), plus the sweep-key normalization fix."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments import engine as engine_mod
+from repro.experiments.engine import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    SweepEngine,
+    cell_key,
+)
+from repro.experiments.runner import (
+    ExperimentSettings,
+    clear_caches,
+    memory_sweep,
+    perf_sweep,
+)
+from repro.sim.results import (
+    MemoryFootprintResult,
+    PerformanceResult,
+    result_from_record,
+    result_to_record,
+)
+
+#: Tiny but non-trivial grid: two apps, both hashed organizations.
+SETTINGS = ExperimentSettings(scale=256, trace_length=4_000, apps=("GUPS", "BFS"))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_engine():
+    clear_caches()
+    engine_mod.reset_engine()
+    yield
+    clear_caches()
+    engine_mod.reset_engine()
+
+
+class TestCellKey:
+    def test_memory_key_ignores_trace_window_fields(self):
+        cell = ("GUPS", "mehpt", False)
+        base, _ = cell_key("memory", SETTINGS, cell, {})
+        changed = dataclasses.replace(
+            SETTINGS, trace_length=999, base_cycles_per_access=1.0,
+            warmup_fraction=0.5, apps=("GUPS",),
+        )
+        assert cell_key("memory", changed, cell, {})[0] == base
+
+    def test_perf_key_tracks_trace_window_fields(self):
+        cell = ("GUPS", "mehpt", False)
+        base, _ = cell_key("perf", SETTINGS, cell, {})
+        for changed in (
+            dataclasses.replace(SETTINGS, trace_length=999),
+            dataclasses.replace(SETTINGS, warmup_fraction=0.5),
+            dataclasses.replace(SETTINGS, base_cycles_per_access=1.0),
+        ):
+            assert cell_key("perf", changed, cell, {})[0] != base
+
+    def test_key_tracks_methodology_and_overrides(self):
+        cell = ("GUPS", "mehpt", False)
+        base, cacheable = cell_key("memory", SETTINGS, cell, {})
+        assert cacheable
+        assert cell_key("memory", dataclasses.replace(SETTINGS, fmfi=0.5), cell, {})[0] != base
+        assert cell_key("memory", SETTINGS, cell, {"enable_inplace": False})[0] != base
+        assert cell_key("memory", SETTINGS, ("BFS", "mehpt", False), {})[0] != base
+        assert cell_key("perf", SETTINGS, cell, {})[0] != base
+
+    def test_non_scalar_override_not_disk_cacheable(self):
+        cell = ("GUPS", "mehpt", False)
+        _, cacheable = cell_key("memory", SETTINGS, cell, {"fault_plan": object()})
+        assert not cacheable
+
+
+class TestResultRecords:
+    def test_memory_result_roundtrip(self):
+        results = memory_sweep(SETTINGS, organizations=("mehpt",), apps=("GUPS",))
+        original = results[("GUPS", "mehpt", False)]
+        rebuilt = result_from_record(
+            json.loads(json.dumps(result_to_record(original)))
+        )
+        assert rebuilt == original
+        assert isinstance(rebuilt, MemoryFootprintResult)
+        assert rebuilt.kick_histogram == original.kick_histogram
+
+    def test_perf_result_roundtrip(self):
+        results = perf_sweep(
+            SETTINGS, organizations=("radix",), thp_options=(False,), apps=("GUPS",)
+        )
+        original = results[("GUPS", "radix", False)]
+        rebuilt = result_from_record(
+            json.loads(json.dumps(result_to_record(original)))
+        )
+        assert rebuilt == original
+        assert isinstance(rebuilt, PerformanceResult)
+
+
+class TestSerialParallelEquivalence:
+    def test_memory_sweep_matches(self):
+        serial = memory_sweep(SETTINGS)
+        clear_caches()
+        engine_mod.configure(jobs=2)
+        parallel = memory_sweep(SETTINGS)
+        assert serial == parallel
+
+    def test_perf_sweep_matches(self):
+        serial = perf_sweep(SETTINGS, thp_options=(False,))
+        clear_caches()
+        engine_mod.configure(jobs=2)
+        parallel = perf_sweep(SETTINGS, thp_options=(False,))
+        assert serial == parallel
+
+
+class TestDiskCache:
+    def test_cold_run_stores_warm_run_hits(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        engine_mod.configure(cache_dir=cache_dir)
+        memory_sweep(SETTINGS, organizations=("mehpt",))
+        stats = engine_mod.get_engine().cache_stats()
+        assert stats["stores"] == 4  # 2 apps x 1 org x 2 thp
+        assert stats["hits"] == 0
+        # Fresh process simulation: new engine, empty memo, same directory.
+        clear_caches()
+        engine_mod.set_engine(SweepEngine(cache_dir=cache_dir))
+        warm = memory_sweep(SETTINGS, organizations=("mehpt",))
+        stats = engine_mod.get_engine().cache_stats()
+        assert stats["hits"] == 4
+        assert stats["misses"] == 0
+        assert stats["stores"] == 0
+        assert warm[("GUPS", "mehpt", False)].total_pt_bytes > 0
+
+    def test_warm_results_equal_cold_results(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        engine_mod.configure(cache_dir=cache_dir)
+        cold = perf_sweep(SETTINGS, organizations=("mehpt",), thp_options=(False,))
+        clear_caches()
+        engine_mod.set_engine(SweepEngine(cache_dir=cache_dir))
+        warm = perf_sweep(SETTINGS, organizations=("mehpt",), thp_options=(False,))
+        assert warm == cold
+
+    def test_corrupt_record_recomputed(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        engine_mod.configure(cache_dir=cache_dir)
+        cold = memory_sweep(SETTINGS, organizations=("mehpt",), apps=("GUPS",))
+        files = sorted(os.listdir(cache_dir))
+        with open(os.path.join(cache_dir, files[0]), "w") as handle:
+            handle.write("{ not json")
+        clear_caches()
+        engine_mod.set_engine(SweepEngine(cache_dir=cache_dir))
+        warm = memory_sweep(SETTINGS, organizations=("mehpt",), apps=("GUPS",))
+        stats = engine_mod.get_engine().cache_stats()
+        assert stats["corrupt"] == 1
+        assert stats["stores"] == 1  # the corrupt cell was recomputed + rewritten
+        assert warm == cold
+
+    def test_stale_schema_is_a_miss(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        engine_mod.configure(cache_dir=cache_dir)
+        memory_sweep(SETTINGS, organizations=("mehpt",), apps=("GUPS",))
+        for name in os.listdir(cache_dir):
+            path = os.path.join(cache_dir, name)
+            with open(path) as handle:
+                record = json.load(handle)
+            record["schema"] = CACHE_SCHEMA_VERSION - 1
+            with open(path, "w") as handle:
+                json.dump(record, handle)
+        clear_caches()
+        engine_mod.set_engine(SweepEngine(cache_dir=cache_dir))
+        memory_sweep(SETTINGS, organizations=("mehpt",), apps=("GUPS",))
+        stats = engine_mod.get_engine().cache_stats()
+        assert stats["hits"] == 0
+        assert stats["corrupt"] == 2
+
+    def test_no_cache_writes_nothing(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        engine_mod.configure(cache_dir=cache_dir, use_cache=False)
+        memory_sweep(SETTINGS, organizations=("mehpt",), apps=("GUPS",))
+        assert engine_mod.get_engine().cache is None
+        assert not os.path.exists(cache_dir)
+
+    def test_failed_cells_cache_their_failure_records(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        engine_mod.configure(cache_dir=cache_dir)
+        failing = dataclasses.replace(SETTINGS, fmfi=0.75, scale=64, apps=("GUPS",))
+        cold = memory_sweep(failing, organizations=("ecpt",), thp_options=(False,))
+        assert cold[("GUPS", "ecpt", False)].failed
+        clear_caches()
+        engine_mod.set_engine(SweepEngine(cache_dir=cache_dir))
+        warm = memory_sweep(failing, organizations=("ecpt",), thp_options=(False,))
+        result = warm[("GUPS", "ecpt", False)]
+        assert engine_mod.get_engine().cache_stats()["hits"] == 1
+        assert result.failed
+        assert "contiguous" in result.failure_reason
+
+
+class TestMemoNormalization:
+    def test_memory_memo_survives_trace_length_change(self):
+        first = memory_sweep(SETTINGS, organizations=("mehpt",), apps=("GUPS",))
+        changed = dataclasses.replace(SETTINGS, trace_length=9_999)
+        second = memory_sweep(changed, organizations=("mehpt",), apps=("GUPS",))
+        # Served from the in-process memo: the very same objects.
+        key = ("GUPS", "mehpt", False)
+        assert second[key] is first[key]
+
+    def test_perf_memo_respects_trace_length(self):
+        key = ("GUPS", "radix", False)
+        first = perf_sweep(
+            SETTINGS, organizations=("radix",), thp_options=(False,), apps=("GUPS",)
+        )
+        changed = dataclasses.replace(SETTINGS, trace_length=2_000)
+        second = perf_sweep(
+            changed, organizations=("radix",), thp_options=(False,), apps=("GUPS",)
+        )
+        assert second[key] is not first[key]
+        assert second[key].accesses < first[key].accesses
+
+
+class TestEngineConfig:
+    def test_jobs_validated(self):
+        with pytest.raises(ConfigurationError):
+            SweepEngine(jobs=0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepEngine().run_cells("nope", SETTINGS, [("GUPS", "mehpt", False)], {})
+
+    def test_configure_replaces_default(self, tmp_path):
+        engine_mod.configure(jobs=5, cache_dir=str(tmp_path))
+        engine = engine_mod.get_engine()
+        assert engine.jobs == 5
+        assert engine.cache is not None
+        engine_mod.configure(use_cache=False)
+        assert engine_mod.get_engine().jobs == 5
+        assert engine_mod.get_engine().cache is None
+
+    def test_atomic_store_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        results = memory_sweep(SETTINGS, organizations=("mehpt",), apps=("GUPS",))
+        cache.store("deadbeef", "memory", results[("GUPS", "mehpt", False)])
+        assert sorted(os.listdir(str(tmp_path))) == ["deadbeef.json"]
+        assert cache.load("deadbeef", "memory") == results[("GUPS", "mehpt", False)]

@@ -2,8 +2,18 @@
 
 import io
 
+import pytest
+
+from repro.experiments import engine as engine_mod
 from repro.experiments import run_all as run_all_mod
 from repro.experiments.runner import ExperimentSettings
+
+
+@pytest.fixture(autouse=True)
+def _restore_engine():
+    previous = engine_mod.get_engine()
+    yield
+    engine_mod.set_engine(previous)
 
 
 class TestSectionWiring:
@@ -27,7 +37,17 @@ class TestSectionWiring:
         for i in range(3):
             assert f"# S{i}" in text
             assert f"body-{i}" in text
-        assert "all experiments completed" in text
+
+    def test_report_is_deterministic(self, monkeypatch):
+        # Timing goes through logging, not the report stream, so two runs
+        # of the same settings produce byte-identical reports.
+        stub = [("S", lambda: "body")]
+        monkeypatch.setattr(run_all_mod, "_sections", lambda settings: stub)
+        first, second = io.StringIO(), io.StringIO()
+        run_all_mod.run_all(ExperimentSettings(), stream=first)
+        run_all_mod.run_all(ExperimentSettings(), stream=second)
+        assert first.getvalue() == second.getvalue()
+        assert "completed in" not in first.getvalue()
 
     def test_cli_parses_flags(self, monkeypatch):
         calls = {}
@@ -38,3 +58,19 @@ class TestSectionWiring:
         monkeypatch.setattr(run_all_mod, "run_all", fake_run_all)
         run_all_mod.main(["--scale", "128"])
         assert calls["scale"] == 128
+
+    def test_cli_configures_engine(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(run_all_mod, "run_all", lambda settings, stream=None: None)
+        cache_dir = str(tmp_path / "sweep-cache")
+        run_all_mod.main(["--jobs", "3", "--cache-dir", cache_dir])
+        engine = engine_mod.get_engine()
+        assert engine.jobs == 3
+        assert engine.cache_dir == cache_dir
+        assert engine.cache is not None
+
+    def test_cli_no_cache_disables_disk(self, monkeypatch):
+        monkeypatch.setattr(run_all_mod, "run_all", lambda settings, stream=None: None)
+        run_all_mod.main(["--no-cache"])
+        engine = engine_mod.get_engine()
+        assert engine.cache is None
+        assert not engine.use_cache

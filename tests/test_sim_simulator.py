@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import ConfigurationError
 from repro.sim.config import SimulationConfig
 from repro.sim.results import speedup
 from repro.sim.simulator import TranslationSimulator, memory_result, populate_tables
@@ -11,10 +12,12 @@ SCALE = 64
 FAST = dict(scale=SCALE)
 
 
-def run(org, thp=False, app="TC", n=8_000, **overrides):
+def run(org, thp=False, app="TC", n=8_000, warmup=0.0, **overrides):
     workload = get_workload(app, scale=SCALE)
     config = SimulationConfig(organization=org, thp_enabled=thp, **FAST, **overrides)
-    return TranslationSimulator(workload, config, trace_length=n).run()
+    return TranslationSimulator(
+        workload, config, trace_length=n, warmup_fraction=warmup
+    ).run()
 
 
 class TestPopulate:
@@ -98,6 +101,46 @@ class TestTraceRuns:
         assert result.failed
         base = run("radix", app="GUPS", n=20_000)
         assert speedup(result, base) == 0.0
+
+    def test_warmup_changes_translation_cpa(self):
+        cold = run("mehpt", app="GUPS", n=10_000)
+        warm = run("mehpt", app="GUPS", n=10_000, warmup=0.5)
+        repeats = get_workload("GUPS", scale=SCALE).spec.pattern.page_repeats
+        assert warm.accesses == 5_000 * repeats
+        assert warm.translation_cpa() != cold.translation_cpa()
+        # Warming excludes the cold-start faults/walks from the window.
+        assert warm.faults < cold.faults
+        assert warm.walks < cold.walks
+        assert warm.translation_cycles < cold.translation_cycles
+
+    def test_warmup_counters_are_windowed(self):
+        result = run("radix", n=8_000, warmup=0.25)
+        repeats = get_workload("TC", scale=SCALE).spec.pattern.page_repeats
+        assert result.accesses == 6_000 * repeats
+        events = result.l1_hits + result.l2_hits + result.walks
+        assert events == 6_000
+
+    def test_warmup_fraction_validated(self):
+        workload = get_workload("TC", scale=SCALE)
+        config = SimulationConfig(**FAST)
+        for bad in (-0.1, 1.0, 1.5):
+            with pytest.raises(ConfigurationError):
+                TranslationSimulator(workload, config, warmup_fraction=bad)
+
+    def test_aborted_run_counts_simulated_prefix(self):
+        # Same failing configuration as test_failed_run_flagged: the run
+        # aborts mid-trace, and the access count must be the simulated
+        # prefix, not the full trace.
+        workload = get_workload("GUPS", scale=512)
+        config = SimulationConfig(organization="ecpt", fmfi=0.75, scale=512)
+        result = TranslationSimulator(workload, config, trace_length=30_000).run()
+        repeats = workload.spec.pattern.page_repeats
+        assert result.failed
+        assert 0 < result.accesses < 30_000 * repeats
+        assert result.accesses % repeats == 0
+        # The per-access rates divide prefix cycles by prefix accesses.
+        assert result.translation_cpa() > 0
+        assert 0.0 < result.tlb_miss_rate() <= 1.0
 
     def test_differential_costs_populated_for_hpts(self):
         result = run("ecpt", app="GUPS", n=20_000)
