@@ -46,6 +46,7 @@ from repro.hashing.hashes import HashFamily
 from repro.hashing.policies import AllWayResizePolicy, PerWayResizePolicy
 from repro.hashing.storage import ChunkedStorage
 from repro.mem.allocator import CostModelAllocator
+from repro.obs.trace import EVENT_CHUNK_TRANSITION
 
 
 class MeHptPageTables(HashedPageTableSet):
@@ -83,6 +84,7 @@ class MeHptPageTables(HashedPageTableSet):
         page_sizes: Iterable[str] = PAGE_SIZES,
         fault_plan: Optional[FaultPlan] = None,
         degradation: Optional[DegradationLog] = None,
+        obs=None,
     ) -> None:
         rng = make_rng(rng)
         self.allocator = allocator if allocator is not None else CostModelAllocator()
@@ -90,6 +92,9 @@ class MeHptPageTables(HashedPageTableSet):
         self.l2p = l2p if l2p is not None else L2PTable(ways)
         self.fault_plan = fault_plan
         self.degradation = degradation
+        #: Optional repro.obs.Observability: chunk-size transitions emit
+        #: ``chunk_transition`` trace events.
+        self.obs = obs
         self.enable_inplace = enable_inplace
         self.enable_perway = enable_perway
         #: Optional Section V-B heuristic: fragmentation/growth-aware
@@ -170,6 +175,8 @@ class MeHptPageTables(HashedPageTableSet):
             inplace_enabled=self.enable_inplace,
             fault_plan=self.fault_plan,
             degradation=self.degradation,
+            obs=self.obs,
+            obs_label=page_size,
         )
         table_ref["table"] = table
         return ClusteredHashedPageTable(page_size, table)
@@ -260,6 +267,12 @@ class MeHptPageTables(HashedPageTableSet):
                 chunk_bytes = bigger
         if chunk_bytes != current_chunk:
             self.chunk_transitions[page_size] += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    EVENT_CHUNK_TRANSITION,
+                    page_size=page_size, way=way_index,
+                    from_chunk=current_chunk, to_chunk=chunk_bytes,
+                )
         return storage
 
     def _fallback_chunk(self, chunk_bytes: int, way_bytes: int) -> Optional[int]:

@@ -32,6 +32,7 @@ class MeHptWalker(EcptWalker):
         pud_cwc_entries: int = 2,
         cwc_cycles: int = 4,
         l2p_cycles: int = 4,
+        obs=None,
     ) -> None:
         super().__init__(
             tables,
@@ -39,6 +40,7 @@ class MeHptWalker(EcptWalker):
             pmd_cwc_entries=pmd_cwc_entries,
             pud_cwc_entries=pud_cwc_entries,
             cwc_cycles=cwc_cycles,
+            obs=obs,
         )
         self.l2p_cycles = l2p_cycles
         #: L2P accesses fully overlapped with the CWC lookup (hidden).

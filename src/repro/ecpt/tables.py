@@ -184,6 +184,7 @@ class EcptPageTables(HashedPageTableSet):
         page_sizes: Iterable[str] = PAGE_SIZES,
         fault_plan: Optional[FaultPlan] = None,
         degradation: Optional[DegradationLog] = None,
+        obs=None,
     ) -> None:
         rng = make_rng(rng)
         self.allocator = allocator if allocator is not None else CostModelAllocator()
@@ -217,6 +218,8 @@ class EcptPageTables(HashedPageTableSet):
                 rehashes_per_insert=rehashes_per_insert,
                 fault_plan=fault_plan,
                 degradation=degradation,
+                obs=obs,
+                obs_label=page_size,
             )
             tables[page_size] = ClusteredHashedPageTable(page_size, table)
         super().__init__(tables, self.allocator.stats)

@@ -24,6 +24,7 @@ from repro.ecpt.cwt import CuckooWalkCache
 from repro.ecpt.tables import HashedPageTableSet
 from repro.mem.cache import CacheHierarchy
 from repro.mmu.walk import WalkResult
+from repro.obs.trace import EVENT_WALK_END, EVENT_WALK_START
 
 #: Probe order: a bigger page size wins if both map a region (they cannot
 #: overlap for the same VA, but stale smaller entries are shadowed).
@@ -40,6 +41,7 @@ class EcptWalker:
         pmd_cwc_entries: int = 16,
         pud_cwc_entries: int = 2,
         cwc_cycles: int = 4,
+        obs=None,
     ) -> None:
         self.tables = tables
         self.caches = cache_hierarchy
@@ -51,6 +53,14 @@ class EcptWalker:
         self.total_cycles = 0
         self.total_accesses = 0
         self.cwt_memory_reads = 0
+        #: Optional repro.obs.Observability: walk_start/walk_end events
+        #: plus a live per-walk latency histogram (pow2 bins).
+        self.obs = obs
+        self.walk_latency = None
+        if obs is not None and obs.registry is not None:
+            self.walk_latency = obs.registry.histogram(
+                "walker.walk_latency", bucketer="pow2"
+            )
 
     # -- the walk ---------------------------------------------------------
 
@@ -67,6 +77,8 @@ class EcptWalker:
         entry is ambiguous (both 4KB and 2MB present), the PMD-CWT entry
         is fetched in parallel for precision.
         """
+        if self.obs is not None:
+            self.obs.emit(EVENT_WALK_START, walk=self.walks, vpn=vpn)
         cycles = self.cwc_cycles  # both CWCs probed in parallel
         accesses = 0
         pmd_sizes = self.pmd_cwc.lookup(vpn)
@@ -125,6 +137,12 @@ class EcptWalker:
         return 0
 
     def _account(self, cycles: int, accesses: int) -> None:
+        if self.obs is not None:
+            self.obs.emit(
+                EVENT_WALK_END, walk=self.walks, cycles=cycles, accesses=accesses,
+            )
+            if self.walk_latency is not None:
+                self.walk_latency.observe(cycles)
         self.walks += 1
         self.total_cycles += cycles
         self.total_accesses += accesses

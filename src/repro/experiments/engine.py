@@ -19,7 +19,10 @@ exploits both properties:
   processes and sessions — then skip already-computed cells.  Aborted
   cells (the paper's >0.7-FMFI ECPT failures) are cached too: failures
   are *recorded* in the result dataclasses (``failed=True``), never
-  raised, so a warm cache reproduces them faithfully.
+  raised, so a warm cache reproduces them faithfully.  Every stored
+  record gets a ``<key>.manifest.json`` provenance sidecar (see
+  :mod:`repro.obs.manifest`) with the cell coordinates, seed, wall-time,
+  host, and the run's metric snapshot.
 
 Cache invalidation: records embed :data:`CACHE_SCHEMA_VERSION`; bump it
 whenever simulator or result semantics change so stale records are
@@ -40,19 +43,22 @@ import json
 import logging
 import os
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
+from repro.obs.manifest import build_manifest, manifest_path, write_manifest
 from repro.sim.results import SweepResult, result_from_record, result_to_record
 
 logger = logging.getLogger(__name__)
 
 #: Stamped into every disk record and hashed into every key.  Bump when
 #: simulator or result semantics change: old records then hash to
-#: different keys and are never served.
-CACHE_SCHEMA_VERSION = 2
+#: different keys and are never served.  v3: results grew the
+#: ``metrics`` snapshot field (repro.obs).
+CACHE_SCHEMA_VERSION = 3
 
 #: (workload, organization, thp) — one cell of the sweep grid.
 Cell = Tuple[str, str, bool]
@@ -147,6 +153,19 @@ def _compute_cell(
         warmup_fraction=getattr(settings, "warmup_fraction", 0.0),
     )
     return simulator.run()
+
+
+def _timed_compute_cell(
+    kind: str, settings, cell: Cell, override_items: Tuple[Tuple[str, object], ...]
+) -> Tuple[SweepResult, float]:
+    """:func:`_compute_cell` plus its wall-clock seconds (for manifests).
+
+    Timing wraps the worker side of the pool boundary, so a parallel
+    sweep's manifests record per-cell compute time, not queue time.
+    """
+    start = time.perf_counter()
+    result = _compute_cell(kind, settings, cell, override_items)
+    return result, time.perf_counter() - start
 
 
 class ResultCache:
@@ -276,12 +295,27 @@ class SweepEngine:
                     continue
             pending.append((cell, key, disk_cacheable))
         if pending:
-            for (cell, key, disk_cacheable), result in zip(
+            for (cell, key, disk_cacheable), (result, elapsed) in zip(
                 pending, self._compute(kind, settings, pending, overrides)
             ):
                 out[cell] = result
                 if self._cache is not None and disk_cacheable:
                     self._cache.store(key, kind, result)
+                    # Provenance sidecar; ResultCache never reads these,
+                    # so a damaged manifest cannot poison a cache hit.
+                    write_manifest(
+                        manifest_path(self._cache.directory, key),
+                        build_manifest(
+                            key=key,
+                            kind=kind,
+                            cell=cell,
+                            cache_schema=CACHE_SCHEMA_VERSION,
+                            settings=settings_fingerprint(kind, settings),
+                            seed=settings.seed,
+                            elapsed_seconds=elapsed,
+                            metrics=result.metrics,
+                        ),
+                    )
         return out
 
     def _compute(
@@ -290,11 +324,11 @@ class SweepEngine:
         settings,
         pending: Sequence[Tuple[Cell, str, bool]],
         overrides: Dict[str, object],
-    ) -> List[SweepResult]:
+    ) -> List[Tuple[SweepResult, float]]:
         override_items = tuple(sorted(overrides.items()))
         if self.jobs == 1 or len(pending) == 1:
             return [
-                _compute_cell(kind, settings, cell, override_items)
+                _timed_compute_cell(kind, settings, cell, override_items)
                 for cell, _key, _cacheable in pending
             ]
         workers = min(self.jobs, len(pending))
@@ -303,7 +337,7 @@ class SweepEngine:
         )
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_compute_cell, kind, settings, cell, override_items)
+                pool.submit(_timed_compute_cell, kind, settings, cell, override_items)
                 for cell, _key, _cacheable in pending
             ]
             return [future.result() for future in futures]

@@ -66,11 +66,18 @@ class DegradationEvent:
 
 
 class DegradationLog:
-    """Ordered record of degradation events plus the recovery-cycle total."""
+    """Ordered record of degradation events plus the recovery-cycle total.
 
-    def __init__(self) -> None:
+    ``obs`` (a :class:`repro.obs.Observability`, optional) mirrors every
+    *injected-fault* event into the structured trace as
+    ``fault_injected``; degradation bookkeeping itself stays trace-free
+    since the recovery paths already record richer events here.
+    """
+
+    def __init__(self, obs=None) -> None:
         self.events: List[DegradationEvent] = []
         self.recovery_cycles = 0.0
+        self.obs = obs
 
     def record(
         self,
@@ -86,6 +93,12 @@ class DegradationLog:
         )
         self.events.append(event)
         self.recovery_cycles += event.cycles
+        if self.obs is not None and kind == EVENT_FAULT:
+            # Imported here: repro.obs is a leaf package, but this module
+            # is imported by nearly everything and the event is rare.
+            from repro.obs.trace import EVENT_FAULT_INJECTED
+
+            self.obs.emit(EVENT_FAULT_INJECTED, site=site, attempt=attempt)
         return event
 
     def counts(self) -> Counter:

@@ -40,6 +40,12 @@ from repro.faults.log import (
 )
 from repro.faults.plan import SITE_CUCKOO_KICKS, FaultPlan
 from repro.hashing.storage import Storage
+from repro.obs.trace import (
+    EVENT_CUCKOO_KICK,
+    EVENT_RESIZE_BEGIN,
+    EVENT_RESIZE_COMMIT,
+    EVENT_RESIZE_ROLLBACK,
+)
 
 #: Factory signature for out-of-place resize targets.  Called with
 #: ``(way_index, new_slots)``; may return ``None`` to request an eager
@@ -221,6 +227,8 @@ class ElasticCuckooTable:
         inplace_enabled: bool = True,
         fault_plan: Optional[FaultPlan] = None,
         degradation: Optional[DegradationLog] = None,
+        obs: Optional[Any] = None,
+        obs_label: str = "",
     ) -> None:
         if len(ways) < 2:
             raise ConfigurationError("cuckoo hashing needs at least 2 ways")
@@ -233,6 +241,11 @@ class ElasticCuckooTable:
         self.observer = observer
         self.fault_plan = fault_plan
         self.degradation = degradation
+        #: Optional repro.obs.Observability plus a label (the page size)
+        #: identifying this table in trace events, since the table itself
+        #: does not know which page size it serves.
+        self.obs = obs
+        self.obs_label = obs_label
         #: When False (ablation), resizes always go out of place even if
         #: the storage could grow in place.
         self.inplace_enabled = inplace_enabled
@@ -317,6 +330,8 @@ class ElasticCuckooTable:
         self.count += 1
         self.stats.inserts += 1
         self.stats.record_op_kicks(kicks)
+        if self.obs is not None and kicks:
+            self.obs.emit(EVENT_CUCKOO_KICK, table=self.obs_label, kicks=kicks)
         self.policy.check_resize(self)
         self._update_peak()
         return kicks
@@ -363,6 +378,9 @@ class ElasticCuckooTable:
         if self.inplace_enabled and self._try_extend(way, new_size):
             way.begin_resize(new_size, None)
             self._notify("on_upsize", way, new_size, True)
+            self._emit_resize(
+                EVENT_RESIZE_BEGIN, way, new_size=new_size, inplace=True,
+            )
         else:
             new_storage = self.storage_factory(way.index, new_size)
             if new_storage is None:
@@ -370,6 +388,9 @@ class ElasticCuckooTable:
             else:
                 way.begin_resize(new_size, new_storage)
                 self._notify("on_upsize", way, new_size, False)
+                self._emit_resize(
+                    EVENT_RESIZE_BEGIN, way, new_size=new_size, inplace=False,
+                )
         self._update_peak()
 
     def start_downsize(self, way: ElasticWay) -> None:
@@ -380,6 +401,9 @@ class ElasticCuckooTable:
         if self.inplace_enabled and self._can_shrink_in_place(way.storage):
             way.begin_resize(new_size, None)
             self._notify("on_downsize", way, new_size, True)
+            self._emit_resize(
+                EVENT_RESIZE_BEGIN, way, new_size=new_size, inplace=True,
+            )
         else:
             new_storage = self.storage_factory(way.index, new_size)
             if new_storage is None:
@@ -387,6 +411,9 @@ class ElasticCuckooTable:
             else:
                 way.begin_resize(new_size, new_storage)
                 self._notify("on_downsize", way, new_size, False)
+                self._emit_resize(
+                    EVENT_RESIZE_BEGIN, way, new_size=new_size, inplace=False,
+                )
         self._update_peak()
 
     @staticmethod
@@ -469,6 +496,10 @@ class ElasticCuckooTable:
                 way=way.index, size=old_size,
                 direction=direction, items=len(items),
             )
+        self._emit_resize(
+            EVENT_RESIZE_ROLLBACK, way, size=old_size, direction=direction,
+            items=len(items),
+        )
 
     # -- internals ---------------------------------------------------------
 
@@ -571,6 +602,7 @@ class ElasticCuckooTable:
             self._finish_resize(way)
 
     def _finish_resize(self, way: ElasticWay) -> None:
+        inplace = way.old_storage is None
         if way.old_storage is not None:
             way.old_storage.release()
             way.old_storage = None
@@ -580,6 +612,10 @@ class ElasticCuckooTable:
         way.rehash_ptr = None
         way.direction = 0
         self._notify("on_resize_complete", way, way.size, way.old_storage is None)
+        self._emit_resize(
+            EVENT_RESIZE_COMMIT, way, size=way.size, inplace=inplace,
+            relocated=way.rehash_relocated,
+        )
 
     def _eager_migrate(self, way: ElasticWay, new_size: int) -> None:
         """Stop-the-world migration for chunk-size transitions that cannot
@@ -631,6 +667,11 @@ class ElasticCuckooTable:
                 kicks = self._place(item, self._other_way(way.index))
                 self.stats.record_op_kicks(kicks)
         self._notify("on_eager_migration", way, new_size, False)
+        # An eager migration begins and commits atomically: one commit
+        # event with eager=True, no matching resize_begin.
+        self._emit_resize(
+            EVENT_RESIZE_COMMIT, way, size=new_size, inplace=False, eager=True,
+        )
 
     def _update_peak(self) -> None:
         total = self.total_bytes()
@@ -642,6 +683,10 @@ class ElasticCuckooTable:
             handler = getattr(self.observer, event, None)
             if handler is not None:
                 handler(way, new_size, inplace)
+
+    def _emit_resize(self, kind: str, way: ElasticWay, **payload) -> None:
+        if self.obs is not None:
+            self.obs.emit(kind, table=self.obs_label, way=way.index, **payload)
 
     # -- validation (used by tests) ---------------------------------------
 

@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 from repro.common.errors import ConfigurationError, MEHPTError
 from repro.kernel.thp import PAGES_PER_2M, ThpPolicy
 from repro.mem.alloc_cost import AllocationCostModel
+from repro.obs.trace import EVENT_FAULT_SERVICED
 
 #: OS entry/exit + fault bookkeeping, beyond the allocation itself.
 FAULT_OVERHEAD_CYCLES = 1200
@@ -107,6 +108,7 @@ class AddressSpace:
         fault_overhead_cycles: float = FAULT_OVERHEAD_CYCLES,
         reinsert_cycles: float = REINSERT_CYCLES,
         charge_data_alloc: bool = True,
+        obs=None,
     ) -> None:
         self.page_tables = page_tables
         self.thp = thp if thp is not None else ThpPolicy(enabled=False)
@@ -115,6 +117,9 @@ class AddressSpace:
         self.fault_overhead_cycles = fault_overhead_cycles
         self.reinsert_cycles = reinsert_cycles
         self.charge_data_alloc = charge_data_alloc
+        #: Optional repro.obs.Observability; every serviced fault emits a
+        #: ``fault_serviced`` trace event carrying its cycle bill.
+        self.obs = obs
         self.vmas: List[Vma] = []
         self.totals = FaultTotals()
         self._next_frame = 1 << 20  # synthetic physical frame numbers
@@ -203,6 +208,13 @@ class AddressSpace:
             self.totals.pages_mapped_2m += 1
         else:
             self.totals.pages_mapped_4k += 1
+        if self.obs is not None:
+            self.obs.emit(
+                EVENT_FAULT_SERVICED,
+                vpn=vpn, page_size=page_size, cycles=total,
+                pt_alloc_cycles=pt_cycles, reinsert_cycles=reinsert,
+                data_alloc_cycles=data_cycles, kicks=kicks,
+            )
         return fault
 
     def _pt_alloc_cycles(self) -> float:

@@ -16,6 +16,7 @@ from typing import Dict, Optional
 from repro.hashing.clustered import PAGE_SHIFT
 from repro.mmu.tlb import SetAssociativeTlb
 from repro.mmu.walk import WalkResult
+from repro.obs.trace import EVENT_TLB_MISS
 
 
 @dataclass
@@ -42,10 +43,14 @@ class TlbHierarchy:
         walker,
         l1_geometry: Optional[Dict[str, tuple]] = None,
         l2_geometry: Optional[Dict[str, tuple]] = None,
+        obs=None,
     ) -> None:
         l1_geometry = l1_geometry or DEFAULT_L1_GEOMETRY
         l2_geometry = l2_geometry or DEFAULT_L2_GEOMETRY
         self.walker = walker
+        #: Optional repro.obs.Observability; a full TLB miss emits a
+        #: ``tlb_miss`` trace event with its visible cycle cost.
+        self.obs = obs
         self.l1: Dict[str, SetAssociativeTlb] = {
             size: SetAssociativeTlb(f"L1-{size}", *geom)
             for size, geom in l1_geometry.items()
@@ -89,8 +94,14 @@ class TlbHierarchy:
         cycles = l2_cycles + walk.cycles
         if walk.fault:
             self.faults += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    EVENT_TLB_MISS, vpn=vpn, level="fault", cycles=cycles,
+                )
             return TranslationOutcome("fault", cycles, None, walk=walk)
         self.fill(vpn, walk.page_size)
+        if self.obs is not None:
+            self.obs.emit(EVENT_TLB_MISS, vpn=vpn, level="walk", cycles=cycles)
         return TranslationOutcome("walk", cycles, walk.page_size, walk.ppn, walk)
 
     def fill(self, vpn: int, page_size: str) -> None:

@@ -1,0 +1,184 @@
+"""repro.obs — zero-cost-when-disabled observability.
+
+The layer has three parts, built here and documented end-to-end in
+``OBSERVABILITY.md``:
+
+* :mod:`repro.obs.metrics` — a catalogue-validated
+  :class:`~repro.obs.metrics.MetricsRegistry` whose snapshot rides
+  inside ``MemoryFootprintResult``/``PerformanceResult`` and therefore
+  through the sweep engine's disk cache.
+* :mod:`repro.obs.trace` — typed, sampled, sim-cycle-stamped event
+  traces through a :class:`~repro.obs.trace.TraceSink` (JSONL file or
+  in-memory ring buffer).
+* :mod:`repro.obs.manifest` / :mod:`repro.obs.report` — run manifests
+  next to engine cache entries, and the CLI that turns a JSONL trace
+  back into the differential model's cycle terms.
+
+The **zero-cost contract**: a simulated system built without an
+:class:`ObservabilityConfig` carries ``obs = None`` and every
+instrumentation site is guarded by ``if obs is not None`` (or the
+component never received the object at all).  Disabled runs execute the
+same arithmetic as before this layer existed — the byte-identity test
+in ``tests/test_obs_trace.py`` and the ``run_all --fast`` report check
+both pin this down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.obs.metrics import CATALOGUE, MetricsRegistry, MetricSpec
+from repro.obs.trace import (
+    ALL_KINDS,
+    EVENT_CHUNK_TRANSITION,
+    EVENT_CUCKOO_KICK,
+    EVENT_FAULT_INJECTED,
+    EVENT_FAULT_SERVICED,
+    EVENT_MEASURE_START,
+    EVENT_RESIZE_BEGIN,
+    EVENT_RESIZE_COMMIT,
+    EVENT_RESIZE_ROLLBACK,
+    EVENT_RUN_END,
+    EVENT_RUN_START,
+    EVENT_TLB_MISS,
+    EVENT_WALK_END,
+    EVENT_WALK_START,
+    SAMPLED_KINDS,
+    JsonlTraceSink,
+    RingBufferTraceSink,
+    Tracer,
+    TraceSink,
+)
+
+__all__ = [
+    "ObservabilityConfig",
+    "Observability",
+    "MetricsRegistry",
+    "MetricSpec",
+    "CATALOGUE",
+    "TraceSink",
+    "JsonlTraceSink",
+    "RingBufferTraceSink",
+    "Tracer",
+    "ALL_KINDS",
+    "SAMPLED_KINDS",
+    "EVENT_RUN_START",
+    "EVENT_MEASURE_START",
+    "EVENT_RUN_END",
+    "EVENT_TLB_MISS",
+    "EVENT_WALK_START",
+    "EVENT_WALK_END",
+    "EVENT_CUCKOO_KICK",
+    "EVENT_FAULT_SERVICED",
+    "EVENT_RESIZE_BEGIN",
+    "EVENT_RESIZE_COMMIT",
+    "EVENT_RESIZE_ROLLBACK",
+    "EVENT_CHUNK_TRANSITION",
+    "EVENT_FAULT_INJECTED",
+]
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """How much to observe.  Absent (None) means observe nothing.
+
+    ``metrics``
+        Build a :class:`~repro.obs.metrics.MetricsRegistry` and snapshot
+        it into the run's result object.
+    ``trace_path`` / ``trace_buffer``
+        Route events to a JSONL file at ``trace_path``, or to an
+        in-memory ring buffer of ``trace_buffer`` events.  At most one;
+        neither means no tracing.
+    ``trace_sample_every``
+        Keep every N-th event of the high-frequency kinds
+        (:data:`~repro.obs.trace.SAMPLED_KINDS`).  1 keeps everything —
+        required for exact cycle attribution by ``repro.obs.report``.
+    """
+
+    metrics: bool = True
+    trace_path: Optional[str] = None
+    trace_buffer: Optional[int] = None
+    trace_sample_every: int = 1
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on contradictory settings."""
+        if self.trace_path is not None and self.trace_buffer is not None:
+            raise ConfigurationError(
+                "trace_path and trace_buffer are mutually exclusive",
+                field="trace_buffer", value=self.trace_buffer,
+            )
+        if self.trace_buffer is not None and self.trace_buffer < 1:
+            raise ConfigurationError(
+                "trace_buffer must be >= 1",
+                field="trace_buffer", value=self.trace_buffer,
+            )
+        if self.trace_sample_every < 1:
+            raise ConfigurationError(
+                "trace_sample_every must be >= 1",
+                field="trace_sample_every", value=self.trace_sample_every,
+            )
+
+
+class Observability:
+    """The live observability context threaded through one system build.
+
+    Holds the metrics registry, the (optional) tracer, and the
+    simulated-cycle clock that stamps events.  Components receive this
+    object (or None) at construction; the simulator advances
+    :attr:`cycle` as it accounts time.
+    """
+
+    def __init__(self, config: ObservabilityConfig) -> None:
+        config.validate()
+        self.config = config
+        self.registry: Optional[MetricsRegistry] = (
+            MetricsRegistry() if config.metrics else None
+        )
+        self.tracer: Optional[Tracer] = None
+        self.ring: Optional[RingBufferTraceSink] = None
+        if config.trace_path is not None:
+            self.tracer = Tracer(
+                JsonlTraceSink(config.trace_path),
+                sample_every=config.trace_sample_every,
+            )
+        elif config.trace_buffer is not None:
+            self.ring = RingBufferTraceSink(config.trace_buffer)
+            self.tracer = Tracer(
+                self.ring, sample_every=config.trace_sample_every,
+            )
+        #: Monotonic simulated-cycle clock; the simulator advances it.
+        self.cycle: int = 0
+
+    # -- tracing -------------------------------------------------------
+
+    def emit(self, kind: str, **payload) -> None:
+        """Emit a trace event stamped with the current simulated cycle."""
+        if self.tracer is not None:
+            self.tracer.emit(kind, self.cycle, **payload)
+
+    def advance_clock(self, cycle: int) -> None:
+        """Move the clock forward to ``cycle`` (never backwards)."""
+        if cycle > self.cycle:
+            self.cycle = cycle
+
+    def close(self) -> None:
+        """Flush and close the trace sink, if any."""
+        if self.tracer is not None:
+            self.tracer.close()
+
+    # -- metrics -------------------------------------------------------
+
+    def snapshot_metrics(self) -> Dict[str, Dict[str, object]]:
+        """Collect and serialize the registry ({} when metrics are off)."""
+        if self.registry is None:
+            return {}
+        return self.registry.snapshot()
+
+
+def build_observability(config: Optional[ObservabilityConfig]) -> Optional[Observability]:
+    """None-propagating constructor used by ``repro.sim.config.build``."""
+    if config is None:
+        return None
+    return Observability(config)

@@ -1,0 +1,91 @@
+"""Run manifests: provenance sidecars for cached sweep results.
+
+Every cell the sweep engine computes and stores on disk gets a
+``<key>.manifest.json`` file next to its ``<key>.json`` record, answering
+"where did this number come from?" without re-running anything: the cache
+key and schema version that produced it, the cell coordinates and the
+methodology fingerprint, the seed, how long the cell took on which host,
+and the run's metric snapshot (empty unless the run was built with an
+:class:`~repro.obs.ObservabilityConfig`).
+
+Manifests are *write-only* from the engine's point of view:
+:class:`~repro.experiments.engine.ResultCache` never reads them, so a
+missing or stale manifest can never invalidate a result record.  The
+``host``/``elapsed_seconds``/``written_at`` fields are deliberately kept
+out of the result records themselves — results stay byte-reproducible,
+provenance lives here.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+from typing import Dict, Tuple
+
+#: Bump when the manifest layout changes.  Independent of the result
+#: cache schema: manifests are advisory and never gate cache hits.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def manifest_path(directory: str, key: str) -> str:
+    """The manifest file accompanying cache record ``<key>.json``.
+
+    The ``.manifest.json`` suffix sorts *after* the record (``'j' <
+    'm'``) and never collides with a record name (keys are hex digests).
+    """
+    return os.path.join(directory, f"{key}.manifest.json")
+
+
+def build_manifest(
+    *,
+    key: str,
+    kind: str,
+    cell: Tuple[str, str, bool],
+    cache_schema: int,
+    settings: Dict[str, object],
+    seed: int,
+    elapsed_seconds: float,
+    metrics: Dict[str, Dict],
+) -> Dict[str, object]:
+    """Assemble one manifest record (plain JSON-safe dict)."""
+    app, organization, thp = cell
+    return {
+        "manifest_schema": MANIFEST_SCHEMA_VERSION,
+        "cache_schema": cache_schema,
+        "key": key,
+        "kind": kind,
+        "cell": {"app": app, "organization": organization, "thp": thp},
+        "settings": dict(settings),
+        "seed": seed,
+        "elapsed_seconds": round(elapsed_seconds, 6),
+        "host": platform.node(),
+        "python": platform.python_version(),
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "metrics": metrics,
+    }
+
+
+def write_manifest(path: str, manifest: Dict[str, object]) -> None:
+    """Atomically write ``manifest`` (temp file + ``os.replace``)."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, sort_keys=True, indent=2)
+        os.replace(tmp_path, path)
+    except OSError:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def read_manifest(path: str) -> Dict[str, object]:
+    """Load one manifest; raises ``OSError``/``ValueError`` on damage."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

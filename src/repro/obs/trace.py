@@ -1,0 +1,197 @@
+"""Structured event tracing: typed events, sampling, and trace sinks.
+
+Events are flat dictionaries with three reserved keys — ``kind`` (one of
+the ``EVENT_*`` constants), ``cycle`` (the monotonic simulated-cycle
+timestamp supplied by the :class:`~repro.obs.Observability` clock) and
+``seq`` (a per-run sequence number that orders events sharing a cycle).
+Everything else is event-specific payload.  Wall-clock time never
+appears in an event: two runs with the same seed produce byte-identical
+JSONL traces, which ``tests/test_obs_trace.py`` asserts.
+
+Sampling: high-frequency kinds (:data:`SAMPLED_KINDS` — TLB misses,
+walk start/end, cuckoo kicks) are kept only every
+``trace_sample_every``-th occurrence *of that kind*; structural events
+(run boundaries, faults serviced, resizes, chunk transitions, injected
+faults) are always emitted, since their count is bounded by the run, not
+by the trace length.
+
+Sinks implement the :class:`TraceSink` protocol (``emit`` + ``close``).
+:class:`JsonlTraceSink` writes one sorted-key JSON object per line;
+:class:`RingBufferTraceSink` keeps the last *N* events in memory for
+tests and interactive use.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional
+
+# -- event kinds -------------------------------------------------------
+
+#: Run lifecycle: emitted once, carries the model constants the report
+#: tool needs (organization, scale, per-event cycle costs).
+EVENT_RUN_START = "run_start"
+#: Warmup boundary: measurement (and cycle attribution) starts here.
+EVENT_MEASURE_START = "measure_start"
+#: Run lifecycle: emitted once, carries the simulator's own term values
+#: so a reconstruction can cross-check itself.
+EVENT_RUN_END = "run_end"
+
+#: A translation missed every TLB level and paid visible cycles.
+EVENT_TLB_MISS = "tlb_miss"
+#: A page walk began (sampled; pairs with walk_end via ``walk``).
+EVENT_WALK_START = "walk_start"
+#: A page walk finished, with its latency breakdown.
+EVENT_WALK_END = "walk_end"
+#: An insertion displaced entries (payload counts the kicks).
+EVENT_CUCKOO_KICK = "cuckoo_kick"
+
+#: A page fault was serviced (payload carries the fault's cycle bill).
+EVENT_FAULT_SERVICED = "fault_serviced"
+#: A table way began resizing.
+EVENT_RESIZE_BEGIN = "resize_begin"
+#: A resize finished and the old storage was released.
+EVENT_RESIZE_COMMIT = "resize_commit"
+#: An in-flight resize was abandoned atomically.
+EVENT_RESIZE_ROLLBACK = "resize_rollback"
+#: ME-HPT moved a way to a different chunk size (out-of-place).
+EVENT_CHUNK_TRANSITION = "chunk_transition"
+#: The fault-injection plan fired at an instrumented site.
+EVENT_FAULT_INJECTED = "fault_injected"
+
+#: Kinds subject to ``trace_sample_every`` down-sampling.
+SAMPLED_KINDS = frozenset({
+    EVENT_TLB_MISS, EVENT_WALK_START, EVENT_WALK_END, EVENT_CUCKOO_KICK,
+})
+
+#: Every kind a conforming trace may contain.
+ALL_KINDS = frozenset({
+    EVENT_RUN_START, EVENT_MEASURE_START, EVENT_RUN_END,
+    EVENT_TLB_MISS, EVENT_WALK_START, EVENT_WALK_END, EVENT_CUCKOO_KICK,
+    EVENT_FAULT_SERVICED, EVENT_RESIZE_BEGIN, EVENT_RESIZE_COMMIT,
+    EVENT_RESIZE_ROLLBACK, EVENT_CHUNK_TRANSITION, EVENT_FAULT_INJECTED,
+})
+
+
+class TraceSink:
+    """Protocol for trace destinations.
+
+    Implementations receive fully-formed event dicts (``kind``,
+    ``cycle``, ``seq``, payload) in emission order and must not mutate
+    them.
+    """
+
+    def emit(self, event: Dict[str, object]) -> None:
+        """Accept one event."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; further emits are undefined."""
+
+
+class JsonlTraceSink(TraceSink):
+    """Writes events as one sorted-key JSON object per line.
+
+    Sorted keys plus the absence of wall-clock fields make the file a
+    deterministic function of (config, seed): suitable for diffing two
+    runs directly.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8")
+        self.events_written = 0
+
+    def emit(self, event: Dict[str, object]) -> None:
+        self._fh.write(json.dumps(event, sort_keys=True))
+        self._fh.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class RingBufferTraceSink(TraceSink):
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        self.capacity = capacity
+        self._buffer: Deque[Dict[str, object]] = deque(maxlen=capacity)
+        self.events_seen = 0
+
+    def emit(self, event: Dict[str, object]) -> None:
+        self._buffer.append(event)
+        self.events_seen += 1
+
+    def close(self) -> None:
+        """Retention is in-memory only; nothing to flush."""
+
+    @property
+    def events(self) -> List[Dict[str, object]]:
+        """The retained events, oldest first."""
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return iter(self._buffer)
+
+
+class Tracer:
+    """Stamps, samples and routes events to a sink.
+
+    ``clock`` is read through the owning :class:`~repro.obs.Observability`
+    object (the simulator advances it); the tracer only appends ``cycle``
+    and ``seq`` and applies per-kind sampling.
+    """
+
+    def __init__(self, sink: TraceSink, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError("trace_sample_every must be >= 1")
+        self.sink = sink
+        self.sample_every = sample_every
+        self.seq = 0
+        self._kind_counts: Dict[str, int] = {}
+
+    def emit(self, kind: str, cycle: int, **payload) -> None:
+        """Emit one event, honouring sampling for high-frequency kinds."""
+        if kind in SAMPLED_KINDS:
+            seen = self._kind_counts.get(kind, 0)
+            self._kind_counts[kind] = seen + 1
+            if seen % self.sample_every:
+                return
+        event: Dict[str, object] = {"kind": kind, "cycle": cycle, "seq": self.seq}
+        event.update(payload)
+        self.seq += 1
+        self.sink.emit(event)
+
+    def close(self) -> None:
+        """Close the underlying sink."""
+        self.sink.close()
+
+
+def read_jsonl(path: str) -> List[Dict[str, object]]:
+    """Load a JSONL trace file back into a list of event dicts."""
+    events: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def filter_kind(events: List[Dict[str, object]], kind: str) -> List[Dict[str, object]]:
+    """The subset of ``events`` with the given kind, in order."""
+    return [event for event in events if event.get("kind") == kind]
+
+
+def first_of_kind(events: List[Dict[str, object]], kind: str) -> Optional[Dict[str, object]]:
+    """The first event of ``kind``, or None."""
+    for event in events:
+        if event.get("kind") == kind:
+            return event
+    return None

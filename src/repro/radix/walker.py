@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.mem.cache import CacheHierarchy
 from repro.mmu.walk import WalkResult
+from repro.obs.trace import EVENT_WALK_END, EVENT_WALK_START
 from repro.radix.pwc import PageWalkCaches
 from repro.radix.table import RadixPageTable
 
@@ -26,6 +27,7 @@ class RadixWalker:
         cache_hierarchy: CacheHierarchy,
         pwc: Optional[PageWalkCaches] = None,
         pwc_cycles: int = 4,
+        obs=None,
     ) -> None:
         self.table = table
         self.caches = cache_hierarchy
@@ -34,9 +36,19 @@ class RadixWalker:
         self.walks = 0
         self.total_cycles = 0
         self.total_accesses = 0
+        #: Optional repro.obs.Observability: walk_start/walk_end events
+        #: plus a live per-walk latency histogram (pow2 bins).
+        self.obs = obs
+        self.walk_latency = None
+        if obs is not None and obs.registry is not None:
+            self.walk_latency = obs.registry.histogram(
+                "walker.walk_latency", bucketer="pow2"
+            )
 
     def walk(self, vpn: int) -> WalkResult:
         """Translate ``vpn``; returns the translation and its cycle cost."""
+        if self.obs is not None:
+            self.obs.emit(EVENT_WALK_START, walk=self.walks, vpn=vpn)
         leaf, lines = self.table.walk(vpn)
         depth_walked = len(lines)  # nodes the full walk touches
         start = self.pwc.lookup(vpn, max_depth=depth_walked - 1)
@@ -48,6 +60,12 @@ class RadixWalker:
         # Pointers to nodes at depths 1..depth_walked-1 were obtained
         # (either from the PWC or from the walk itself); install them.
         self.pwc.fill(vpn, depth_walked - 1)
+        if self.obs is not None:
+            self.obs.emit(
+                EVENT_WALK_END, walk=self.walks, cycles=cycles, accesses=accesses,
+            )
+            if self.walk_latency is not None:
+                self.walk_latency.observe(cycles)
         self.walks += 1
         self.total_cycles += cycles
         self.total_accesses += accesses

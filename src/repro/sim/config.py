@@ -36,6 +36,8 @@ from repro.mem.alloc_cost import AllocationCostModel
 from repro.mem.allocator import CostModelAllocator
 from repro.mem.cache import CacheHierarchy, CacheLevel
 from repro.mmu.hierarchy import TlbHierarchy
+from repro.obs import Observability, ObservabilityConfig, build_observability
+from repro.obs.collectors import register_system_metrics
 from repro.radix.pwc import PageWalkCaches
 from repro.radix.table import RadixPageTable
 from repro.radix.walker import RadixWalker
@@ -109,7 +111,14 @@ class SimulationConfig:
     #: accesses / populated pages (0 = disabled).
     invariant_check_every: int = 0
 
+    # Observability (repro.obs).  None = fully disabled: no registry, no
+    # tracer, and every instrumentation site short-circuits on a None
+    # check — results are bit-identical to a build without the layer.
+    obs: Optional[ObservabilityConfig] = None
+
     def __post_init__(self) -> None:
+        if self.obs is not None:
+            self.obs.validate()
         if self.organization not in ORGANIZATIONS:
             raise ConfigurationError(
                 f"organization {self.organization!r} not in {ORGANIZATIONS}",
@@ -164,7 +173,8 @@ class SimulationConfig:
         """Assemble page tables, walker, TLBs, and kernel for ``workload``."""
         cost_model = AllocationCostModel()
         caches = self.build_cache_hierarchy()
-        degradation = DegradationLog()
+        obs = build_observability(self.obs)
+        degradation = DegradationLog(obs=obs)
         # Replicate the plan so each build starts from fresh counters and
         # the fault sequence is identical across repeated builds.
         plan = self.fault_plan.replicate() if self.fault_plan is not None else None
@@ -186,6 +196,7 @@ class SimulationConfig:
                     levels=self.radix_levels,
                     entries_per_level=self.pwc_entries_per_level,
                 ),
+                obs=obs,
             )
         elif self.organization == "ecpt":
             tables = EcptPageTables(
@@ -200,12 +211,14 @@ class SimulationConfig:
                 allow_downsize=self.allow_downsize,
                 fault_plan=plan,
                 degradation=degradation,
+                obs=obs,
             )
             walker = EcptWalker(
                 tables, caches,
                 pmd_cwc_entries=self.pmd_cwc_entries,
                 pud_cwc_entries=self.pud_cwc_entries,
                 cwc_cycles=self.cwc_cycles,
+                obs=obs,
             )
         else:
             tables = MeHptPageTables(
@@ -223,6 +236,7 @@ class SimulationConfig:
                 enable_perway=self.enable_perway,
                 fault_plan=plan,
                 degradation=degradation,
+                obs=obs,
             )
             walker = MeHptWalker(
                 tables, caches,
@@ -230,6 +244,7 @@ class SimulationConfig:
                 pud_cwc_entries=self.pud_cwc_entries,
                 cwc_cycles=self.cwc_cycles,
                 l2p_cycles=self.l2p_cycles,
+                obs=obs,
             )
 
         thp = ThpPolicy(
@@ -245,13 +260,18 @@ class SimulationConfig:
             fault_overhead_cycles=self.fault_overhead_cycles,
             reinsert_cycles=self.reinsert_cycles,
             charge_data_alloc=self.charge_data_alloc,
+            obs=obs,
         )
         for start, pages, name in workload.vma_layout():
             aspace.add_vma(start, pages, name)
-        tlb = TlbHierarchy(walker)
-        return SimulatedSystem(
-            self, workload, tables, walker, tlb, aspace, allocator, degradation
+        tlb = TlbHierarchy(walker, obs=obs)
+        system = SimulatedSystem(
+            self, workload, tables, walker, tlb, aspace, allocator, degradation,
+            obs,
         )
+        if obs is not None and obs.registry is not None:
+            register_system_metrics(obs.registry, system)
+        return system
 
 
 @dataclass
@@ -268,6 +288,9 @@ class SimulatedSystem:
     #: Degradation events recorded by the allocator, resize engines and
     #: fault hooks during this run.
     degradation: DegradationLog = field(default_factory=DegradationLog)
+    #: The run's observability layer (None when disabled); owns the
+    #: metrics registry, the trace sink, and the sim-cycle clock.
+    obs: Optional[Observability] = None
 
 
 def table3_parameters() -> Dict[str, str]:

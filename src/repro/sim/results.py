@@ -58,6 +58,9 @@ class MemoryFootprintResult:
     #: and the cycles spent recovering, from the run's DegradationLog.
     degradation_counts: Dict[str, int] = field(default_factory=dict)
     recovery_cycles: float = 0.0
+    #: repro.obs metric snapshot (string keys throughout, JSON-safe);
+    #: empty unless the run was built with an ObservabilityConfig.
+    metrics: Dict[str, Dict] = field(default_factory=dict)
 
     def mean_moved_fraction(self) -> float:
         examined = [f for f in self.moved_fractions_4k if f > 0]
@@ -96,6 +99,9 @@ class PerformanceResult:
     #: pt_alloc_cycles via the allocator's stats.
     degradation_counts: Dict[str, int] = field(default_factory=dict)
     recovery_cycles: float = 0.0
+    #: repro.obs metric snapshot (string keys throughout, JSON-safe);
+    #: empty unless the run was built with an ObservabilityConfig.
+    metrics: Dict[str, Dict] = field(default_factory=dict)
 
     def translation_cpa(self) -> float:
         return self.translation_cycles / self.accesses if self.accesses else 0.0

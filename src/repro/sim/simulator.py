@@ -27,6 +27,11 @@ from repro.common.errors import (
 )
 from repro.faults.log import EVENT_ABORT
 from repro.kernel.thp import PAGES_PER_2M
+from repro.obs.trace import (
+    EVENT_MEASURE_START,
+    EVENT_RUN_END,
+    EVENT_RUN_START,
+)
 from repro.sim.config import SimulatedSystem, SimulationConfig
 from repro.sim.results import MemoryFootprintResult, PerformanceResult
 from repro.workloads.base import Workload
@@ -68,6 +73,7 @@ def populate_tables(system: SimulatedSystem, progress_every: int = 0) -> None:
     translate = tables.translate
     fault = aspace.handle_fault
     check_every = system.config.invariant_check_every
+    pages = 0
     for i, vpn in enumerate(system.workload.page_set()):
         vpn = int(vpn)
         if translate(vpn) is None:
@@ -78,8 +84,19 @@ def populate_tables(system: SimulatedSystem, progress_every: int = 0) -> None:
             # logging, not print: parallel sweep workers would otherwise
             # interleave progress lines on the shared stdout.
             logger.info("populated %d pages...", i)
+        pages = i + 1
     if check_every:
         check_system_invariants(system, -1)
+    if progress_every:
+        # The modulo check above never announces the last page (and for
+        # short page sets never fires at all); always log completion.
+        logger.info(
+            "populated %d pages (%.0f fault cycles)", pages, aspace.totals.cycles
+        )
+    if system.obs is not None:
+        system.obs.advance_clock(int(aspace.totals.cycles))
+        if system.obs.registry is not None:
+            system.obs.registry.counter("sim.populated_pages").set_total(pages)
 
 
 def memory_result(system: SimulatedSystem, populate: bool = True) -> MemoryFootprintResult:
@@ -103,7 +120,7 @@ def memory_result(system: SimulatedSystem, populate: bool = True) -> MemoryFootp
     tables = system.page_tables
     scale = config.scale
     if config.organization == "radix":
-        return MemoryFootprintResult(
+        result = MemoryFootprintResult(
             workload=workload.spec.name,
             organization="radix",
             thp=config.thp_enabled,
@@ -118,6 +135,10 @@ def memory_result(system: SimulatedSystem, populate: bool = True) -> MemoryFootp
             degradation_counts=dict(system.degradation.counts()),
             recovery_cycles=system.degradation.recovery_cycles,
         )
+        if system.obs is not None:
+            result.metrics = system.obs.snapshot_metrics()
+            system.obs.close()
+        return result
     # Hashed organizations: the allocator already reports scale-equivalents.
     result = MemoryFootprintResult(
         workload=workload.spec.name,
@@ -141,6 +162,9 @@ def memory_result(system: SimulatedSystem, populate: bool = True) -> MemoryFootp
     if config.organization == "mehpt":
         result.l2p_entries_used = tables.l2p_entries_used()
         result.chunk_transitions = tables.total_chunk_transitions()
+    if system.obs is not None:
+        result.metrics = system.obs.snapshot_metrics()
+        system.obs.close()
     return result
 
 
@@ -180,6 +204,7 @@ class TranslationSimulator:
         aspace = system.address_space
         tables = system.page_tables
         walker = system.walker
+        obs = system.obs
         failed = False
         reason = ""
 
@@ -190,6 +215,37 @@ class TranslationSimulator:
         # hit/walk/fault counters and the access count all start at the
         # warmup boundary.
         warmup_events = int(self.warmup_fraction * len(trace))
+        if obs is not None:
+            # The run_start payload carries every model constant the
+            # repro.obs.report CLI needs to rebuild the differential
+            # performance terms from the event stream alone.
+            obs.emit(
+                EVENT_RUN_START,
+                workload=self.workload.spec.name,
+                organization=config.organization,
+                thp=config.thp_enabled,
+                scale=config.scale,
+                seed=config.seed,
+                trace_events=len(trace),
+                warmup_events=warmup_events,
+                sample_every=(
+                    config.obs.trace_sample_every if config.obs is not None else 1
+                ),
+                page_repeats=max(1, self.workload.spec.pattern.page_repeats),
+                base_cycles_per_access=config.base_cycles_per_access,
+                fullscale_accesses=self.workload.spec.fullscale_accesses,
+                reinsert_cycles=config.reinsert_cycles,
+                l2p_cycles=config.l2p_cycles,
+                rehash_entry_cycles=config.rehash_entry_cycles,
+                fault_overhead_cycles=config.fault_overhead_cycles,
+                l2_hit_cycles=max(t.hit_cycles for t in tlb.l2.values()),
+                pt_alloc_cycles_at_start=(
+                    0.0 if config.organization == "radix"
+                    else tables.allocation_cycles()
+                ),
+            )
+            if warmup_events == 0:
+                obs.emit(EVENT_MEASURE_START, event=0)
         events_done = 0
         total_cycles = 0.0
         warm_cycles = 0.0
@@ -210,11 +266,18 @@ class TranslationSimulator:
                     )
                 if check_every and i % check_every == 0 and i:
                     check_system_invariants(system, i)
+                if obs is not None:
+                    # The sim-cycle clock is the accumulated translation
+                    # cost; events emitted while servicing access i carry
+                    # the clock at the access's start.
+                    obs.advance_clock(int(total_cycles))
                 events_done = i + 1
                 if events_done == warmup_events:
                     warm_cycles = total_cycles
                     warm_l1, warm_l2 = tlb.l1_hits, tlb.l2_hits
                     warm_walks, warm_faults = tlb.walks, tlb.faults
+                    if obs is not None:
+                        obs.emit(EVENT_MEASURE_START, event=events_done)
         except ABORT_ERRORS as exc:
             failed = True
             reason = str(exc)
@@ -263,6 +326,38 @@ class TranslationSimulator:
                 l2p_exposed = (
                     totals.kicks * config.scale * config.l2p_cycles
                 )
+        metrics = {}
+        if obs is not None:
+            # run_end records the simulator's own term values so the
+            # report CLI can cross-check its event-derived reconstruction.
+            obs.emit(
+                EVENT_RUN_END,
+                events_done=events_done,
+                accesses=accesses,
+                failed=failed,
+                translation_cycles=translation_cycles,
+                l1_hits=l1_hits,
+                l2_hits=l2_hits,
+                walks=walks,
+                faults=faults,
+                pt_alloc_cycles=pt_alloc,
+                reinsert_cycles=reinsert,
+                l2p_exposed_cycles=l2p_exposed,
+                rehash_move_cycles=rehash_moves,
+                relocated_entries=(
+                    0 if config.organization == "radix"
+                    else tables.total_relocated_entries()
+                ),
+            )
+            if obs.registry is not None:
+                reg = obs.registry
+                reg.counter("sim.trace_events").set_total(events_done)
+                reg.counter("sim.accesses").set_total(accesses)
+                reg.counter("sim.translation_cycles").set_total(
+                    translation_cycles
+                )
+            metrics = obs.snapshot_metrics()
+            obs.close()
         return PerformanceResult(
             workload=self.workload.spec.name,
             organization=config.organization,
@@ -285,4 +380,5 @@ class TranslationSimulator:
             failure_reason=reason,
             degradation_counts=dict(system.degradation.counts()),
             recovery_cycles=system.degradation.recovery_cycles,
+            metrics=metrics,
         )

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Documentation gates for CI — stdlib only, no third-party tools.
+
+Two checks (run both with ``all``):
+
+``coverage``
+    AST-based public docstring coverage over ``src/repro``: every module,
+    public class, and public function/method counts one slot; the check
+    fails when the documented fraction drops below ``--min`` (CI pins the
+    baseline so coverage can only ratchet up).
+
+``obs-docs``
+    Two-way consistency between ``OBSERVABILITY.md`` and the code: every
+    metric in the doc's "Metric catalogue" table must exist in
+    ``repro.obs.metrics.CATALOGUE`` and vice versa, and every event kind
+    in the "Event schema" table must exist in ``repro.obs.trace`` and
+    vice versa.  Documentation that drifts from the registry fails CI.
+
+Usage::
+
+    python tools/doccheck.py coverage --min 90.0 [--verbose]
+    python tools/doccheck.py obs-docs
+    python tools/doccheck.py all --min 90.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import re
+import sys
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+OBS_DOC = os.path.join(REPO_ROOT, "OBSERVABILITY.md")
+
+#: A documentable name is public when no path component is dunder/private
+#: (``_helper``; ``__init__`` and friends are implementation detail).
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+
+# -- docstring coverage ----------------------------------------------------
+
+
+def iter_py_files(root: str) -> List[str]:
+    """Every ``.py`` file under ``root``, sorted for stable output."""
+    found = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for name in filenames:
+            if name.endswith(".py"):
+                found.append(os.path.join(dirpath, name))
+    return sorted(found)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def file_coverage(path: str) -> Tuple[int, int, List[str]]:
+    """(slots, documented, missing-qualnames) for one source file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    rel = os.path.relpath(path, REPO_ROOT)
+    slots = 1
+    documented = 0
+    missing: List[str] = []
+    if ast.get_docstring(tree) is not None:
+        documented += 1
+    else:
+        missing.append(f"{rel}: module")
+
+    def visit(body, prefix: str) -> None:
+        nonlocal slots, documented
+        for node in body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                if not _is_public(node.name):
+                    continue
+                slots += 1
+                if ast.get_docstring(node) is not None:
+                    documented += 1
+                else:
+                    missing.append(f"{rel}:{node.lineno} {prefix}{node.name}")
+                if isinstance(node, ast.ClassDef):
+                    visit(node.body, f"{prefix}{node.name}.")
+
+    visit(tree.body, "")
+    return slots, documented, missing
+
+
+def cmd_coverage(minimum: float, verbose: bool) -> int:
+    """Gate public docstring coverage of ``src/repro`` at ``minimum`` %."""
+    total = documented = 0
+    missing: List[str] = []
+    for path in iter_py_files(SRC_ROOT):
+        file_slots, file_documented, file_missing = file_coverage(path)
+        total += file_slots
+        documented += file_documented
+        missing.extend(file_missing)
+    pct = 100.0 * documented / total if total else 100.0
+    print(
+        f"docstring coverage: {documented}/{total} public slots "
+        f"({pct:.1f}%), floor {minimum:.1f}%"
+    )
+    if verbose or pct < minimum:
+        for entry in missing:
+            print(f"  undocumented: {entry}")
+    if pct < minimum:
+        print(f"FAIL: coverage {pct:.1f}% is below the {minimum:.1f}% floor")
+        return 1
+    return 0
+
+
+# -- OBSERVABILITY.md consistency ------------------------------------------
+
+
+def doc_table_names(doc_path: str, section: str) -> Set[str]:
+    """Backticked names from the first column of ``section``'s table.
+
+    ``section`` is matched against ``##``-level headings; scanning stops
+    at the next heading.  Only table rows (lines starting with ``|``)
+    contribute, so prose mentions never count as catalogue entries.
+    """
+    names: Set[str] = set()
+    in_section = False
+    with open(doc_path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.startswith("##"):
+                in_section = line.lstrip("#").strip().lower() == section.lower()
+                continue
+            if not in_section or not line.lstrip().startswith("|"):
+                continue
+            first_cell = line.lstrip().lstrip("|").split("|", 1)[0]
+            for token in re.findall(r"`([^`]+)`", first_cell):
+                names.add(token)
+    return names
+
+
+def _diff(kind: str, documented: Set[str], actual: Set[str]) -> List[str]:
+    problems = []
+    for name in sorted(documented - actual):
+        problems.append(f"{kind} `{name}` is documented but not defined in code")
+    for name in sorted(actual - documented):
+        problems.append(f"{kind} `{name}` is defined in code but not documented")
+    return problems
+
+
+def cmd_obs_docs() -> int:
+    """Check OBSERVABILITY.md against the metric catalogue and event kinds."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.obs.metrics import CATALOGUE
+    from repro.obs.trace import ALL_KINDS
+
+    if not os.path.exists(OBS_DOC):
+        print(f"FAIL: {OBS_DOC} does not exist")
+        return 1
+    problems = _diff(
+        "metric", doc_table_names(OBS_DOC, "Metric catalogue"), set(CATALOGUE)
+    )
+    problems += _diff(
+        "event", doc_table_names(OBS_DOC, "Event schema"), set(ALL_KINDS)
+    )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(
+        f"OBSERVABILITY.md is consistent: {len(CATALOGUE)} metrics, "
+        f"{len(ALL_KINDS)} event kinds"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("check", choices=["coverage", "obs-docs", "all"])
+    parser.add_argument(
+        "--min",
+        type=float,
+        default=90.0,
+        help="minimum docstring coverage percent (default 90)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="list undocumented slots"
+    )
+    args = parser.parse_args(argv)
+    status = 0
+    if args.check in ("coverage", "all"):
+        status |= cmd_coverage(args.min, args.verbose)
+    if args.check in ("obs-docs", "all"):
+        status |= cmd_obs_docs()
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
