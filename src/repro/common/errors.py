@@ -110,5 +110,16 @@ class TranslationFault(MEHPTError):
     """An address translation was attempted for an unmapped virtual page."""
 
 
+class TraceFormatError(MEHPTError):
+    """A binary address-trace file is malformed, truncated, or corrupt.
+
+    Raised by :mod:`repro.traces` when a ``.vpt`` file fails structural
+    checks (bad magic, unsupported version, missing footer) or content
+    checks (per-chunk CRC mismatch, record-count drift).  ``context``
+    carries the failing ``path`` and, for chunk-level failures, the
+    ``chunk`` index.
+    """
+
+
 class SimulationError(MEHPTError):
     """The trace-driven simulator reached an inconsistent state."""

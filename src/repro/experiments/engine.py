@@ -63,6 +63,9 @@ CACHE_SCHEMA_VERSION = 3
 #: (workload, organization, thp) — one cell of the sweep grid.
 Cell = Tuple[str, str, bool]
 
+#: App names with this prefix are trace files (see repro.traces).
+TRACE_APP_PREFIX = "trace:"
+
 #: Override values of these types are hashed by value and may be served
 #: from disk; anything else (e.g. a FaultPlan) is hashed by ``repr`` and
 #: only memoised within the process.
@@ -104,6 +107,23 @@ def _canonical_overrides(overrides: Dict[str, object]) -> Tuple[List[List[object
     return canonical, disk_cacheable
 
 
+def _normalize_app(app: str) -> str:
+    """Replace a trace-file app's *path* with its *content* identity.
+
+    A ``trace:<path>`` cell keys on ``trace:sha256:<digest>`` — the
+    digest of the trace's encoded payload stored in its footer — so
+    renaming or moving the file still hits the cache, while any change
+    to the trace's contents misses it.  Synthetic app names pass
+    through untouched.
+    """
+    if app.startswith(TRACE_APP_PREFIX):
+        from repro.traces.format import trace_content_id
+
+        digest = trace_content_id(app[len(TRACE_APP_PREFIX):])
+        return f"{TRACE_APP_PREFIX}sha256:{digest}"
+    return app
+
+
 def cell_key(
     kind: str, settings, cell: Cell, overrides: Dict[str, object]
 ) -> Tuple[str, bool]:
@@ -113,6 +133,8 @@ def cell_key(
     in-process memo and the disk cache; ``disk_cacheable`` is False when
     an override value has no stable serialization (object ``repr`` may
     embed addresses), in which case the cell is only memoised in-process.
+    Trace-backed cells are normalized via :func:`_normalize_app` so the
+    key tracks trace *content*, never its filesystem location.
     """
     app, organization, thp = cell
     canonical, disk_cacheable = _canonical_overrides(overrides)
@@ -120,7 +142,7 @@ def cell_key(
         "schema": CACHE_SCHEMA_VERSION,
         "kind": kind,
         "settings": settings_fingerprint(kind, settings),
-        "app": app,
+        "app": _normalize_app(app),
         "organization": organization,
         "thp": thp,
         "overrides": canonical,

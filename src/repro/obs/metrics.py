@@ -212,6 +212,22 @@ CATALOGUE: Dict[str, MetricSpec] = {
     "kernel.pages_mapped_2m": MetricSpec(
         KIND_COUNTER, "pages", "repro.kernel.address_space",
         "2MB pages mapped by demand faults (THP)."),
+    # -- trace capture/replay (repro.traces.format) ----------------------
+    "traces.records_written": MetricSpec(
+        KIND_COUNTER, "records", "repro.traces.format",
+        "VPN records encoded into .vpt trace chunks."),
+    "traces.records_read": MetricSpec(
+        KIND_COUNTER, "records", "repro.traces.format",
+        "VPN records decoded from .vpt trace chunks."),
+    "traces.chunks_written": MetricSpec(
+        KIND_COUNTER, "chunks", "repro.traces.format",
+        "Trace chunks encoded, checksummed and flushed."),
+    "traces.chunks_read": MetricSpec(
+        KIND_COUNTER, "chunks", "repro.traces.format",
+        "Trace chunks read and CRC-verified."),
+    "traces.checksum_failures": MetricSpec(
+        KIND_COUNTER, "failures", "repro.traces.format",
+        "Chunk CRC32 mismatches detected by readers and validate."),
     # -- fault injection / degradation (repro.faults.log) ----------------
     "faults.events": MetricSpec(
         KIND_COUNTER, "events", "repro.faults.log",

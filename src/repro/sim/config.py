@@ -116,6 +116,11 @@ class SimulationConfig:
     # check — results are bit-identical to a build without the layer.
     obs: Optional[ObservabilityConfig] = None
 
+    # Trace-driven input (repro.traces).  When set, ``build()`` may be
+    # called without a workload: the ``.vpt`` file at this path is loaded
+    # as a TraceWorkload and replayed instead of a synthetic generator.
+    trace_file: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.obs is not None:
             self.obs.validate()
@@ -169,11 +174,33 @@ class SimulationConfig:
             dram_cycles=self.dram_cycles,
         )
 
-    def build(self, workload: Workload) -> "SimulatedSystem":
-        """Assemble page tables, walker, TLBs, and kernel for ``workload``."""
+    def load_trace_workload(self):
+        """The :class:`~repro.traces.workload.TraceWorkload` for ``trace_file``."""
+        if self.trace_file is None:
+            raise ConfigurationError(
+                "no workload given and no trace_file configured",
+                field="trace_file", value=None,
+            )
+        from repro.traces.workload import TraceWorkload
+
+        return TraceWorkload(self.trace_file)
+
+    def build(self, workload: Optional[Workload] = None) -> "SimulatedSystem":
+        """Assemble page tables, walker, TLBs, and kernel for ``workload``.
+
+        With no workload argument the configured ``trace_file`` is loaded
+        and replayed (the trace-driven path).
+        """
+        if workload is None:
+            workload = self.load_trace_workload()
         cost_model = AllocationCostModel()
         caches = self.build_cache_hierarchy()
         obs = build_observability(self.obs)
+        # Trace-backed workloads report reader/writer activity into the
+        # run's registry; synthetic workloads have no such hook.
+        bind_obs = getattr(workload, "bind_observability", None)
+        if bind_obs is not None and obs is not None:
+            bind_obs(obs)
         degradation = DegradationLog(obs=obs)
         # Replicate the plan so each build starts from fresh counters and
         # the fault sequence is identical across repeated builds.

@@ -173,11 +173,14 @@ class TranslationSimulator:
 
     def __init__(
         self,
-        workload: Workload,
+        workload: Optional[Workload],
         config: SimulationConfig,
         trace_length: int = 200_000,
         warmup_fraction: float = 0.0,
     ) -> None:
+        if workload is None:
+            # Trace-driven path: the config names a .vpt file to replay.
+            workload = config.load_trace_workload()
         if trace_length <= 0:
             raise ConfigurationError(
                 f"trace_length {trace_length} must be > 0",

@@ -1,0 +1,67 @@
+"""repro.traces — binary address-trace capture, import, and replay.
+
+The subsystem turns the simulator into a proper trace-driven harness:
+
+* :mod:`repro.traces.format` — the chunked ``.vpt`` container
+  (delta/varint VPNs, per-chunk CRC32, footer index) with streaming
+  :class:`TraceWriter` / :class:`TraceReader` that never hold the full
+  stream in memory.
+* :mod:`repro.traces.record` — capture any registered synthetic
+  workload's access stream, plus the spec/seed metadata replay needs.
+* :mod:`repro.traces.workload` — :class:`TraceWorkload`, a recorded or
+  imported trace behind the standard ``Workload`` interface;
+  ``get_workload("trace:<path>")`` resolves to it, so traces drop into
+  ``SimulationConfig``, the sweep engine and the experiments unchanged.
+* :mod:`repro.traces.importers` — CSV address lists and valgrind
+  lackey output, normalized to VPNs with footprint stats.
+* :mod:`repro.traces.transform` — lazy truncate / footprint-rescale /
+  N-way interleave over readers.
+* ``python -m repro.traces`` — ``record`` / ``info`` / ``validate`` /
+  ``convert`` / ``transform`` CLI.
+
+One recorded trace replays bit-exactly across ME-HPT, ECPT and radix
+configurations (guaranteed-identical inputs), and external traces
+become first-class workloads.  The sweep engine keys trace-backed cells
+on the trace's *content hash*, so renaming a file never invalidates its
+cached results.
+"""
+
+from repro.traces.format import (
+    DEFAULT_CHUNK_VALUES,
+    TraceMeta,
+    TraceReader,
+    TraceValidation,
+    TraceWriter,
+    trace_content_id,
+    validate_trace,
+)
+from repro.traces.importers import ImportStats, import_csv, import_lackey
+from repro.traces.record import record_named_workload, record_workload
+from repro.traces.transform import (
+    interleave_streams,
+    rescale_stream,
+    transform_trace,
+    truncate_stream,
+)
+from repro.traces.workload import TRACE_PREFIX, TraceWorkload
+
+__all__ = [
+    "DEFAULT_CHUNK_VALUES",
+    "TraceMeta",
+    "TraceReader",
+    "TraceValidation",
+    "TraceWriter",
+    "trace_content_id",
+    "validate_trace",
+    "ImportStats",
+    "import_csv",
+    "import_lackey",
+    "record_named_workload",
+    "record_workload",
+    "interleave_streams",
+    "rescale_stream",
+    "transform_trace",
+    "truncate_stream",
+    "TRACE_PREFIX",
+    "TraceWorkload",
+]

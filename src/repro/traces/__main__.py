@@ -1,0 +1,197 @@
+"""``python -m repro.traces`` — the trace-subsystem command line.
+
+Subcommands::
+
+    record     capture a registered workload's access stream to a .vpt
+    info       print a trace's header metadata and footer statistics
+    validate   scan every chunk (CRCs, counts, bounds); exit 1 if corrupt
+    convert    import an external dump (csv address list, valgrind lackey)
+    transform  truncate / footprint-rescale / interleave traces
+
+Examples::
+
+    python -m repro.traces record -w GUPS -n 200000 -o gups.vpt --scale 64
+    python -m repro.traces info gups.vpt
+    python -m repro.traces validate gups.vpt
+    python -m repro.traces convert --format lackey lackey.out -o app.vpt
+    python -m repro.traces transform a.vpt b.vpt -o mix.vpt --granularity 2048
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.common.errors import MEHPTError
+from repro.traces.format import (
+    DEFAULT_CHUNK_VALUES,
+    TraceReader,
+    validate_trace,
+)
+from repro.traces.importers import import_csv, import_lackey
+from repro.traces.record import record_named_workload
+from repro.traces.transform import transform_trace
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    """Record a registry workload's VPN stream to a ``.vpt`` file."""
+    meta = record_named_workload(
+        args.workload, args.length, args.output,
+        scale=args.scale, seed=args.seed, chunk_values=args.chunk_values,
+    )
+    print(
+        f"recorded {args.length} references of {args.workload} "
+        f"(scale 1/{meta.scale}, seed {meta.seed}) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    """Print header metadata and footer statistics for a trace."""
+    with TraceReader(args.trace) as reader:
+        meta = reader.meta
+        print(f"trace:        {args.trace}")
+        print(f"source:       {meta.source}")
+        if meta.workload is not None:
+            print(f"workload:     {meta.workload.get('name')} "
+                  f"(scale 1/{meta.scale}, seed {meta.seed})")
+        print(f"records:      {reader.total_values}")
+        print(f"chunks:       {reader.chunks}")
+        print(f"vpn range:    [{reader.min_vpn}, {reader.max_vpn}]")
+        print(f"page shift:   {meta.page_shift}")
+        print(f"content id:   {reader.content_id}")
+        if meta.vma_layout:
+            print(f"vma layout:   {len(meta.vma_layout)} region(s)")
+        for key in sorted(meta.extra):
+            print(f"extra.{key}: {meta.extra[key]}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Exhaustively validate a trace; non-zero exit when corrupt."""
+    report = validate_trace(args.trace)
+    print(report.summary())
+    for problem in report.problems:
+        print(f"  problem: {problem}")
+    return 0 if report.ok else 1
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    """Import an external address dump into the ``.vpt`` format."""
+    importer = import_csv if args.format == "csv" else import_lackey
+    kwargs = dict(
+        name=args.name or ("stdin" if args.input == "-" else args.input),
+        page_shift=args.page_shift,
+        chunk_values=args.chunk_values,
+    )
+    if args.format == "lackey":
+        kwargs["include_instructions"] = args.include_instructions
+    if args.input == "-":
+        stats = importer(sys.stdin, args.output, **kwargs)
+    else:
+        with open(args.input, "r", encoding="utf-8", errors="replace") as lines:
+            stats = importer(lines, args.output, **kwargs)
+    print(f"imported {args.input} -> {args.output}: {stats.summary()}")
+    return 0
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    """Apply truncate/rescale/interleave and write a derived trace."""
+    rescale = None
+    if args.rescale:
+        try:
+            numer, denom = (int(part) for part in args.rescale.split("/", 1))
+        except ValueError:
+            print(f"--rescale wants NUMER/DENOM, got {args.rescale!r}")
+            return 2
+        rescale = (numer, denom)
+    total = transform_trace(
+        args.inputs, args.output,
+        truncate=args.truncate,
+        rescale=rescale,
+        interleave_granularity=args.granularity,
+        separate_regions=not args.shared_regions,
+        chunk_values=args.chunk_values,
+    )
+    print(f"wrote {total} records -> {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.traces",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_chunk_values(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--chunk-values", type=int, default=DEFAULT_CHUNK_VALUES,
+            help="records per chunk (default %(default)s)",
+        )
+
+    rec = sub.add_parser("record", help="capture a synthetic workload")
+    rec.add_argument("-w", "--workload", required=True,
+                     help="registry workload name (e.g. GUPS)")
+    rec.add_argument("-n", "--length", type=int, required=True,
+                     help="references to record")
+    rec.add_argument("-o", "--output", required=True, help="output .vpt path")
+    rec.add_argument("--scale", type=int, default=16,
+                     help="footprint divisor, power of two (default 16)")
+    rec.add_argument("--seed", type=int, default=12345)
+    add_chunk_values(rec)
+    rec.set_defaults(func=_cmd_record)
+
+    info = sub.add_parser("info", help="print trace metadata and stats")
+    info.add_argument("trace")
+    info.set_defaults(func=_cmd_info)
+
+    val = sub.add_parser("validate", help="scan all chunks for corruption")
+    val.add_argument("trace")
+    val.set_defaults(func=_cmd_validate)
+
+    conv = sub.add_parser("convert", help="import an external address dump")
+    conv.add_argument("input", help="source dump file ('-' reads stdin)")
+    conv.add_argument("-o", "--output", required=True, help="output .vpt path")
+    conv.add_argument("--format", choices=("csv", "lackey"), required=True)
+    conv.add_argument("--name", default="", help="workload name to record")
+    conv.add_argument("--page-shift", type=int, default=12,
+                      help="address -> VPN shift (default 12 = 4KB pages)")
+    conv.add_argument("--include-instructions", action="store_true",
+                      help="lackey only: keep instruction fetches")
+    add_chunk_values(conv)
+    conv.set_defaults(func=_cmd_convert)
+
+    tra = sub.add_parser("transform", help="truncate/rescale/interleave")
+    tra.add_argument("inputs", nargs="+", help="input .vpt trace(s)")
+    tra.add_argument("-o", "--output", required=True, help="output .vpt path")
+    tra.add_argument("--truncate", type=int, default=None,
+                     help="keep only the first N records")
+    tra.add_argument("--rescale", default="",
+                     help="footprint factor NUMER/DENOM (e.g. 1/2)")
+    tra.add_argument("--granularity", type=int, default=4096,
+                     help="interleave quantum in records (default 4096)")
+    tra.add_argument("--shared-regions", action="store_true",
+                     help="interleave without shifting inputs apart")
+    add_chunk_values(tra)
+    tra.set_defaults(func=_cmd_transform)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed (e.g. `info ... | head`): exit quietly.
+        return 0
+    except (MEHPTError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,221 @@
+"""Importers turning external address dumps into ``.vpt`` traces.
+
+Two formats cover the common capture paths:
+
+* :func:`import_csv` — one byte address per line (hex ``0x...`` or
+  decimal), optionally followed by comma-separated extras that are
+  ignored; ``#`` comments and blank lines are skipped.  The lowest
+  common denominator most tracing scripts can emit.
+* :func:`import_lackey` — ``valgrind --tool=lackey --trace-mem=yes``
+  output (``I``/``L``/``S``/``M`` records with hex addresses), the
+  cheapest way to capture a real program's reference stream without a
+  simulator.  Instruction fetches are dropped by default.
+
+Both stream line batches through address → VPN normalization
+(``vpn = address >> page_shift``) into a :class:`TraceWriter`, track
+footprint statistics (records, distinct pages, min/max VPN) and store
+them — plus a synthesized VMA layout — in the trace header, so the
+import replays through :class:`~repro.traces.workload.TraceWorkload`
+without rescanning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, TraceFormatError
+from repro.traces.format import DEFAULT_CHUNK_VALUES, TraceMeta, TraceWriter
+from repro.traces.workload import synthesize_vma_layout
+
+#: Lines parsed per batch (bounds importer memory like chunks bound I/O).
+BATCH_LINES = 65536
+
+#: Lackey record tags: data loads/stores/modifies, instruction fetches.
+_LACKEY_DATA = {"L", "S", "M"}
+_LACKEY_ALL = _LACKEY_DATA | {"I"}
+
+
+@dataclass
+class ImportStats:
+    """What an importer saw: volume, footprint, and skipped lines."""
+
+    records: int = 0
+    distinct_pages: int = 0
+    skipped_lines: int = 0
+    min_vpn: Optional[int] = None
+    max_vpn: Optional[int] = None
+
+    def summary(self) -> str:
+        """One human-readable stats line (the CLI prints this)."""
+        span = (
+            self.max_vpn - self.min_vpn + 1
+            if self.min_vpn is not None and self.max_vpn is not None
+            else 0
+        )
+        return (
+            f"{self.records} records, {self.distinct_pages} distinct pages "
+            f"over a {span}-page span, {self.skipped_lines} line(s) skipped"
+        )
+
+
+class _StreamingImport:
+    """Shared batching core: buffer addresses, flush VPN batches, track stats."""
+
+    def __init__(self, writer: TraceWriter, page_shift: int) -> None:
+        self.writer = writer
+        self.page_shift = page_shift
+        self.stats = ImportStats()
+        self._distinct: Set[int] = set()
+        self._batch: List[int] = []
+
+    def add(self, address: int) -> None:
+        """Queue one byte address; flushes automatically per batch."""
+        self._batch.append(address)
+        if len(self._batch) >= BATCH_LINES:
+            self.flush()
+
+    def flush(self) -> None:
+        """Normalize the queued addresses to VPNs and write them out."""
+        if not self._batch:
+            return
+        vpns = np.array(self._batch, dtype=np.int64) >> np.int64(self.page_shift)
+        self._batch = []
+        self.writer.append(vpns)
+        self.stats.records += int(vpns.size)
+        low, high = int(vpns.min()), int(vpns.max())
+        self.stats.min_vpn = (
+            low if self.stats.min_vpn is None else min(self.stats.min_vpn, low)
+        )
+        self.stats.max_vpn = (
+            high if self.stats.max_vpn is None else max(self.stats.max_vpn, high)
+        )
+        self._distinct.update(int(v) for v in np.unique(vpns))
+
+    def distinct_array(self) -> np.ndarray:
+        """The accumulated distinct VPNs, sorted."""
+        return np.array(sorted(self._distinct), dtype=np.int64)
+
+
+def _finish_import(
+    state: _StreamingImport, writer: TraceWriter, name: str
+) -> ImportStats:
+    """Flush, fill in footprint metadata, seal the file."""
+    state.flush()
+    stats = state.stats
+    if stats.records == 0:
+        writer.close()
+        raise TraceFormatError(
+            f"import produced no records for {writer.path}", path=writer.path
+        )
+    stats.distinct_pages = len(state._distinct)
+    writer.meta.extra.update(
+        {
+            "name": name,
+            "records": stats.records,
+            "distinct_pages": stats.distinct_pages,
+            "skipped_lines": stats.skipped_lines,
+        }
+    )
+    writer.meta.vma_layout = [
+        list(vma) for vma in synthesize_vma_layout(state.distinct_array(), name)
+    ]
+    writer.close()
+    return stats
+
+
+def _parse_address(token: str) -> Optional[int]:
+    """Parse a hex (0x-prefixed) or decimal byte address; None if not one."""
+    try:
+        return int(token, 0)
+    except ValueError:
+        return None
+
+
+def import_csv(
+    lines: Iterable[str],
+    path: str,
+    name: str = "csv-import",
+    page_shift: int = 12,
+    chunk_values: int = DEFAULT_CHUNK_VALUES,
+    registry=None,
+) -> ImportStats:
+    """Import a CSV/plain address list into a ``.vpt`` trace at ``path``.
+
+    ``lines`` is any iterable of text lines (an open file streams);
+    only the first comma-separated column is read.  Unparseable lines
+    are counted as skipped rather than failing the import.
+    """
+    _check_page_shift(page_shift)
+    writer = TraceWriter(
+        path,
+        meta=TraceMeta(source="csv", page_shift=page_shift),
+        chunk_values=chunk_values,
+        registry=registry,
+    )
+    state = _StreamingImport(writer, page_shift)
+    for line in lines:
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        address = _parse_address(text.split(",", 1)[0].strip())
+        if address is None or address < 0:
+            state.stats.skipped_lines += 1
+            continue
+        state.add(address)
+    return _finish_import(state, writer, name)
+
+
+def import_lackey(
+    lines: Iterable[str],
+    path: str,
+    name: str = "lackey-import",
+    page_shift: int = 12,
+    include_instructions: bool = False,
+    chunk_values: int = DEFAULT_CHUNK_VALUES,
+    registry=None,
+) -> ImportStats:
+    """Import ``valgrind --tool=lackey --trace-mem=yes`` output.
+
+    Records look like ``I  0023c790,2`` (instruction fetch) and
+    `` S 04eaffa0,8`` / `` L ...`` / `` M ...`` (data store/load/modify);
+    valgrind's own ``==pid==`` chatter is skipped.  By default only data
+    references are kept — instruction fetches hit separate iTLBs the
+    simulator does not model — pass ``include_instructions`` to keep
+    them.
+    """
+    _check_page_shift(page_shift)
+    wanted = _LACKEY_ALL if include_instructions else _LACKEY_DATA
+    writer = TraceWriter(
+        path,
+        meta=TraceMeta(source="lackey", page_shift=page_shift),
+        chunk_values=chunk_values,
+        registry=registry,
+    )
+    state = _StreamingImport(writer, page_shift)
+    for line in lines:
+        text = line.strip()
+        if not text or text.startswith("=="):
+            continue
+        parts = text.split(None, 1)
+        if len(parts) != 2 or parts[0] not in _LACKEY_ALL:
+            state.stats.skipped_lines += 1
+            continue
+        if parts[0] not in wanted:
+            continue
+        address = _parse_address("0x" + parts[1].split(",", 1)[0].strip())
+        if address is None:
+            state.stats.skipped_lines += 1
+            continue
+        state.add(address)
+    return _finish_import(state, writer, name)
+
+
+def _check_page_shift(page_shift: int) -> None:
+    if not 0 < page_shift < 32:
+        raise ConfigurationError(
+            f"page_shift {page_shift} is implausible (expected ~12)",
+            field="page_shift", value=page_shift,
+        )

@@ -1,0 +1,94 @@
+"""Recording synthetic workload access streams into ``.vpt`` traces.
+
+:func:`record_workload` captures the exact VPN stream a registered
+:class:`~repro.workloads.base.Workload` would feed the simulator —
+``workload.trace(length)`` — together with everything replay needs to be
+byte-identical: the full :class:`~repro.workloads.base.WorkloadSpec`
+(name, THP coverage, access-pattern repeats, full-scale access count),
+the instantiation seed and scale, and the VMA layout.  Replaying the
+resulting file through :class:`~repro.traces.workload.TraceWorkload`
+at the same ``trace_length`` reproduces the live generator's
+:class:`~repro.sim.results.PerformanceResult` exactly, for all three
+page-table organizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+from repro.traces.format import DEFAULT_CHUNK_VALUES, TraceMeta, TraceWriter
+from repro.workloads.base import AccessPattern, Workload, WorkloadSpec
+
+
+def spec_to_dict(spec: WorkloadSpec) -> dict:
+    """Flatten a :class:`WorkloadSpec` (and its pattern) to JSON-safe form."""
+    return asdict(spec)
+
+
+def spec_from_dict(raw: dict) -> WorkloadSpec:
+    """Rebuild a :class:`WorkloadSpec` recorded by :func:`spec_to_dict`."""
+    fields = dict(raw)
+    pattern = fields.pop("pattern", None)
+    if not isinstance(pattern, dict):
+        raise ConfigurationError(
+            "recorded workload spec has no access pattern",
+            field="pattern", value=pattern,
+        )
+    return WorkloadSpec(pattern=AccessPattern(**pattern), **fields)
+
+
+def record_workload(
+    workload: Workload,
+    length: int,
+    path: str,
+    seed_offset: int = 0,
+    chunk_values: int = DEFAULT_CHUNK_VALUES,
+    registry=None,
+) -> TraceMeta:
+    """Capture ``workload``'s access stream to a ``.vpt`` file.
+
+    The stream is generated exactly as the simulator would
+    (``workload.trace(length, seed_offset)``) and written chunk-by-chunk;
+    returns the metadata stored in the file's header.
+    """
+    if length < 1:
+        raise ConfigurationError(
+            f"length {length} must be >= 1", field="length", value=length
+        )
+    meta = TraceMeta(
+        source="synthetic",
+        workload=spec_to_dict(workload.spec),
+        seed=workload.seed,
+        scale=workload.scale,
+        vma_layout=[list(vma) for vma in workload.vma_layout()],
+        extra={"seed_offset": seed_offset, "recorded_length": length},
+    )
+    stream = workload.trace(length, seed_offset=seed_offset)
+    with TraceWriter(
+        path, meta=meta, chunk_values=chunk_values, registry=registry
+    ) as writer:
+        for start in range(0, len(stream), chunk_values):
+            writer.append(stream[start : start + chunk_values])
+    return meta
+
+
+def record_named_workload(
+    name: str,
+    length: int,
+    path: str,
+    scale: int = 16,
+    seed: int = 12345,
+    seed_offset: int = 0,
+    chunk_values: int = DEFAULT_CHUNK_VALUES,
+    registry=None,
+) -> Optional[TraceMeta]:
+    """Record a registry workload by name (the CLI's ``record`` verb)."""
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload(name, scale=scale, seed=seed)
+    return record_workload(
+        workload, length, path,
+        seed_offset=seed_offset, chunk_values=chunk_values, registry=registry,
+    )

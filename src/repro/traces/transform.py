@@ -1,0 +1,238 @@
+"""Lazy trace transforms: truncate, footprint-rescale, interleave.
+
+Transforms are generator functions over *chunk streams* (iterators of
+int64 numpy arrays, the shape :meth:`TraceReader.iter_chunks` yields),
+so they compose without materializing the stream:
+
+    chunks = reader.iter_chunks()
+    chunks = rescale_stream(chunks, 1, 2, base_vpn=base)   # halve footprint
+    chunks = truncate_stream(chunks, 1_000_000)            # first 1M refs
+    write_stream(out_path, chunks, meta)
+
+:func:`interleave_streams` merges N traces round-robin at a reference
+granularity to emulate a multi-programmed mix — each input is shifted
+into its own VPN region by default, the way distinct processes occupy
+disjoint address-space slices.
+
+:func:`transform_trace` wires the three together for the CLI: it opens
+the inputs, composes the requested pipeline, derives the output
+metadata (including a transformed VMA layout) and writes the result.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.traces.format import (
+    DEFAULT_CHUNK_VALUES,
+    TraceMeta,
+    TraceReader,
+    TraceWriter,
+)
+
+#: VPN stride between interleaved inputs (2^36 pages = 256TB of VA per
+#: process slice — far above any single trace's span).
+INTERLEAVE_REGION_STRIDE = 1 << 36
+
+ChunkStream = Iterator[np.ndarray]
+
+
+def truncate_stream(chunks: Iterable[np.ndarray], limit: int) -> ChunkStream:
+    """Pass through the first ``limit`` records, then stop."""
+    if limit < 1:
+        raise ConfigurationError(
+            f"truncate limit {limit} must be >= 1", field="limit", value=limit
+        )
+    remaining = limit
+    for chunk in chunks:
+        if chunk.size >= remaining:
+            yield chunk[:remaining]
+            return
+        remaining -= chunk.size
+        yield chunk
+
+
+def rescale_stream(
+    chunks: Iterable[np.ndarray], numer: int, denom: int, base_vpn: int = 0
+) -> ChunkStream:
+    """Rescale the footprint: ``vpn' = base + (vpn - base) * numer // denom``.
+
+    ``numer/denom < 1`` compresses the footprint (more page reuse, the
+    small-input regime of Figure 15); ``> 1`` spreads it out.  The
+    access *order* is untouched — only the page set is remapped, so
+    locality structure survives the rescale.
+    """
+    if numer < 1 or denom < 1:
+        raise ConfigurationError(
+            f"rescale factor {numer}/{denom} must be positive",
+            field="rescale", value=(numer, denom),
+        )
+    for chunk in chunks:
+        yield base_vpn + (chunk - base_vpn) * numer // denom
+
+
+def rescale_vpn(vpn: int, numer: int, denom: int, base_vpn: int = 0) -> int:
+    """Apply :func:`rescale_stream`'s mapping to one VPN (layout math)."""
+    return base_vpn + (vpn - base_vpn) * numer // denom
+
+
+def _rechunk(chunks: Iterable[np.ndarray], size: int) -> ChunkStream:
+    """Re-slice a chunk stream into blocks of exactly ``size`` records."""
+    pending: List[np.ndarray] = []
+    buffered = 0
+    for chunk in chunks:
+        pending.append(chunk)
+        buffered += chunk.size
+        while buffered >= size:
+            merged = np.concatenate(pending)
+            yield merged[:size]
+            rest = merged[size:]
+            pending = [rest] if rest.size else []
+            buffered = int(rest.size)
+    if buffered:
+        yield np.concatenate(pending)
+
+
+def interleave_streams(
+    streams: Sequence[Iterable[np.ndarray]],
+    granularity: int = 4096,
+    separate_regions: bool = True,
+) -> ChunkStream:
+    """Round-robin ``granularity``-record blocks from N chunk streams.
+
+    Emulates a multi-programmed mix on one simulated core: each input
+    contributes a scheduling quantum of references in turn; exhausted
+    inputs drop out and the rest keep rotating.  With
+    ``separate_regions`` input *i* is shifted by ``i *``
+    :data:`INTERLEAVE_REGION_STRIDE` so the merged trace looks like
+    distinct processes rather than one process revisiting shared pages.
+    """
+    if len(streams) < 2:
+        raise ConfigurationError(
+            "interleave needs at least two input traces",
+            field="streams", value=len(streams),
+        )
+    if granularity < 1:
+        raise ConfigurationError(
+            f"granularity {granularity} must be >= 1",
+            field="granularity", value=granularity,
+        )
+    blocks = [iter(_rechunk(stream, granularity)) for stream in streams]
+    offsets = [
+        interleave_offset(i) if separate_regions else 0
+        for i in range(len(streams))
+    ]
+    live = list(range(len(blocks)))
+    while live:
+        finished = []
+        for idx in live:
+            block = next(blocks[idx], None)
+            if block is None:
+                finished.append(idx)
+                continue
+            yield block + offsets[idx]
+        live = [idx for idx in live if idx not in finished]
+
+
+def interleave_offset(index: int) -> int:
+    """The VPN shift applied to interleave input ``index``."""
+    return index * INTERLEAVE_REGION_STRIDE
+
+
+def write_stream(
+    path: str,
+    chunks: Iterable[np.ndarray],
+    meta: TraceMeta,
+    chunk_values: int = DEFAULT_CHUNK_VALUES,
+    registry=None,
+) -> int:
+    """Drain a chunk stream into a new ``.vpt`` file; returns the count."""
+    with TraceWriter(
+        path, meta=meta, chunk_values=chunk_values, registry=registry
+    ) as writer:
+        for chunk in chunks:
+            writer.append(chunk)
+    # close() flushed the partial chunk, so the total is now final.
+    return writer.total_values
+
+
+def transform_trace(
+    inputs: Sequence[str],
+    output: str,
+    truncate: Optional[int] = None,
+    rescale: Optional[Sequence[int]] = None,
+    interleave_granularity: int = 4096,
+    separate_regions: bool = True,
+    chunk_values: int = DEFAULT_CHUNK_VALUES,
+    registry=None,
+) -> int:
+    """Compose the requested transforms over ``inputs`` and write ``output``.
+
+    One input: truncate and/or rescale apply directly.  Several inputs:
+    they are interleaved first, then truncated/rescaled.  The output
+    metadata records the pipeline and carries a correspondingly
+    transformed VMA layout, so the result replays like any other trace.
+    """
+    if not inputs:
+        raise ConfigurationError("transform needs at least one input trace")
+    readers = [TraceReader(p, registry=registry) for p in inputs]
+    try:
+        pipeline: List[str] = []
+        layout: List[List[object]] = []
+        if len(readers) == 1:
+            chunks: ChunkStream = readers[0].iter_chunks()
+            layout = [list(v) for v in (readers[0].meta.vma_layout or [])]
+        else:
+            chunks = interleave_streams(
+                [r.iter_chunks() for r in readers],
+                granularity=interleave_granularity,
+                separate_regions=separate_regions,
+            )
+            pipeline.append(
+                f"interleave(n={len(readers)}, granularity="
+                f"{interleave_granularity}, separate={separate_regions})"
+            )
+            for i, reader in enumerate(readers):
+                shift = interleave_offset(i) if separate_regions else 0
+                for start, pages, name in reader.meta.vma_layout or []:
+                    layout.append([int(start) + shift, int(pages), f"mix{i}-{name}"])
+        base_vpn = min(
+            (r.min_vpn for r in readers if r.min_vpn is not None), default=0
+        )
+        if rescale is not None:
+            numer, denom = int(rescale[0]), int(rescale[1])
+            chunks = rescale_stream(chunks, numer, denom, base_vpn=base_vpn)
+            pipeline.append(f"rescale({numer}/{denom}, base={base_vpn})")
+            layout = [
+                [
+                    rescale_vpn(int(start), numer, denom, base_vpn),
+                    max(1, int(pages) * numer // denom),
+                    name,
+                ]
+                for start, pages, name in layout
+            ]
+        if truncate is not None:
+            chunks = truncate_stream(chunks, truncate)
+            pipeline.append(f"truncate({truncate})")
+        first = readers[0].meta
+        meta = TraceMeta(
+            source="transform",
+            workload=first.workload if len(readers) == 1 else None,
+            seed=first.seed,
+            scale=first.scale,
+            page_shift=first.page_shift,
+            vma_layout=layout or None,
+            extra={
+                "pipeline": pipeline,
+                "inputs": [r.content_id for r in readers],
+            },
+        )
+        return write_stream(
+            output, chunks, meta, chunk_values=chunk_values, registry=registry
+        )
+    finally:
+        for reader in readers:
+            reader.close()

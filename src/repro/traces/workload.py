@@ -1,0 +1,168 @@
+"""`TraceWorkload`: a recorded or imported trace as a first-class workload.
+
+Implements the :class:`~repro.workloads.base.Workload` surface the
+simulator, the sweep engine and the experiment drivers consume —
+``spec``, ``vma_layout()``, ``trace()``, ``page_set()``,
+``unscale_bytes()``, ``describe()`` — backed by a ``.vpt`` file instead
+of a synthetic generator.  Recorded traces rebuild the original
+:class:`~repro.workloads.base.WorkloadSpec` from the file header, so a
+replayed run is byte-identical to the live generator; imported traces
+synthesize a neutral spec from the stream's footprint statistics.
+
+Registry integration: ``get_workload("trace:/path/to/file.vpt")``
+returns a :class:`TraceWorkload`, so trace files drop into
+``SimulationConfig``, sweeps and experiments wherever an application
+name is accepted.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GB
+from repro.traces.format import TraceMeta, TraceReader
+from repro.traces.record import spec_from_dict
+from repro.workloads.base import PAGES_PER_BLOCK, AccessPattern, WorkloadSpec
+from repro.workloads.registry import TRACE_PREFIX
+
+__all__ = ["TRACE_PREFIX", "TraceWorkload", "synthesize_vma_layout"]
+
+#: Gap (in 4KB pages) above which distinct footprint runs become
+#: separate VMAs when a trace carries no recorded layout.
+VMA_GAP_PAGES = 4096
+
+
+def synthesize_vma_layout(
+    distinct_vpns: np.ndarray, name: str
+) -> List[Tuple[int, int, str]]:
+    """Cluster a sorted distinct-VPN set into padded VMA ranges.
+
+    Imported traces (CSV, lackey) have no recorded address-space map;
+    grouping the footprint wherever gaps exceed :data:`VMA_GAP_PAGES`
+    keeps the synthesized VMAs tight instead of spanning the whole
+    64-bit hole between, say, heap and stack references.
+    """
+    if distinct_vpns.size == 0:
+        raise ConfigurationError("cannot synthesize VMAs for an empty trace")
+    gaps = np.flatnonzero(np.diff(distinct_vpns) > VMA_GAP_PAGES)
+    starts = np.concatenate(([0], gaps + 1))
+    ends = np.concatenate((gaps, [distinct_vpns.size - 1]))
+    layout = []
+    for i, (lo, hi) in enumerate(zip(starts, ends)):
+        first, last = int(distinct_vpns[lo]), int(distinct_vpns[hi])
+        layout.append((first, last - first + 1, f"{name}-vma{i}"))
+    return layout
+
+
+class TraceWorkload:
+    """A workload whose access stream comes from a ``.vpt`` trace file.
+
+    ``scale`` and ``seed`` mirror the recording (stored in the trace
+    header), **not** the caller's sweep settings: the stream is fixed,
+    so replaying it under a different ``scale`` would silently compare
+    a full-scale trace against rescaled tables.  Callers that need the
+    recorded provenance read it from here.
+    """
+
+    def __init__(self, path: str, registry=None, loop: bool = False) -> None:
+        if not os.path.exists(path):
+            raise ConfigurationError(
+                f"trace file {path!r} does not exist", field="path", value=path
+            )
+        self.path = path
+        self.loop = loop
+        self._registry = registry
+        with TraceReader(path) as reader:
+            self.meta: TraceMeta = reader.meta
+            self.total_values = reader.total_values
+            self._min_vpn = reader.min_vpn
+            self._max_vpn = reader.max_vpn
+        self.scale = self.meta.scale
+        self.seed = self.meta.seed
+        self._page_set: Optional[np.ndarray] = None
+        if self.meta.workload is not None:
+            self.spec = spec_from_dict(self.meta.workload)
+        else:
+            self.spec = self._synthesize_spec()
+
+    def _synthesize_spec(self) -> WorkloadSpec:
+        """A neutral spec for imported traces (no recorded generator)."""
+        name = self.meta.extra.get("name") or os.path.splitext(
+            os.path.basename(self.path)
+        )[0]
+        distinct = int(
+            self.meta.extra.get("distinct_pages")
+            or (self._span_pages() if self.total_values else 1)
+        )
+        return WorkloadSpec(
+            name=str(name),
+            kind="trace",
+            data_gb=max(distinct, 1) * 4096 / GB,
+            touched_blocks=max(1, distinct // PAGES_PER_BLOCK),
+            density=1.0,
+            thp_coverage=float(self.meta.extra.get("thp_coverage", 0.0)),
+            pattern=AccessPattern(
+                uniform=1.0,
+                page_repeats=int(self.meta.extra.get("page_repeats", 1)),
+            ),
+            fullscale_accesses=float(
+                self.meta.extra.get("fullscale_accesses", self.total_values)
+            ),
+            description=f"imported trace ({self.meta.source})",
+        )
+
+    def _span_pages(self) -> int:
+        if self._min_vpn is None or self._max_vpn is None:
+            return 1
+        return self._max_vpn - self._min_vpn + 1
+
+    # -- observability ---------------------------------------------------
+
+    def bind_observability(self, obs) -> None:
+        """Adopt a run's metrics registry (``SimulationConfig.build``)."""
+        if obs is not None and getattr(obs, "registry", None) is not None:
+            self._registry = obs.registry
+
+    # -- Workload interface ----------------------------------------------
+
+    def vma_layout(self) -> List[Tuple[int, int, str]]:
+        """The recorded layout, or one synthesized from the footprint."""
+        if self.meta.vma_layout:
+            return [
+                (int(start), int(pages), str(name))
+                for start, pages, name in self.meta.vma_layout
+            ]
+        return synthesize_vma_layout(self.page_set(), self.spec.name)
+
+    def trace(self, length: int, seed_offset: int = 0) -> np.ndarray:
+        """The first ``length`` recorded VPNs (``seed_offset`` ignored).
+
+        Byte-identity with the live generator holds when ``length``
+        equals the recorded length; shorter requests replay a prefix and
+        longer ones require ``loop=True`` at construction.
+        """
+        with TraceReader(self.path, registry=self._registry) as reader:
+            return reader.read(length, loop=self.loop)
+
+    def page_set(self) -> np.ndarray:
+        """Sorted distinct VPNs the trace touches (cached after first use)."""
+        if self._page_set is None:
+            with TraceReader(self.path, registry=self._registry) as reader:
+                self._page_set = reader.page_set()
+        return self._page_set
+
+    def unscale_bytes(self, nbytes: int) -> int:
+        """Convert a scaled measurement back to full-scale bytes."""
+        return nbytes * self.scale
+
+    def describe(self) -> str:
+        """One line: source file, record count, footprint provenance."""
+        return (
+            f"{self.spec.name}: trace replay of {self.total_values} records "
+            f"from {self.path} (source={self.meta.source}, "
+            f"recorded at 1/{self.scale} scale, seed {self.seed})"
+        )

@@ -22,6 +22,7 @@ from repro.workloads.kernels import GupsKernel, MummerKernel, SysbenchMemoryKern
 from repro.workloads.registry import (
     ALL_WORKLOADS,
     GRAPH_WORKLOADS,
+    TRACE_PREFIX,
     get_workload,
     graph_workload_with_nodes,
     workload_names,
@@ -33,6 +34,7 @@ __all__ = [
     "AccessPattern",
     "ALL_WORKLOADS",
     "GRAPH_WORKLOADS",
+    "TRACE_PREFIX",
     "get_workload",
     "graph_workload_with_nodes",
     "workload_names",

@@ -22,10 +22,15 @@ irregular heaps gain nothing from THP.
 
 from __future__ import annotations
 
+import difflib
 from typing import Dict, List
 
 from repro.common.errors import ConfigurationError
 from repro.workloads.base import AccessPattern, Workload, WorkloadSpec
+
+#: Workload names starting with this prefix name a ``.vpt`` trace file
+#: instead of a synthetic spec: ``get_workload("trace:/runs/gups.vpt")``.
+TRACE_PREFIX = "trace:"
 
 #: Trigger-window constant used for calibration (see module docstring).
 BLOCKS_PER_WAY_BYTE = 0.018
@@ -111,12 +116,29 @@ def workload_names() -> List[str]:
     return list(ALL_WORKLOADS)
 
 
-def get_workload(name: str, scale: int = 1, seed: int = 12345) -> Workload:
-    """Instantiate a calibrated workload at ``1/scale`` footprint."""
+def get_workload(name: str, scale: int = 1, seed: int = 12345):
+    """Instantiate a calibrated workload at ``1/scale`` footprint.
+
+    Names starting with ``trace:`` resolve to a recorded or imported
+    ``.vpt`` trace instead (see :mod:`repro.traces`); the returned
+    :class:`~repro.traces.workload.TraceWorkload` carries the scale and
+    seed it was recorded with, so ``scale``/``seed`` are ignored for it.
+    """
+    if name.startswith(TRACE_PREFIX):
+        # Imported lazily: the trace subsystem pulls in I/O machinery the
+        # synthetic-only path never needs.
+        from repro.traces.workload import TraceWorkload
+
+        return TraceWorkload(name[len(TRACE_PREFIX):])
     spec = ALL_WORKLOADS.get(name)
     if spec is None:
+        close = difflib.get_close_matches(name, list(ALL_WORKLOADS), n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise ConfigurationError(
-            f"unknown workload {name!r}; known: {', '.join(ALL_WORKLOADS)}"
+            f"unknown workload {name!r}{hint}; available: "
+            f"{', '.join(ALL_WORKLOADS)}; trace files replay as "
+            f"'{TRACE_PREFIX}<path>.vpt'",
+            field="name", value=name,
         )
     return Workload(spec, scale=scale, seed=seed)
 

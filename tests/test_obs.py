@@ -52,8 +52,9 @@ from repro.workloads import get_workload
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
-def run_perf(organization, obs=None, scale=64, trace_length=4000, warmup=0.1):
-    workload = get_workload("GUPS", scale=scale)
+def run_perf(organization, obs=None, scale=64, trace_length=4000, warmup=0.1,
+             app="GUPS"):
+    workload = get_workload(app, scale=scale)
     config = SimulationConfig(organization=organization, scale=scale, obs=obs)
     simulator = TranslationSimulator(
         workload, config, trace_length=trace_length, warmup_fraction=warmup
@@ -177,18 +178,41 @@ class TestDisabledIsFree:
 
 
 class TestSnapshots:
-    def test_run_covers_catalogue(self):
-        """One mehpt run, one radix run and one ecpt run together must
-        instantiate every catalogued base name — otherwise the catalogue
-        documents metrics nothing produces."""
+    def test_run_covers_catalogue(self, tmp_path):
+        """One mehpt run, one radix run, one ecpt run and one trace
+        record/replay together must instantiate every catalogued base
+        name — otherwise the catalogue documents metrics nothing
+        produces."""
         seen = set()
         for organization in ("mehpt", "radix", "ecpt"):
             result, _ = run_perf(organization, obs=ObservabilityConfig())
             for name in result.metrics:
                 seen.add(name.split("[", 1)[0])
-        # faults.events needs a degradation event; count it via the
-        # always-registered recovery counter instead.
-        missing = set(CATALOGUE) - seen - {"faults.events", "sim.populated_pages"}
+        # The traces.* counters come from trace-backed runs: record with
+        # a registry attached, then replay through the simulator.
+        from repro.traces import record_workload
+
+        registry = MetricsRegistry()
+        trace_path = str(tmp_path / "gups.vpt")
+        record_workload(
+            get_workload("GUPS", scale=64), 4000, trace_path, registry=registry
+        )
+        seen.update(
+            name for name, metric in registry.snapshot().items()
+            if metric["value"]
+        )
+        replay, _ = run_perf(
+            "mehpt", obs=ObservabilityConfig(), app="trace:" + trace_path
+        )
+        for name in replay.metrics:
+            seen.add(name.split("[", 1)[0])
+        # faults.events needs a degradation event (counted via the
+        # always-registered recovery counter instead);
+        # traces.checksum_failures needs a corrupted file (covered by
+        # tests/test_traces.py).
+        missing = set(CATALOGUE) - seen - {
+            "faults.events", "sim.populated_pages", "traces.checksum_failures",
+        }
         assert not missing, f"catalogued but never produced: {sorted(missing)}"
 
     def test_populate_sets_populated_pages(self):

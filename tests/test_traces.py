@@ -1,0 +1,597 @@
+"""Tests for the binary address-trace subsystem (repro.traces): the
+chunked varint format, recording, importers, transforms, the
+TraceWorkload replay path, CLI, and engine cache-key integration."""
+
+import dataclasses
+import os
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, TraceFormatError
+from repro.experiments import engine as engine_mod
+from repro.experiments.engine import SweepEngine, cell_key
+from repro.experiments.runner import ExperimentSettings, clear_caches, perf_sweep
+from repro.obs import MetricsRegistry
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import TranslationSimulator
+from repro.traces import (
+    DEFAULT_CHUNK_VALUES,
+    TRACE_PREFIX,
+    TraceMeta,
+    TraceReader,
+    TraceWorkload,
+    TraceWriter,
+    import_csv,
+    import_lackey,
+    record_workload,
+    trace_content_id,
+    transform_trace,
+    validate_trace,
+)
+from repro.traces.__main__ import main as cli_main
+from repro.traces.format import decode_vpn_chunk, encode_vpn_chunk
+from repro.traces.record import spec_from_dict, spec_to_dict
+from repro.traces.transform import interleave_offset
+from repro.workloads import get_workload
+
+pytestmark = pytest.mark.traces
+
+
+def write_trace(path, vpns, chunk_values=DEFAULT_CHUNK_VALUES, **meta_kw):
+    meta = TraceMeta(source="synthetic", **meta_kw)
+    with TraceWriter(str(path), meta=meta, chunk_values=chunk_values) as writer:
+        writer.append(np.asarray(vpns, dtype=np.int64))
+    return str(path)
+
+
+def random_walk(n, seed=0, start=1 << 40):
+    rng = np.random.default_rng(seed)
+    deltas = rng.integers(-1000, 1000, size=n)
+    return np.maximum(np.cumsum(deltas) + start, 0)
+
+
+def payload_offset(path, chunk_no=0):
+    """Byte offset of a chunk's payload (for corruption tests)."""
+    with TraceReader(path) as reader:
+        offset = reader._footer["chunks"][chunk_no][0]
+    return offset + 12  # past the <III chunk header
+
+
+def flip_byte(path, offset):
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+# -- varint codec ----------------------------------------------------------
+
+
+class TestCodec:
+    @pytest.mark.parametrize("prev", [0, 123456789])
+    def test_round_trip_random_walk(self, prev):
+        vpns = random_walk(10_000, seed=3)
+        payload = encode_vpn_chunk(vpns, prev)
+        assert np.array_equal(decode_vpn_chunk(payload, vpns.size, prev), vpns)
+
+    def test_round_trip_adversarial_values(self):
+        vpns = np.array(
+            [0, 1, 0, (1 << 52) - 1, 0, 7, 7, 7, 1 << 35, (1 << 35) + 1],
+            dtype=np.int64,
+        )
+        payload = encode_vpn_chunk(vpns, 0)
+        assert np.array_equal(decode_vpn_chunk(payload, vpns.size, 0), vpns)
+
+    def test_single_value(self):
+        payload = encode_vpn_chunk(np.array([42], dtype=np.int64), 40)
+        assert decode_vpn_chunk(payload, 1, 40).tolist() == [42]
+
+    def test_local_deltas_compress(self):
+        vpns = random_walk(50_000, seed=5)
+        payload = encode_vpn_chunk(vpns, 0)
+        # Deltas fit in 2 varint bytes; raw int64 would be 8 bytes/record.
+        assert len(payload) < 3 * vpns.size
+
+
+# -- writer / reader round trip --------------------------------------------
+
+
+class TestFormatRoundTrip:
+    def test_multi_chunk_round_trip(self, tmp_path):
+        vpns = random_walk(10_000, seed=1)
+        path = write_trace(
+            tmp_path / "t.vpt", vpns, chunk_values=1024, seed=9, scale=4
+        )
+        with TraceReader(path) as reader:
+            assert reader.total_values == vpns.size
+            assert reader.chunks == 10
+            assert reader.min_vpn == int(vpns.min())
+            assert reader.max_vpn == int(vpns.max())
+            assert reader.meta.seed == 9 and reader.meta.scale == 4
+            assert np.array_equal(reader.read(), vpns)
+
+    def test_chunks_are_independent_and_ordered(self, tmp_path):
+        vpns = random_walk(3_000, seed=2)
+        path = write_trace(tmp_path / "t.vpt", vpns, chunk_values=500)
+        with TraceReader(path) as reader:
+            rebuilt = np.concatenate(list(reader.iter_chunks()))
+        assert np.array_equal(rebuilt, vpns)
+
+    def test_read_prefix_loop_and_overrun(self, tmp_path):
+        vpns = random_walk(1_000, seed=4)
+        path = write_trace(tmp_path / "t.vpt", vpns, chunk_values=256)
+        with TraceReader(path) as reader:
+            assert np.array_equal(reader.read(100), vpns[:100])
+            looped = reader.read(2_500, loop=True)
+            assert np.array_equal(looped, np.tile(vpns, 3)[:2_500])
+            with pytest.raises(ConfigurationError, match="loop=True"):
+                reader.read(1_001)
+
+    def test_iter_yields_python_ints(self, tmp_path):
+        path = write_trace(tmp_path / "t.vpt", [5, 6, 7])
+        with TraceReader(path) as reader:
+            assert list(reader) == [5, 6, 7]
+
+    def test_meta_round_trips_layout_and_extra(self, tmp_path):
+        layout = [[100, 50, "heap"], [9000, 2, "stack"]]
+        path = write_trace(
+            tmp_path / "t.vpt", [100, 101], vma_layout=layout, extra={"k": "v"}
+        )
+        with TraceReader(path) as reader:
+            assert reader.meta.vma_layout == layout
+            assert reader.meta.extra == {"k": "v"}
+
+    def test_registry_counters(self, tmp_path):
+        registry = MetricsRegistry()
+        meta = TraceMeta(source="synthetic")
+        path = str(tmp_path / "t.vpt")
+        with TraceWriter(path, meta=meta, chunk_values=100,
+                         registry=registry) as writer:
+            writer.append(random_walk(250))
+        assert registry.counter("traces.records_written").value == 250
+        assert registry.counter("traces.chunks_written").value == 3
+        with TraceReader(path, registry=registry) as reader:
+            reader.read()
+        assert registry.counter("traces.records_read").value == 250
+        assert registry.counter("traces.chunks_read").value == 3
+
+
+class TestCorruption:
+    def test_validate_detects_flipped_payload_byte(self, tmp_path):
+        path = write_trace(tmp_path / "t.vpt", random_walk(5_000), chunk_values=1024)
+        assert validate_trace(path).ok
+        flip_byte(path, payload_offset(path, chunk_no=2))
+        report = validate_trace(path)
+        assert not report.ok
+        assert report.checksum_failures == 1
+        assert any("chunk 2" in p for p in report.problems)
+        assert "CORRUPT" in report.summary()
+
+    def test_reader_raises_and_counts_on_bad_crc(self, tmp_path):
+        path = write_trace(tmp_path / "t.vpt", random_walk(2_000), chunk_values=512)
+        flip_byte(path, payload_offset(path, chunk_no=1))
+        registry = MetricsRegistry()
+        with TraceReader(path, registry=registry) as reader:
+            with pytest.raises(TraceFormatError, match="CRC32"):
+                list(reader.iter_chunks())
+        assert registry.counter("traces.checksum_failures").value == 1
+
+    def test_truncated_file_rejected_at_open(self, tmp_path):
+        path = write_trace(tmp_path / "t.vpt", random_walk(1_000))
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 7)
+        with pytest.raises(TraceFormatError):
+            TraceReader(path)
+
+    def test_not_a_trace_rejected(self, tmp_path):
+        path = tmp_path / "junk.vpt"
+        path.write_bytes(b"definitely not a trace file" * 10)
+        with pytest.raises(TraceFormatError, match="magic"):
+            TraceReader(str(path))
+
+
+class TestStreamingMemory:
+    def test_ten_million_records_stream_in_o_chunk_memory(self, tmp_path):
+        """Acceptance criterion: a 10M-reference trace replays through
+        TraceReader chunk-by-chunk without materializing the stream
+        (10M int64 = 80MB; the bound below is a small multiple of one
+        64K-value chunk)."""
+        n, batch = 10_000_000, 1_000_000
+        path = str(tmp_path / "big.vpt")
+        rng = np.random.default_rng(11)
+        meta = TraceMeta(source="synthetic")
+        last = 1 << 40
+        checksum = 0
+        with TraceWriter(path, meta=meta) as writer:
+            for _ in range(n // batch):
+                deltas = rng.integers(-4096, 4096, size=batch)
+                vpns = np.cumsum(deltas) + last
+                last = int(vpns[-1])
+                checksum ^= int(np.bitwise_xor.reduce(vpns))
+                writer.append(vpns)
+        assert writer.total_values == n
+
+        tracemalloc.start()
+        seen = 0
+        replay_checksum = 0
+        with TraceReader(path) as reader:
+            for chunk in reader.iter_chunks():
+                seen += chunk.size
+                replay_checksum ^= int(np.bitwise_xor.reduce(chunk))
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert seen == n
+        assert replay_checksum == checksum
+        assert peak < 20 * 1024 * 1024
+
+
+# -- content identity ------------------------------------------------------
+
+
+class TestContentId:
+    def test_rename_preserves_content_id(self, tmp_path):
+        path = write_trace(tmp_path / "a.vpt", random_walk(2_000))
+        original = trace_content_id(path)
+        renamed = str(tmp_path / "b.vpt")
+        os.rename(path, renamed)
+        assert trace_content_id(renamed) == original
+
+    def test_different_payloads_differ(self, tmp_path):
+        a = write_trace(tmp_path / "a.vpt", random_walk(500, seed=1))
+        b = write_trace(tmp_path / "b.vpt", random_walk(500, seed=2))
+        assert trace_content_id(a) != trace_content_id(b)
+
+    def test_matches_reader_and_is_memoised(self, tmp_path):
+        path = write_trace(tmp_path / "a.vpt", random_walk(500))
+        with TraceReader(path) as reader:
+            assert trace_content_id(path) == reader.content_id
+        assert trace_content_id(path) == trace_content_id(path)
+
+
+# -- recording and replay --------------------------------------------------
+
+#: One fast, non-trivial recording: GUPS at 1/1024 scale.
+RECORD_APP, RECORD_SCALE, RECORD_SEED, RECORD_LEN = "GUPS", 1024, 7, 3_000
+
+
+@pytest.fixture(scope="module")
+def gups_trace(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("traces") / "gups.vpt")
+    workload = get_workload(RECORD_APP, scale=RECORD_SCALE, seed=RECORD_SEED)
+    record_workload(workload, RECORD_LEN, path)
+    return path
+
+
+class TestRecording:
+    def test_spec_dict_round_trip(self):
+        spec = get_workload("MUMmer", scale=64).spec
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_recorded_stream_matches_generator(self, gups_trace):
+        workload = get_workload(RECORD_APP, scale=RECORD_SCALE, seed=RECORD_SEED)
+        with TraceReader(gups_trace) as reader:
+            assert np.array_equal(reader.read(), workload.trace(RECORD_LEN))
+        assert validate_trace(gups_trace).ok
+
+    def test_replay_workload_restores_provenance(self, gups_trace):
+        live = get_workload(RECORD_APP, scale=RECORD_SCALE, seed=RECORD_SEED)
+        replay = get_workload(TRACE_PREFIX + gups_trace)
+        assert isinstance(replay, TraceWorkload)
+        assert replay.spec == live.spec
+        assert replay.scale == RECORD_SCALE and replay.seed == RECORD_SEED
+        assert replay.vma_layout() == live.vma_layout()
+        assert np.array_equal(replay.trace(RECORD_LEN), live.trace(RECORD_LEN))
+        assert np.array_equal(replay.page_set(), np.unique(replay.trace(RECORD_LEN)))
+        assert replay.unscale_bytes(10) == live.unscale_bytes(10)
+        assert gups_trace in replay.describe()
+
+    @pytest.mark.parametrize("org", ["radix", "ecpt", "mehpt"])
+    def test_replay_is_byte_identical_to_live_run(self, gups_trace, org):
+        """Acceptance criterion: replaying a recorded trace produces a
+        PerformanceResult byte-identical to the live generator, for all
+        three organizations."""
+        config = SimulationConfig(
+            organization=org, scale=RECORD_SCALE, seed=RECORD_SEED
+        )
+        live = TranslationSimulator(
+            get_workload(RECORD_APP, scale=RECORD_SCALE, seed=RECORD_SEED),
+            config, trace_length=RECORD_LEN,
+        ).run()
+        replay = TranslationSimulator(
+            get_workload(TRACE_PREFIX + gups_trace),
+            config, trace_length=RECORD_LEN,
+        ).run()
+        assert replay == live
+
+    def test_trace_file_config_source(self, gups_trace):
+        config = SimulationConfig(
+            organization="mehpt", scale=RECORD_SCALE, seed=RECORD_SEED,
+            trace_file=gups_trace,
+        )
+        from_config = TranslationSimulator(
+            None, config, trace_length=RECORD_LEN
+        ).run()
+        explicit = TranslationSimulator(
+            get_workload(TRACE_PREFIX + gups_trace),
+            config, trace_length=RECORD_LEN,
+        ).run()
+        assert from_config == explicit
+
+    def test_missing_trace_file_errors(self):
+        config = SimulationConfig(organization="mehpt")
+        with pytest.raises(ConfigurationError, match="trace_file"):
+            TranslationSimulator(None, config, trace_length=100)
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            SimulationConfig(trace_file="/nonexistent/x.vpt").load_trace_workload()
+
+
+class TestWorkloadDeterminism:
+    """Regression guard: the synthetic generators must stay bit-stable,
+    otherwise recorded traces silently diverge from live runs."""
+
+    @pytest.mark.parametrize("app", ["GUPS", "BFS", "MUMmer"])
+    def test_two_builds_emit_identical_streams(self, app):
+        first = get_workload(app, scale=256, seed=99)
+        second = get_workload(app, scale=256, seed=99)
+        assert first.spec == second.spec
+        assert np.array_equal(first.trace(5_000), second.trace(5_000))
+        assert np.array_equal(first.page_set(), second.page_set())
+        assert first.vma_layout() == second.vma_layout()
+
+    def test_seed_changes_the_stream(self):
+        base = get_workload("GUPS", scale=256, seed=99)
+        other = get_workload("GUPS", scale=256, seed=100)
+        assert not np.array_equal(base.trace(5_000), other.trace(5_000))
+
+
+# -- importers -------------------------------------------------------------
+
+
+class TestImporters:
+    def test_csv_import(self, tmp_path):
+        lines = [
+            "# comment",
+            "0x7f0012345678",
+            "139637976727144, trailing fields ignored",
+            "",
+            "not-an-address",
+            "0x7f0012349999",
+        ]
+        path = str(tmp_path / "c.vpt")
+        stats = import_csv(iter(lines), path, name="mini")
+        assert stats.records == 3
+        assert stats.distinct_pages == 3
+        assert stats.skipped_lines == 1
+        with TraceReader(path) as reader:
+            assert reader.meta.source == "csv"
+            assert reader.total_values == 3
+            assert reader.meta.vma_layout  # synthesized from the footprint
+        replay = TraceWorkload(path)
+        assert replay.spec.kind == "trace"
+        assert replay.trace(3).size == 3
+
+    def test_lackey_import_filters_instruction_fetches(self, tmp_path):
+        lines = [
+            "==123== Lackey, a trace generator",
+            "I  0023C790,2",
+            " S 04EAFFA0,8",
+            " L 04EAFFA8,8",
+            "M  0421C7A0,4",
+            "garbage line",
+        ]
+        data = import_lackey(iter(lines), str(tmp_path / "d.vpt"))
+        assert data.records == 3  # S, L, M
+        both = import_lackey(
+            iter(lines), str(tmp_path / "i.vpt"), include_instructions=True
+        )
+        assert both.records == 4
+
+    def test_page_shift_controls_normalization(self, tmp_path):
+        lines = ["0x1000", "0x1fff", "0x2000"]
+        stats = import_csv(iter(lines), str(tmp_path / "p.vpt"), page_shift=12)
+        assert stats.distinct_pages == 2
+        coarse = import_csv(
+            iter(lines), str(tmp_path / "q.vpt"), page_shift=21
+        )
+        assert coarse.distinct_pages == 1
+
+    def test_empty_import_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="no records"):
+            import_csv(iter(["# nothing"]), str(tmp_path / "e.vpt"))
+
+
+# -- transforms ------------------------------------------------------------
+
+
+class TestTransforms:
+    def test_truncate(self, tmp_path, gups_trace):
+        out = str(tmp_path / "t.vpt")
+        total = transform_trace([gups_trace], out, truncate=500)
+        assert total == 500
+        with TraceReader(gups_trace) as full, TraceReader(out) as cut:
+            assert np.array_equal(cut.read(), full.read(500))
+
+    def test_rescale_halves_the_span(self, tmp_path, gups_trace):
+        out = str(tmp_path / "r.vpt")
+        transform_trace([gups_trace], out, rescale=(1, 2))
+        with TraceReader(gups_trace) as full, TraceReader(out) as half:
+            ratio = (half.max_vpn - half.min_vpn) / (full.max_vpn - full.min_vpn)
+            assert 0.45 < ratio < 0.55
+            assert half.total_values == full.total_values
+
+    def test_interleave_round_robin_with_region_separation(self, tmp_path):
+        a = write_trace(tmp_path / "a.vpt", np.arange(100, dtype=np.int64))
+        b = write_trace(
+            tmp_path / "b.vpt", np.arange(200, 260, dtype=np.int64)
+        )
+        out = str(tmp_path / "mix.vpt")
+        total = transform_trace([a, b], out, interleave_granularity=25)
+        assert total == 160
+        with TraceReader(out) as reader:
+            merged = reader.read()
+        shift = interleave_offset(1)
+        expected = np.concatenate([
+            np.arange(0, 25), np.arange(200, 225) + shift,
+            np.arange(25, 50), np.arange(225, 250) + shift,
+            np.arange(50, 75), np.arange(250, 260) + shift,
+            np.arange(75, 100),
+        ])
+        assert np.array_equal(merged, expected)
+
+    def test_interleave_shared_regions_keeps_vpns(self, tmp_path):
+        a = write_trace(tmp_path / "a.vpt", [1, 2, 3])
+        b = write_trace(tmp_path / "b.vpt", [2, 3, 4])
+        out = str(tmp_path / "mix.vpt")
+        transform_trace([a, b], out, interleave_granularity=2,
+                        separate_regions=False)
+        with TraceReader(out) as reader:
+            assert set(reader.read().tolist()) == {1, 2, 3, 4}
+
+    def test_transformed_trace_replays(self, tmp_path, gups_trace):
+        out = str(tmp_path / "t.vpt")
+        transform_trace([gups_trace], out, truncate=1_000, rescale=(1, 2))
+        replay = get_workload(TRACE_PREFIX + out)
+        result = TranslationSimulator(
+            replay,
+            SimulationConfig(organization="mehpt", scale=RECORD_SCALE),
+            trace_length=1_000,
+        ).run()
+        assert result.accesses > 0 and not result.failed
+        assert validate_trace(out).ok
+
+
+# -- registry --------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_unknown_name_lists_names_and_nearest_match(self):
+        with pytest.raises(ConfigurationError) as err:
+            get_workload("GUSP")
+        message = str(err.value)
+        assert "did you mean 'GUPS'" in message
+        assert "BFS" in message and "MUMmer" in message
+        assert TRACE_PREFIX in message
+
+    def test_unknown_name_without_a_close_match(self):
+        with pytest.raises(ConfigurationError) as err:
+            get_workload("zzzzzz")
+        assert "did you mean" not in str(err.value)
+
+    def test_trace_prefix_resolves(self, gups_trace):
+        assert isinstance(get_workload(TRACE_PREFIX + gups_trace), TraceWorkload)
+
+
+# -- engine cache keys -----------------------------------------------------
+
+
+@pytest.fixture
+def isolated_engine():
+    clear_caches()
+    engine_mod.reset_engine()
+    yield
+    clear_caches()
+    engine_mod.reset_engine()
+
+
+class TestEngineCacheKeys:
+    def test_cell_key_survives_rename(self, tmp_path, gups_trace, isolated_engine):
+        settings = ExperimentSettings(scale=256, trace_length=1_000)
+        cell = (TRACE_PREFIX + gups_trace, "mehpt", False)
+        base, cacheable = cell_key("perf", settings, cell, {})
+        assert cacheable
+        renamed = str(tmp_path / "elsewhere.vpt")
+        os.link(gups_trace, renamed)
+        moved = (TRACE_PREFIX + renamed, "mehpt", False)
+        assert cell_key("perf", settings, moved, {})[0] == base
+
+    def test_cell_key_tracks_trace_content(self, tmp_path, gups_trace,
+                                           isolated_engine):
+        settings = ExperimentSettings(scale=256, trace_length=1_000)
+        base, _ = cell_key(
+            "perf", settings, (TRACE_PREFIX + gups_trace, "mehpt", False), {}
+        )
+        other = write_trace(tmp_path / "o.vpt", random_walk(2_000))
+        different, _ = cell_key(
+            "perf", settings, (TRACE_PREFIX + other, "mehpt", False), {}
+        )
+        assert different != base
+
+    def test_synthetic_apps_key_on_their_name(self, isolated_engine):
+        settings = ExperimentSettings(scale=256, trace_length=1_000)
+        gups, _ = cell_key("perf", settings, ("GUPS", "mehpt", False), {})
+        bfs, _ = cell_key("perf", settings, ("BFS", "mehpt", False), {})
+        assert gups != bfs
+
+    def test_renamed_trace_still_hits_the_disk_cache(self, tmp_path,
+                                                     gups_trace,
+                                                     isolated_engine):
+        """Satellite acceptance: moving a trace file must not invalidate
+        cached sweep results, because the key is the content hash."""
+        cache_dir = str(tmp_path / "cache")
+        engine_mod.configure(cache_dir=cache_dir)
+        settings = ExperimentSettings(
+            scale=RECORD_SCALE, trace_length=RECORD_LEN,
+            apps=(TRACE_PREFIX + gups_trace,),
+        )
+        cold = perf_sweep(settings, organizations=("radix",),
+                          thp_options=(False,))
+        assert engine_mod.get_engine().cache_stats()["stores"] == 1
+
+        renamed = str(tmp_path / "renamed.vpt")
+        os.link(gups_trace, renamed)
+        clear_caches()
+        engine_mod.set_engine(SweepEngine(cache_dir=cache_dir))
+        moved = dataclasses.replace(settings, apps=(TRACE_PREFIX + renamed,))
+        warm = perf_sweep(moved, organizations=("radix",), thp_options=(False,))
+        stats = engine_mod.get_engine().cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 0
+        cold_result = cold[(TRACE_PREFIX + gups_trace, "radix", False)]
+        warm_result = warm[(TRACE_PREFIX + renamed, "radix", False)]
+        assert warm_result == cold_result
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+class TestCli:
+    def test_record_info_validate(self, tmp_path, capsys):
+        out = str(tmp_path / "cli.vpt")
+        assert cli_main(["record", "-w", "GUPS", "-n", "1000", "-o", out,
+                         "--scale", "1024"]) == 0
+        assert cli_main(["info", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "GUPS" in stdout and "records:      1000" in stdout
+        assert cli_main(["validate", out]) == 0
+
+    def test_validate_fails_on_corruption(self, tmp_path, capsys):
+        out = str(tmp_path / "cli.vpt")
+        cli_main(["record", "-w", "GUPS", "-n", "1000", "-o", out])
+        flip_byte(out, payload_offset(out))
+        assert cli_main(["validate", out]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_convert_csv(self, tmp_path, capsys):
+        src = tmp_path / "addrs.csv"
+        src.write_text("0x1000\n0x2000\n0x3000\n")
+        out = str(tmp_path / "conv.vpt")
+        assert cli_main(["convert", str(src), "-o", out,
+                         "--format", "csv", "--name", "mini"]) == 0
+        with TraceReader(out) as reader:
+            assert reader.total_values == 3
+
+    def test_transform(self, tmp_path, gups_trace, capsys):
+        out = str(tmp_path / "half.vpt")
+        assert cli_main(["transform", gups_trace, "-o", out,
+                         "--truncate", "400", "--rescale", "1/2"]) == 0
+        with TraceReader(out) as reader:
+            assert reader.total_values == 400
+
+    def test_errors_exit_nonzero(self, tmp_path, capsys):
+        assert cli_main(["record", "-w", "GUSP", "-n", "10",
+                         "-o", str(tmp_path / "x.vpt")]) == 1
+        assert "did you mean" in capsys.readouterr().err
+        assert cli_main(["info", str(tmp_path / "missing.vpt")]) == 1
