@@ -1,0 +1,94 @@
+"""Hot-path microbenchmark: scalar vs vectorized engine on a recorded trace.
+
+Replays the same ``.vpt`` trace through both simulation engines, checks
+the results are bit-identical, and records accesses/sec for each in
+``benchmarks/output/BENCH_hotpath.json`` so the speedup is tracked over
+time.  The trace-replay scenario is the fast path's headline case: the
+binary chunk reads feed the batched probes directly, with no generator
+work in the loop.
+
+Two environment knobs let CI run a cheaper configuration:
+
+* ``HOTPATH_EVENTS`` — trace length (default 1000000).
+* ``HOTPATH_MIN_SPEEDUP`` — required vectorized/scalar throughput ratio
+  (default 5.0, the paper-repro target; the CI perf-smoke job relaxes
+  it to 1.0 on a small trace, asserting only that vectorized wins).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import TranslationSimulator
+from repro.traces.record import record_workload
+from repro.traces.workload import TraceWorkload
+from repro.workloads import get_workload
+
+SCALE = 64
+SEED = 17
+TRACE_EVENTS = int(os.environ.get("HOTPATH_EVENTS", "1000000"))
+MIN_SPEEDUP = float(os.environ.get("HOTPATH_MIN_SPEEDUP", "5.0"))
+
+_OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    """Record a GUPS trace to a ``.vpt`` file once for the module."""
+    path = str(tmp_path_factory.mktemp("hotpath") / "gups.vpt")
+    workload = get_workload("GUPS", scale=SCALE, seed=SEED)
+    record_workload(workload, TRACE_EVENTS, path)
+    return path
+
+
+def _replay(trace_path, engine):
+    # THP keeps the demand-fault count to a few hundred 2MB regions, so
+    # the measured time is translation throughput, not fault handling.
+    config = SimulationConfig(
+        organization="mehpt", thp_enabled=True, scale=SCALE, engine=engine,
+    )
+    sim = TranslationSimulator(
+        TraceWorkload(trace_path), config, trace_length=TRACE_EVENTS,
+    )
+    start = time.perf_counter()
+    result = sim.run()
+    elapsed = time.perf_counter() - start
+    assert not result.failed
+    return result, elapsed
+
+
+def test_bench_hotpath_speedup(benchmark, trace_path):
+    scalar_result, scalar_s = _replay(trace_path, "scalar")
+    vector_result, vector_s = once(
+        benchmark, lambda: _replay(trace_path, "vectorized")
+    )
+    assert scalar_result == vector_result  # speed must not change answers
+
+    scalar_rate = TRACE_EVENTS / scalar_s
+    vector_rate = TRACE_EVENTS / vector_s
+    speedup = vector_rate / scalar_rate
+    payload = {
+        "workload": "GUPS trace replay",
+        "organization": "mehpt",
+        "thp": True,
+        "trace_events": TRACE_EVENTS,
+        "scalar_accesses_per_sec": round(scalar_rate),
+        "vectorized_accesses_per_sec": round(vector_rate),
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+    }
+    os.makedirs(_OUTPUT_DIR, exist_ok=True)
+    out = os.path.join(_OUTPUT_DIR, "BENCH_hotpath.json")
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\n{json.dumps(payload, indent=2)}\n[saved to {out}]")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"vectorized engine only {speedup:.2f}x scalar "
+        f"({vector_rate:,.0f} vs {scalar_rate:,.0f} accesses/sec)"
+    )

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Callable, List
 
+import numpy as np
+
 _MASK64 = (1 << 64) - 1
 
 # ---------------------------------------------------------------------------
@@ -72,6 +74,21 @@ def mix64(value: int, seed: int = 0) -> int:
     z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
     return z ^ (z >> 31)
+
+
+def mix64_array(values: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorized :func:`mix64` over a non-negative integer array.
+
+    Element ``i`` of the result equals ``mix64(int(values[i]), seed)``
+    exactly (uint64 arithmetic wraps mod 2**64 just like the masked
+    scalar); the batched THP sizer relies on this bit-identity.
+    """
+    offset = np.uint64((seed * 0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15) & _MASK64)
+    with np.errstate(over="ignore"):
+        z = values.astype(np.uint64) + offset
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return z ^ (z >> np.uint64(31))
 
 
 class HashFamily:

@@ -1,6 +1,8 @@
 """MMU hardware models: TLBs, the TLB hierarchy, and walk plumbing.
 
 * :mod:`repro.mmu.tlb` — set-associative LRU TLBs.
+* :mod:`repro.mmu.tlb_array` — numpy-matrix TLB state with exact
+  batched LRU probes (the vectorized engine's hot path).
 * :mod:`repro.mmu.hierarchy` — the Table III two-level TLB organization
   (per-page-size L1s, big L2s) plus miss routing to a page walker.
 * :mod:`repro.mmu.walk` — the walker interface shared by the radix, ECPT
@@ -9,6 +11,13 @@
 
 from repro.mmu.hierarchy import TlbHierarchy, TranslationOutcome
 from repro.mmu.tlb import SetAssociativeTlb
+from repro.mmu.tlb_array import ArrayTlb
 from repro.mmu.walk import WalkResult
 
-__all__ = ["SetAssociativeTlb", "TlbHierarchy", "TranslationOutcome", "WalkResult"]
+__all__ = [
+    "ArrayTlb",
+    "SetAssociativeTlb",
+    "TlbHierarchy",
+    "TranslationOutcome",
+    "WalkResult",
+]

@@ -59,6 +59,18 @@ class TlbHierarchy:
             size: SetAssociativeTlb(f"L2-{size}", *geom)
             for size, geom in l2_geometry.items()
         }
+        #: Cycles a full miss pays for its L2 probe — the slowest L2 TLB,
+        #: since the per-size L2s are probed in parallel.  Precomputed:
+        #: the per-miss ``max()`` over the dict showed up in profiles.
+        self.l2_miss_probe_cycles = max(t.hit_cycles for t in self.l2.values())
+        # Probe lists with the page shift resolved once per TLB, so the
+        # hot loop does no dict lookups in PAGE_SHIFT.
+        self._l1_probes = [
+            (size, tlb, PAGE_SHIFT[size]) for size, tlb in self.l1.items()
+        ]
+        self._l2_probes = [
+            (size, tlb, PAGE_SHIFT[size]) for size, tlb in self.l2.items()
+        ]
         self.translations = 0
         self.l1_hits = 0
         self.l2_hits = 0
@@ -77,18 +89,18 @@ class TlbHierarchy:
         """
         self.translations += 1
         # All per-size L1 TLBs are probed in parallel; a hit is free.
-        for page_size, tlb in self.l1.items():
-            if tlb.lookup(self._page_number(vpn, page_size)):
+        for page_size, tlb, shift in self._l1_probes:
+            if tlb.lookup(vpn >> shift):
                 self.l1_hits += 1
                 return TranslationOutcome("l1", 0, page_size)
         # L2 TLBs (also parallel): one fixed latency on a hit.
-        for page_size, tlb in self.l2.items():
-            if tlb.lookup(self._page_number(vpn, page_size)):
+        for page_size, tlb, shift in self._l2_probes:
+            if tlb.lookup(vpn >> shift):
                 self.l2_hits += 1
-                self.l1[page_size].fill(self._page_number(vpn, page_size))
+                self.l1[page_size].fill(vpn >> shift)
                 return TranslationOutcome("l2", tlb.hit_cycles, page_size)
         # Full miss: pay the L2 probe, then walk.
-        l2_cycles = max(tlb.hit_cycles for tlb in self.l2.values())
+        l2_cycles = self.l2_miss_probe_cycles
         walk = self.walker.walk(vpn)
         self.walks += 1
         cycles = l2_cycles + walk.cycles

@@ -36,37 +36,47 @@ class SetAssociativeTlb:
         self.hits = 0
         self.misses = 0
 
+    @staticmethod
+    def _touch(entries: List[int], index: int, page_number: int) -> None:
+        # Rotate the MRU prefix in place: one slice copy instead of the
+        # remove()+insert() pair, which each rescan the set.
+        entries[1 : index + 1] = entries[0:index]
+        entries[0] = page_number
+
     def lookup(self, page_number: int) -> bool:
         """Probe for ``page_number``; updates LRU and counters."""
         entries = self._sets[page_number & self._set_mask]
-        if page_number in entries:
-            if entries[0] != page_number:
-                entries.remove(page_number)
-                entries.insert(0, page_number)
-            self.hits += 1
-            return True
-        self.misses += 1
-        return False
+        try:
+            index = entries.index(page_number)
+        except ValueError:
+            self.misses += 1
+            return False
+        if index:
+            self._touch(entries, index, page_number)
+        self.hits += 1
+        return True
 
     def fill(self, page_number: int) -> None:
         """Install ``page_number``, evicting LRU on conflict."""
         entries = self._sets[page_number & self._set_mask]
-        if page_number in entries:
-            if entries[0] != page_number:
-                entries.remove(page_number)
-                entries.insert(0, page_number)
+        try:
+            index = entries.index(page_number)
+        except ValueError:
+            entries.insert(0, page_number)
+            if len(entries) > self.ways:
+                entries.pop()
             return
-        entries.insert(0, page_number)
-        if len(entries) > self.ways:
-            entries.pop()
+        if index:
+            self._touch(entries, index, page_number)
 
     def invalidate(self, page_number: int) -> bool:
         """Drop ``page_number`` if present (TLB shootdown)."""
         entries = self._sets[page_number & self._set_mask]
-        if page_number in entries:
-            entries.remove(page_number)
-            return True
-        return False
+        try:
+            del entries[entries.index(page_number)]
+        except ValueError:
+            return False
+        return True
 
     def flush(self) -> None:
         """Drop everything (full shootdown / context switch without ASID)."""

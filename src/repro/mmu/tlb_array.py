@@ -1,0 +1,381 @@
+"""Array-backed set-associative LRU TLB state with exact batched probes.
+
+This module is the arithmetic core of the vectorized simulation engine
+(:mod:`repro.sim.fastpath`).  An :class:`ArrayTlb` mirrors one
+:class:`~repro.mmu.tlb.SetAssociativeTlb` as numpy matrices — ``sets x
+ways`` int64 tags and uint8 LRU ages — and resolves a whole chunk of
+probes at once while reproducing the scalar TLB's hit/miss decisions
+*bit-exactly*.
+
+Why an offline computation is possible at all
+---------------------------------------------
+During a simulation run every access to a TLB ends with its tag at the
+MRU position of that TLB (a lookup hit moves it there; every miss path
+fills it there).  Under that invariant a W-way LRU set contains exactly
+the W most-recently-accessed distinct tags of its set, so whether access
+``i`` hits is a pure function of the probe stream: it hits iff its tag
+was accessed before and the number of distinct tags accessed in the same
+set since that previous access (inclusive) is at most W.  That count is
+a classic LRU stack distance, which :func:`prefix_rank_counts` computes
+for a whole chunk with a merge-tree of sorted prefixes — no per-access
+Python, no simulation of individual evictions.
+
+The derivation used by :meth:`ArrayTlb.batch_probe`: number the accesses
+of each set consecutively (``R`` coordinates, offset per set so they are
+globally unique), let ``P[i]`` be the coordinate of access ``i``'s
+previous same-tag access (or ``set_base - 1`` when none) and ``Q`` the
+``P`` values laid out in coordinate order.  Because ``Q[u] < u`` always,
+the distinct-tag count of the window equals ``rank(R[i], P[i]) - P[i]``
+where ``rank(K, X) = #{u < K : Q[u] < X}`` — one prefix-rank query per
+candidate access.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import is_power_of_two
+from repro.mmu.tlb import SetAssociativeTlb
+
+#: Age value marking an empty way in :attr:`ArrayTlb.ages`.
+EMPTY_AGE = 255
+
+
+def prefix_rank_counts(
+    values: np.ndarray, bounds: np.ndarray, thresholds: np.ndarray
+) -> np.ndarray:
+    """For each query ``j``: ``#{u < bounds[j] : values[u] < thresholds[j]}``.
+
+    Fully vectorized offline dominance counting.  The prefix ``[0,
+    bounds[j])`` is decomposed into the canonical power-of-two blocks of
+    a bottom-up merge tree; each level keeps only its own sorted blocks
+    in memory (one array of ``values``' padded size), built from the
+    previous level with a stable row sort — numpy's timsort detects the
+    two pre-sorted halves, so each merge is linear.  Per level, all
+    queries whose decomposition uses that block width are answered with
+    a single ``searchsorted`` over the level flattened with a per-block
+    offset stride (block ``k``'s entries live in ``[k*stride,
+    (k+1)*stride)``, so one globally sorted array answers every block's
+    query at once).
+
+    ``values`` may contain entries as small as ``-1``; ``bounds`` must
+    be in ``[0, len(values)]`` and ``thresholds`` in ``[-1,
+    len(values))``.
+    """
+    n = int(values.size)
+    counts = np.zeros(bounds.size, dtype=np.int64)
+    if n == 0 or bounds.size == 0:
+        return counts
+    levels = max(0, int(n - 1).bit_length())
+    size = 1 << levels
+    stride = np.int64(size + 2)
+    cur = np.full(size, size, dtype=np.int64)
+    cur[:n] = values
+    k_arr = bounds.astype(np.int64)
+    x_arr = thresholds.astype(np.int64)
+    block_offsets = np.arange(size, dtype=np.int64)
+    for level in range(levels + 1):
+        width = 1 << level
+        mask = (k_arr >> level) & 1 == 1
+        if mask.any():
+            prefix = (k_arr[mask] >> (level + 1)) << (level + 1)
+            block = prefix >> level
+            flat = cur + (block_offsets >> level) * stride
+            pos = np.searchsorted(flat, block * stride + x_arr[mask], side="left")
+            counts[mask] += pos - prefix
+        if width < size:
+            cur = np.sort(cur.reshape(-1, width * 2), axis=1, kind="stable").ravel()
+    return counts
+
+
+class ArrayTlb:
+    """Numpy mirror of a :class:`~repro.mmu.tlb.SetAssociativeTlb`.
+
+    ``tags`` is a ``sets x ways`` int64 matrix (-1 = empty way); ``ages``
+    holds each way's LRU age (0 = MRU, :data:`EMPTY_AGE` = empty).  Way
+    *positions* are arbitrary — equivalence with the list implementation
+    is defined on set contents in recency order (:meth:`resident`).
+
+    The scalar methods (:meth:`lookup`, :meth:`fill`,
+    :meth:`invalidate`, :meth:`flush`) replicate the list TLB's exact
+    semantics and exist for unit-level equivalence testing; the
+    simulation fast path only uses :meth:`batch_probe` plus
+    :meth:`from_tlb` / :meth:`write_back` at the run boundaries.
+    """
+
+    def __init__(self, name: str, entries: int, ways: int, hit_cycles: int) -> None:
+        if entries % ways != 0:
+            raise ConfigurationError(f"{name}: {entries} entries not divisible by {ways} ways")
+        sets = entries // ways
+        if not is_power_of_two(sets):
+            raise ConfigurationError(f"{name}: set count {sets} is not a power of two")
+        if ways >= EMPTY_AGE:
+            raise ConfigurationError(f"{name}: {ways} ways overflow uint8 LRU ages")
+        self.name = name
+        self.entries = entries
+        self.ways = ways
+        self.hit_cycles = hit_cycles
+        self.num_sets = sets
+        self._set_mask = sets - 1
+        self.tags = np.full((sets, ways), -1, dtype=np.int64)
+        self.ages = np.full((sets, ways), EMPTY_AGE, dtype=np.uint8)
+        self.hits = 0
+        self.misses = 0
+
+    # -- construction / synchronisation ---------------------------------
+
+    @classmethod
+    def from_tlb(cls, tlb: SetAssociativeTlb) -> "ArrayTlb":
+        """Snapshot a list TLB's geometry, contents and counters."""
+        arr = cls(tlb.name, tlb.entries, tlb.ways, tlb.hit_cycles)
+        for set_index, entries in enumerate(tlb._sets):
+            for age, page_number in enumerate(entries):
+                arr.tags[set_index, age] = page_number
+                arr.ages[set_index, age] = age
+        arr.hits = tlb.hits
+        arr.misses = tlb.misses
+        return arr
+
+    def write_back(self, tlb: SetAssociativeTlb) -> None:
+        """Install this state's contents into ``tlb`` (recency order)."""
+        for set_index in range(self.num_sets):
+            tlb._sets[set_index] = self.resident(set_index)
+
+    def resident(self, set_index: int) -> List[int]:
+        """The set's tags in MRU-first order (the list TLB's layout)."""
+        row = self.tags[set_index]
+        occupied = row >= 0
+        order = np.argsort(self.ages[set_index][occupied], kind="stable")
+        return [int(tag) for tag in row[occupied][order]]
+
+    # -- scalar operations (oracle-equivalent) ---------------------------
+
+    def _find(self, set_index: int, page_number: int) -> int:
+        ways = np.flatnonzero(self.tags[set_index] == page_number)
+        return int(ways[0]) if ways.size else -1
+
+    def _touch(self, set_index: int, way: int) -> None:
+        ages = self.ages[set_index]
+        age = ages[way]
+        younger = (self.tags[set_index] >= 0) & (ages < age)
+        ages[younger] += 1
+        ages[way] = 0
+
+    def lookup(self, page_number: int) -> bool:
+        """Probe for ``page_number``; updates LRU order and counters."""
+        set_index = page_number & self._set_mask
+        way = self._find(set_index, page_number)
+        if way < 0:
+            self.misses += 1
+            return False
+        self._touch(set_index, way)
+        self.hits += 1
+        return True
+
+    def fill(self, page_number: int) -> None:
+        """Install ``page_number``, evicting the LRU way on conflict."""
+        set_index = page_number & self._set_mask
+        way = self._find(set_index, page_number)
+        if way >= 0:
+            self._touch(set_index, way)
+            return
+        row = self.tags[set_index]
+        ages = self.ages[set_index]
+        occupied = row >= 0
+        if occupied.all():
+            way = int(np.argmax(ages))
+        else:
+            way = int(np.argmax(~occupied))
+        ages[occupied] += 1
+        row[way] = page_number
+        ages[way] = 0
+
+    def invalidate(self, page_number: int) -> bool:
+        """Drop ``page_number`` if present, closing the LRU age gap."""
+        set_index = page_number & self._set_mask
+        way = self._find(set_index, page_number)
+        if way < 0:
+            return False
+        ages = self.ages[set_index]
+        older = (self.tags[set_index] >= 0) & (ages > ages[way])
+        ages[older] -= 1
+        self.tags[set_index, way] = -1
+        ages[way] = EMPTY_AGE
+        return True
+
+    def flush(self) -> None:
+        """Drop everything."""
+        self.tags.fill(-1)
+        self.ages.fill(EMPTY_AGE)
+
+    def occupancy(self) -> int:
+        """Number of valid entries across all sets."""
+        return int((self.tags >= 0).sum())
+
+    def hit_rate(self) -> float:
+        """Fraction of probes that hit (0.0 before any probe)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- batched probing -------------------------------------------------
+
+    def batch_probe(self, page_numbers: np.ndarray) -> np.ndarray:
+        """Resolve a probe stream's hits exactly; advance to the end state.
+
+        Returns a bool array: element ``i`` is True iff the scalar TLB,
+        fed ``page_numbers`` one at a time under the leave-at-MRU
+        invariant (every access — hit or filled miss — ends at MRU),
+        would hit on access ``i``.  ``tags``/``ages`` afterwards hold
+        the state after the whole stream; hit/miss *counters* are not
+        touched (the engine owns them — the probe cascade decides which
+        TLBs an access reaches).
+
+        The computation: a synthetic prologue (the current residents of
+        every set, oldest first) is prepended so carried-over state
+        participates; per-set substream coordinates and previous-
+        occurrence links are built with two stable argsorts; windows no
+        longer than ``ways`` are accepted outright; the rest get one
+        :func:`prefix_rank_counts` query each.
+        """
+        pn = np.ascontiguousarray(page_numbers, dtype=np.int64)
+        hits = np.zeros(pn.size, dtype=bool)
+        if pn.size == 0:
+            return hits
+        sets = (pn & np.int64(self._set_mask)).astype(np.int32)
+        occ_set, occ_way = np.nonzero(self.tags >= 0)
+        if occ_set.size:
+            order = np.lexsort(
+                (-self.ages[occ_set, occ_way].astype(np.int64), occ_set)
+            )
+            pro_pn = self.tags[occ_set, occ_way][order]
+            pro_set = occ_set[order].astype(np.int32)
+        else:
+            pro_pn = np.empty(0, dtype=np.int64)
+            pro_set = np.empty(0, dtype=np.int32)
+        p0 = int(pro_pn.size)
+        all_pn = np.concatenate([pro_pn, pn])
+        all_set = np.concatenate([pro_set, sets])
+        m = int(all_pn.size)
+
+        # Per-set substream coordinates, offset by the set's base so
+        # they are globally unique and ordered within each set.  All
+        # coordinate arithmetic is int32 (a chunk is far below 2**31):
+        # the radix argsort, the window gathers and the merge tree are
+        # memory-bound, so the narrow dtype is a real speedup.
+        by_set = np.argsort(all_set, kind="stable")
+        coord = np.empty(m, dtype=np.int32)
+        coord[by_set] = np.arange(m, dtype=np.int32)
+        set_counts = np.bincount(all_set, minlength=self.num_sets)
+        set_base = np.zeros(self.num_sets, dtype=np.int32)
+        np.cumsum(set_counts[:-1], out=set_base[1:])
+
+        # Previous occurrence of the same tag (same tag => same set).
+        by_tag = np.argsort(all_pn, kind="stable")
+        same = all_pn[by_tag][1:] == all_pn[by_tag][:-1]
+        prev = np.full(m, -1, dtype=np.int64)
+        prev[by_tag[1:][same]] = by_tag[:-1][same]
+        has_prev = prev >= 0
+        window_start = np.where(
+            has_prev, coord[np.where(has_prev, prev, 0)],
+            set_base[all_set] - np.int32(1),
+        ).astype(np.int32)
+        ordered_starts = np.empty(m, dtype=np.int32)
+        ordered_starts[coord] = window_start
+
+        candidates = np.flatnonzero(has_prev[p0:]) + p0
+        if candidates.size:
+            ends = coord[candidates]
+            starts = window_start[candidates]
+            # Window of <= ways accesses holds <= ways distinct tags.
+            short = (ends - starts) <= self.ways
+            hits[candidates[short] - p0] = True
+            rest = candidates[~short]
+            if rest.size:
+                self._resolve_windows(
+                    hits, p0, ordered_starts, rest,
+                    coord[rest], window_start[rest],
+                )
+        self._apply_end_state(all_pn, all_set, coord, by_tag, same)
+        return hits
+
+    def _resolve_windows(
+        self,
+        hits: np.ndarray,
+        p0: int,
+        ordered_starts: np.ndarray,
+        rest: np.ndarray,
+        ends: np.ndarray,
+        starts: np.ndarray,
+    ) -> None:
+        """Decide ``distinct tags in [starts, ends) <= ways`` per query.
+
+        Two-tier: a direct gather over the window's last ``C`` accesses
+        settles most queries in O(C) vectorized work — exactly, when the
+        window fits in ``C`` columns, and as an exact *reject* when the
+        suffix alone already shows more than ``ways`` distinct tags
+        (distinct counts only grow with the window).  Only windows that
+        are long yet recently tag-poor — rare in practice — pay for a
+        :func:`prefix_rank_counts` merge-tree query.
+        """
+        span = min(max(4 * self.ways, 16), 64)
+        offs = np.arange(-span, 0, dtype=np.int32)[None, :]
+        direct = (ends - starts) <= span
+        # An access is its window's first sighting of a tag iff its own
+        # previous occurrence lies before the window: distinct = count.
+        if direct.any():
+            # Whole window fits in ``span`` columns: count it exactly,
+            # masking gather slots that fall before the window start.
+            d_ends = ends[direct]
+            d_lo = starts[direct][:, None]
+            idx = d_ends[:, None] + offs
+            cnt = (
+                (ordered_starts[np.maximum(idx, 0)] < d_lo) & (idx >= d_lo)
+            ).sum(axis=1, dtype=np.int32)
+            hits[rest[direct] - p0] = cnt <= self.ways
+        suffix = ~direct
+        if suffix.any():
+            # Longer window: every gather slot is in-window, so no mask.
+            # More than ``ways`` distinct tags in the suffix alone proves
+            # a miss; otherwise the full window needs a merge-tree query.
+            s_ends = ends[suffix]
+            s_lo = s_ends - np.int32(span)
+            cnt = (
+                ordered_starts[s_ends[:, None] + offs] < s_lo[:, None]
+            ).sum(axis=1, dtype=np.int32)
+            deep = cnt <= self.ways
+            if deep.any():
+                sel = rest[suffix][deep]
+                ranks = prefix_rank_counts(
+                    ordered_starts, s_ends[deep], starts[suffix][deep]
+                )
+                hits[sel - p0] = (ranks - starts[suffix][deep]) <= self.ways
+
+    def _apply_end_state(
+        self,
+        all_pn: np.ndarray,
+        all_set: np.ndarray,
+        coord: np.ndarray,
+        by_tag: np.ndarray,
+        same: np.ndarray,
+    ) -> None:
+        """Set each set to its top-``ways`` tags by last access recency."""
+        last_mask = np.empty(by_tag.size, dtype=bool)
+        last_mask[:-1] = ~same
+        last_mask[-1] = True
+        last = by_tag[last_mask]
+        last_sets = all_set[last]
+        order = np.lexsort((-coord[last], last_sets))
+        sorted_sets = last_sets[order]
+        sorted_tags = all_pn[last][order]
+        first_of_set = np.searchsorted(
+            sorted_sets, np.arange(self.num_sets, dtype=np.int64)
+        )
+        rank = np.arange(sorted_sets.size, dtype=np.int64) - first_of_set[sorted_sets]
+        keep = rank < self.ways
+        self.tags.fill(-1)
+        self.ages.fill(EMPTY_AGE)
+        self.tags[sorted_sets[keep], rank[keep]] = sorted_tags[keep]
+        self.ages[sorted_sets[keep], rank[keep]] = rank[keep].astype(np.uint8)

@@ -5,6 +5,8 @@
   for any organization at any footprint scale.
 * :mod:`repro.sim.simulator` — the per-access simulation loop and the
   footprint populator used by the memory experiments.
+* :mod:`repro.sim.fastpath` — the vectorized batched engine
+  (bit-identical results, selected via ``SimulationConfig.engine``).
 * :mod:`repro.sim.results` — result containers, the differential
   performance model (cycles per access), and speedup computation.
 """

@@ -45,6 +45,9 @@ from repro.workloads.base import Workload
 
 ORGANIZATIONS = ("radix", "ecpt", "mehpt")
 
+#: Valid values for :attr:`SimulationConfig.engine`.
+ENGINES = ("auto", "scalar", "vectorized")
+
 
 @dataclass
 class SimulationConfig:
@@ -121,6 +124,14 @@ class SimulationConfig:
     # as a TraceWorkload and replayed instead of a synthetic generator.
     trace_file: Optional[str] = None
 
+    # Simulation engine (repro.sim.fastpath).  "auto" picks the
+    # vectorized batched engine unless event tracing is enabled (events
+    # need exact per-access ordering, which only the scalar loop
+    # produces); "scalar"/"vectorized" force one.  Results are
+    # bit-identical either way, so this knob is deliberately absent from
+    # the sweep engine's cache keys.
+    engine: str = "auto"
+
     def __post_init__(self) -> None:
         if self.obs is not None:
             self.obs.validate()
@@ -145,6 +156,38 @@ class SimulationConfig:
                 f"invariant_check_every {self.invariant_check_every} must be >= 0",
                 field="invariant_check_every", value=self.invariant_check_every,
             )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"engine {self.engine!r} not in {ENGINES}",
+                field="engine", value=self.engine,
+            )
+
+    def tracing_enabled(self) -> bool:
+        """Whether an event trace sink (file or ring buffer) is configured."""
+        return self.obs is not None and (
+            self.obs.trace_path is not None or self.obs.trace_buffer is not None
+        )
+
+    def resolve_engine(self) -> str:
+        """The engine the simulator will actually run: scalar or vectorized.
+
+        ``auto`` selects the vectorized engine unless tracing is on.
+        Forcing ``vectorized`` together with tracing is a contradiction —
+        batched execution cannot emit per-access-ordered events — and
+        raises :class:`ConfigurationError`.
+        """
+        if self.engine == "scalar":
+            return "scalar"
+        tracing = self.tracing_enabled()
+        if self.engine == "vectorized":
+            if tracing:
+                raise ConfigurationError(
+                    "engine='vectorized' cannot produce per-access event "
+                    "traces; use engine='scalar' (or 'auto') with tracing",
+                    field="engine", value=self.engine,
+                )
+            return "vectorized"
+        return "scalar" if tracing else "vectorized"
 
     # -- scaled parameters -------------------------------------------------
 

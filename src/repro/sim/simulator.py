@@ -16,6 +16,7 @@ Two entry points:
 from __future__ import annotations
 
 import logging
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.errors import (
@@ -42,6 +43,33 @@ logger = logging.getLogger(__name__)
 #: paper's contiguous-allocation failure, a cuckoo table stuck despite
 #: emergency resizes, and an exhausted chunk ladder.
 ABORT_ERRORS = (ContiguousAllocationError, TableFullError, L2POverflowError)
+
+#: Pages per chunk when iterating a footprint's page set.
+POPULATE_CHUNK_PAGES = 65536
+
+#: Default trace events per streamed chunk (both engines).
+DEFAULT_TRACE_CHUNK = 65536
+
+
+@dataclass
+class LoopOutcome:
+    """What one engine's trace loop produced, independent of engine.
+
+    Both the scalar loop and :func:`repro.sim.fastpath.run_vectorized`
+    return this; :meth:`TranslationSimulator.run` assembles the final
+    :class:`~repro.sim.results.PerformanceResult` from it plus the
+    system's counters, so the two engines share all result accounting.
+    """
+
+    events_done: int = 0
+    total_cycles: float = 0.0
+    warm_cycles: float = 0.0
+    warm_l1: int = 0
+    warm_l2: int = 0
+    warm_walks: int = 0
+    warm_faults: int = 0
+    failed: bool = False
+    reason: str = ""
 
 
 def check_system_invariants(system: SimulatedSystem, progress: int) -> None:
@@ -73,18 +101,24 @@ def populate_tables(system: SimulatedSystem, progress_every: int = 0) -> None:
     translate = tables.translate
     fault = aspace.handle_fault
     check_every = system.config.invariant_check_every
+    page_set = system.workload.page_set()
     pages = 0
-    for i, vpn in enumerate(system.workload.page_set()):
-        vpn = int(vpn)
-        if translate(vpn) is None:
-            fault(vpn)
-        if check_every and i % check_every == 0 and i:
-            check_system_invariants(system, i)
-        if progress_every and i % progress_every == 0 and i:
-            # logging, not print: parallel sweep workers would otherwise
-            # interleave progress lines on the shared stdout.
-            logger.info("populated %d pages...", i)
-        pages = i + 1
+    i = 0
+    # Chunked iteration: one bulk tolist() per slice hands the loop
+    # native ints without materializing a full-footprint Python list.
+    for start in range(0, len(page_set), POPULATE_CHUNK_PAGES):
+        block = page_set[start : start + POPULATE_CHUNK_PAGES]
+        for vpn in block.tolist() if hasattr(block, "tolist") else map(int, block):
+            if translate(vpn) is None:
+                fault(vpn)
+            if check_every and i % check_every == 0 and i:
+                check_system_invariants(system, i)
+            if progress_every and i % progress_every == 0 and i:
+                # logging, not print: parallel sweep workers would otherwise
+                # interleave progress lines on the shared stdout.
+                logger.info("populated %d pages...", i)
+            i += 1
+            pages = i
     if check_every:
         check_system_invariants(system, -1)
     if progress_every:
@@ -177,6 +211,7 @@ class TranslationSimulator:
         config: SimulationConfig,
         trace_length: int = 200_000,
         warmup_fraction: float = 0.0,
+        engine_chunk: Optional[int] = None,
     ) -> None:
         if workload is None:
             # Trace-driven path: the config names a .vpt file to replay.
@@ -192,32 +227,104 @@ class TranslationSimulator:
                 f"measured window must be non-empty",
                 field="warmup_fraction", value=warmup_fraction,
             )
+        if engine_chunk is not None and engine_chunk < 1:
+            raise ConfigurationError(
+                f"engine_chunk {engine_chunk} must be >= 1",
+                field="engine_chunk", value=engine_chunk,
+            )
         self.workload = workload
         self.config = config
         self.trace_length = trace_length
         self.warmup_fraction = warmup_fraction
+        #: Trace events fed to the engine per chunk (None = the engine
+        #: default).  Results are chunk-size invariant; tests use small
+        #: chunks to exercise boundary handling.
+        self.engine_chunk = engine_chunk
         self.system: Optional[SimulatedSystem] = None
+
+    def _scalar_loop(
+        self, system: SimulatedSystem, warmup_events: int
+    ) -> LoopOutcome:
+        """The per-access reference engine (the oracle for equivalence).
+
+        Feeds from :meth:`~repro.workloads.base.Workload.trace_chunks`
+        so even scalar runs never materialize the whole trace.
+        """
+        tlb = system.tlb
+        aspace = system.address_space
+        obs = system.obs
+        out = LoopOutcome()
+        translate_fn = tlb.translate
+        fault_fn = aspace.handle_fault
+        check_every = self.config.invariant_check_every
+        # The sim-cycle clock only stamps trace events; skip the
+        # per-access advance when no trace sink is attached.
+        clock = (
+            obs.advance_clock
+            if obs is not None and obs.tracer is not None
+            else None
+        )
+        total_cycles = 0.0
+        events_done = 0
+        i = 0
+        try:
+            for chunk in self.workload.trace_chunks(
+                self.trace_length, self.engine_chunk or DEFAULT_TRACE_CHUNK
+            ):
+                for vpn in chunk.tolist():
+                    outcome = translate_fn(vpn)
+                    total_cycles += outcome.cycles
+                    if outcome.level == "fault":
+                        fault = fault_fn(vpn)
+                        tlb.fill(
+                            vpn if fault.page_size != "2M"
+                            else aspace.thp.region_base(vpn),
+                            fault.page_size,
+                        )
+                    if check_every and i % check_every == 0 and i:
+                        check_system_invariants(system, i)
+                    if clock is not None:
+                        # The sim-cycle clock is the accumulated translation
+                        # cost; events emitted while servicing access i carry
+                        # the clock at the access's start.
+                        clock(int(total_cycles))
+                    i += 1
+                    events_done = i
+                    if events_done == warmup_events:
+                        out.warm_cycles = total_cycles
+                        out.warm_l1, out.warm_l2 = tlb.l1_hits, tlb.l2_hits
+                        out.warm_walks, out.warm_faults = tlb.walks, tlb.faults
+                        if obs is not None:
+                            obs.emit(EVENT_MEASURE_START, event=events_done)
+        except ABORT_ERRORS as exc:
+            out.failed = True
+            out.reason = str(exc)
+            if not isinstance(exc, ContiguousAllocationError):
+                system.degradation.record(
+                    EVENT_ABORT, "trace", error=type(exc).__name__,
+                )
+        out.events_done = events_done
+        out.total_cycles = total_cycles
+        return out
 
     def run(self) -> PerformanceResult:
         """Simulate the trace; returns the performance measurements."""
         config = self.config
+        engine = config.resolve_engine()
         system = config.build(self.workload)
         self.system = system
         tlb = system.tlb
         aspace = system.address_space
         tables = system.page_tables
-        walker = system.walker
         obs = system.obs
-        failed = False
-        reason = ""
 
-        trace = self.workload.trace(self.trace_length)
         # The first ``warmup_fraction`` of the trace warms the TLBs and
         # page tables (translations and demand faults run normally) but
         # is excluded from the measured window: translation cycles, TLB
         # hit/walk/fault counters and the access count all start at the
-        # warmup boundary.
-        warmup_events = int(self.warmup_fraction * len(trace))
+        # warmup boundary.  Traces always deliver exactly trace_length
+        # events, so the boundary is known before streaming begins.
+        warmup_events = int(self.warmup_fraction * self.trace_length)
         if obs is not None:
             # The run_start payload carries every model constant the
             # repro.obs.report CLI needs to rebuild the differential
@@ -229,7 +336,7 @@ class TranslationSimulator:
                 thp=config.thp_enabled,
                 scale=config.scale,
                 seed=config.seed,
-                trace_events=len(trace),
+                trace_events=self.trace_length,
                 warmup_events=warmup_events,
                 sample_every=(
                     config.obs.trace_sample_every if config.obs is not None else 1
@@ -241,7 +348,7 @@ class TranslationSimulator:
                 l2p_cycles=config.l2p_cycles,
                 rehash_entry_cycles=config.rehash_entry_cycles,
                 fault_overhead_cycles=config.fault_overhead_cycles,
-                l2_hit_cycles=max(t.hit_cycles for t in tlb.l2.values()),
+                l2_hit_cycles=tlb.l2_miss_probe_cycles,
                 pt_alloc_cycles_at_start=(
                     0.0 if config.organization == "radix"
                     else tables.allocation_cycles()
@@ -249,52 +356,27 @@ class TranslationSimulator:
             )
             if warmup_events == 0:
                 obs.emit(EVENT_MEASURE_START, event=0)
-        events_done = 0
-        total_cycles = 0.0
-        warm_cycles = 0.0
-        warm_l1 = warm_l2 = warm_walks = warm_faults = 0
-        translate_fn = tlb.translate
-        fault_fn = aspace.handle_fault
-        check_every = config.invariant_check_every
-        try:
-            for i, vpn in enumerate(trace):
-                vpn = int(vpn)
-                outcome = translate_fn(vpn)
-                total_cycles += outcome.cycles
-                if outcome.level == "fault":
-                    fault = fault_fn(vpn)
-                    tlb.fill(
-                        vpn if fault.page_size != "2M" else aspace.thp.region_base(vpn),
-                        fault.page_size,
-                    )
-                if check_every and i % check_every == 0 and i:
-                    check_system_invariants(system, i)
-                if obs is not None:
-                    # The sim-cycle clock is the accumulated translation
-                    # cost; events emitted while servicing access i carry
-                    # the clock at the access's start.
-                    obs.advance_clock(int(total_cycles))
-                events_done = i + 1
-                if events_done == warmup_events:
-                    warm_cycles = total_cycles
-                    warm_l1, warm_l2 = tlb.l1_hits, tlb.l2_hits
-                    warm_walks, warm_faults = tlb.walks, tlb.faults
-                    if obs is not None:
-                        obs.emit(EVENT_MEASURE_START, event=events_done)
-        except ABORT_ERRORS as exc:
-            failed = True
-            reason = str(exc)
-            if not isinstance(exc, ContiguousAllocationError):
-                system.degradation.record(
-                    EVENT_ABORT, "trace", error=type(exc).__name__,
-                )
+
+        if engine == "vectorized":
+            from repro.sim.fastpath import run_vectorized
+
+            loop = run_vectorized(
+                system, self.workload, self.trace_length, warmup_events,
+                chunk_values=self.engine_chunk,
+            )
+        else:
+            loop = self._scalar_loop(system, warmup_events)
+        events_done = loop.events_done
+        total_cycles = loop.total_cycles
+        failed = loop.failed
+        reason = loop.reason
 
         if events_done >= warmup_events:
-            translation_cycles = total_cycles - warm_cycles
-            l1_hits = tlb.l1_hits - warm_l1
-            l2_hits = tlb.l2_hits - warm_l2
-            walks = tlb.walks - warm_walks
-            faults = tlb.faults - warm_faults
+            translation_cycles = total_cycles - loop.warm_cycles
+            l1_hits = tlb.l1_hits - loop.warm_l1
+            l2_hits = tlb.l2_hits - loop.warm_l2
+            walks = tlb.walks - loop.warm_walks
+            faults = tlb.faults - loop.warm_faults
         else:
             # Aborted inside the warmup window: nothing was measured.
             translation_cycles = 0.0

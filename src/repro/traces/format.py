@@ -444,14 +444,17 @@ class TraceReader:
             for vpn in chunk:
                 yield int(vpn)
 
-    def read(self, length: Optional[int] = None, loop: bool = False) -> np.ndarray:
-        """Materialize up to ``length`` VPNs (all of them when None).
+    def iter_window(
+        self, length: Optional[int] = None, loop: bool = False
+    ) -> Iterator[np.ndarray]:
+        """Stream the first ``length`` VPNs as chunk-sized arrays.
 
-        This is the one deliberately non-streaming entry point — the
-        trace-driven simulator consumes a whole window at once.  With
-        ``loop`` the stream restarts from the beginning until ``length``
-        records are produced; without it, asking for more records than
-        the trace holds raises :class:`ConfigurationError`.
+        The streaming counterpart of :meth:`read`: the concatenation of
+        the yielded arrays equals ``read(length, loop)``, but peak
+        memory stays O(chunk) — this is how the simulator replays
+        multi-million-record traces without materializing them.  The
+        same length/loop validation applies (asking for more records
+        than the trace holds requires ``loop``).
         """
         want = self.total_values if length is None else int(length)
         if want < 0:
@@ -468,15 +471,25 @@ class TraceReader:
             raise ConfigurationError(
                 f"trace {self.path} is empty", field="length", value=want
             )
-        parts: List[np.ndarray] = []
         have = 0
         while have < want:
             for chunk in self.iter_chunks():
                 take = min(chunk.size, want - have)
-                parts.append(chunk[:take])
+                yield chunk[:take]
                 have += take
                 if have >= want:
                     break
+
+    def read(self, length: Optional[int] = None, loop: bool = False) -> np.ndarray:
+        """Materialize up to ``length`` VPNs (all of them when None).
+
+        This is the one deliberately non-streaming entry point — the
+        trace-driven simulator consumes a whole window at once.  With
+        ``loop`` the stream restarts from the beginning until ``length``
+        records are produced; without it, asking for more records than
+        the trace holds raises :class:`ConfigurationError`.
+        """
+        parts: List[np.ndarray] = list(self.iter_window(length, loop=loop))
         if not parts:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(parts)

@@ -148,6 +148,21 @@ class TraceWorkload:
         with TraceReader(self.path, registry=self._registry) as reader:
             return reader.read(length, loop=self.loop)
 
+    def trace_chunks(self, length: int, chunk_values: int = 65536, seed_offset: int = 0):
+        """Stream the first ``length`` recorded VPNs chunk by chunk.
+
+        The vectorized engine's entry point: yields the trace in file-
+        chunk-sized int64 arrays straight off the reader, so a
+        multi-million-record replay never materializes the stream
+        (``chunk_values`` is accepted for signature compatibility with
+        :meth:`~repro.workloads.base.Workload.trace_chunks`; the file's
+        own chunking is used).  ``seed_offset`` is ignored, as in
+        :meth:`trace`.
+        """
+        del chunk_values, seed_offset
+        with TraceReader(self.path, registry=self._registry) as reader:
+            yield from reader.iter_window(length, loop=self.loop)
+
     def page_set(self) -> np.ndarray:
         """Sorted distinct VPNs the trace touches (cached after first use)."""
         if self._page_set is None:

@@ -169,14 +169,19 @@ class Workload:
 
     # -- traces ---------------------------------------------------------
 
-    def trace(self, length: int, seed_offset: int = 0) -> np.ndarray:
-        """Generate ``length`` VPN accesses following the spec's pattern."""
+    def _trace_runs(self, length: int, seed_offset: int):
+        """Yield the trace's constituent bursts, in order.
+
+        One shared generator backs both :meth:`trace` and
+        :meth:`trace_chunks`: the random stream is consumed identically,
+        so the concatenation of the yielded runs is byte-identical to a
+        single materialized trace of the same ``length``.
+        """
         pages = self.page_set()
         rng = np.random.default_rng(
             np.random.SeedSequence([self.seed, seed_offset, len(pages)])
         )
         pattern = self.spec.pattern
-        out = np.empty(length, dtype=np.int64)
         pos = 0
         n = len(pages)
         while pos < length:
@@ -185,12 +190,9 @@ class Workload:
                 run = min(pattern.run_length, length - pos)
                 start = int(rng.integers(0, n))
                 idx = (start + np.arange(run)) % n
-                out[pos : pos + run] = pages[idx]
-                pos += run
             elif draw < pattern.sequential + pattern.uniform:
                 run = min(64, length - pos)
-                out[pos : pos + run] = pages[rng.integers(0, n, size=run)]
-                pos += run
+                idx = rng.integers(0, n, size=run)
             else:
                 run = min(64, length - pos)
                 # Zipf-ish skew via a power-law index transform.
@@ -201,9 +203,44 @@ class Workload:
                 np.clip(idx, 0, n - 1, out=idx)
                 # Hash the rank so hot pages are scattered over the VA space.
                 idx = (idx * 2654435761) % n
-                out[pos : pos + run] = pages[idx]
-                pos += run
+            yield pages[idx]
+            pos += run
+
+    def trace(self, length: int, seed_offset: int = 0) -> np.ndarray:
+        """Generate ``length`` VPN accesses following the spec's pattern."""
+        out = np.empty(length, dtype=np.int64)
+        pos = 0
+        for burst in self._trace_runs(length, seed_offset):
+            out[pos : pos + burst.size] = burst
+            pos += burst.size
         return out
+
+    def trace_chunks(self, length: int, chunk_values: int = 65536, seed_offset: int = 0):
+        """Yield the same trace as :meth:`trace` in ``chunk_values`` pieces.
+
+        Peak memory is O(``chunk_values``) instead of O(``length``); the
+        concatenation of the yielded int64 arrays is byte-identical to
+        ``trace(length, seed_offset)``.  Every chunk except possibly the
+        last holds exactly ``chunk_values`` VPNs.
+        """
+        if chunk_values < 1:
+            raise ConfigurationError(
+                f"chunk_values {chunk_values} must be >= 1",
+                field="chunk_values", value=chunk_values,
+            )
+        pending: List[np.ndarray] = []
+        have = 0
+        for burst in self._trace_runs(length, seed_offset):
+            pending.append(burst)
+            have += burst.size
+            while have >= chunk_values:
+                buffered = np.concatenate(pending)
+                yield buffered[:chunk_values]
+                rest = buffered[chunk_values:]
+                pending = [rest] if rest.size else []
+                have = int(rest.size)
+        if have:
+            yield np.concatenate(pending)
 
     # -- reporting helpers -------------------------------------------------
 

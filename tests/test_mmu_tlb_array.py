@@ -1,0 +1,158 @@
+"""Unit tests for the array-backed TLB state (repro.mmu.tlb_array).
+
+The list-backed :class:`~repro.mmu.tlb.SetAssociativeTlb` is the oracle
+throughout: every scalar operation, every batched probe decision and the
+carried end state must match it exactly, because the vectorized engine's
+bit-identity guarantee rests on this module.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.mmu.tlb import SetAssociativeTlb
+from repro.mmu.tlb_array import EMPTY_AGE, ArrayTlb, prefix_rank_counts
+
+
+def reference_probe(state, ways, page_numbers, set_mask):
+    """Leave-at-MRU scalar model: returns hits, mutates ``state`` in place."""
+    hits = np.zeros(len(page_numbers), dtype=bool)
+    for i, pn in enumerate(page_numbers):
+        entries = state[pn & set_mask]
+        if pn in entries:
+            entries.remove(pn)
+            hits[i] = True
+        entries.insert(0, pn)
+        del entries[ways:]
+    return hits
+
+
+class TestPrefixRankCounts:
+    def test_brute_force(self):
+        rng = np.random.default_rng(7)
+        for _ in range(150):
+            n = int(rng.integers(1, 200))
+            values = rng.integers(-1, n, size=n).astype(np.int64)
+            q = int(rng.integers(1, 40))
+            bounds = rng.integers(0, n + 1, size=q).astype(np.int64)
+            thresholds = rng.integers(-1, n, size=q).astype(np.int64)
+            got = prefix_rank_counts(values, bounds, thresholds)
+            want = np.array(
+                [(values[:k] < x).sum() for k, x in zip(bounds, thresholds)]
+            )
+            assert np.array_equal(got, want)
+
+    def test_empty_inputs(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert prefix_rank_counts(empty, empty, empty).size == 0
+        values = np.array([0, 1], dtype=np.int64)
+        assert prefix_rank_counts(values, empty, empty).size == 0
+
+    def test_zero_bound_counts_nothing(self):
+        values = np.array([-1, 0, 1], dtype=np.int64)
+        got = prefix_rank_counts(
+            values, np.array([0, 3]), np.array([2, 2])
+        )
+        assert got.tolist() == [0, 3]
+
+
+class TestValidation:
+    def test_entries_must_divide_ways(self):
+        with pytest.raises(ConfigurationError):
+            ArrayTlb("t", 10, 4, 1)
+
+    def test_sets_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            ArrayTlb("t", 12, 4, 1)
+
+    def test_ways_must_fit_age_encoding(self):
+        with pytest.raises(ConfigurationError):
+            ArrayTlb("t", EMPTY_AGE * 256, EMPTY_AGE, 1)
+
+
+class TestScalarOpsMatchListTlb:
+    def test_random_op_sequences(self):
+        rng = np.random.default_rng(11)
+        for _ in range(40):
+            nsets = 1 << int(rng.integers(0, 4))
+            ways = int(rng.integers(1, 7))
+            tlb = SetAssociativeTlb("oracle", nsets * ways, ways, 1)
+            arr = ArrayTlb("arr", nsets * ways, ways, 1)
+            for _ in range(int(rng.integers(10, 200))):
+                op = int(rng.integers(0, 4))
+                pn = int(rng.integers(0, 50))
+                if op == 0:
+                    assert arr.lookup(pn) == tlb.lookup(pn)
+                elif op == 1:
+                    tlb.fill(pn)
+                    arr.fill(pn)
+                elif op == 2:
+                    assert arr.invalidate(pn) == tlb.invalidate(pn)
+                else:
+                    tlb.flush()
+                    arr.flush()
+                for si in range(nsets):
+                    assert arr.resident(si) == tlb._sets[si]
+            assert (arr.hits, arr.misses) == (tlb.hits, tlb.misses)
+            assert arr.occupancy() == tlb.occupancy()
+            assert arr.hit_rate() == tlb.hit_rate()
+
+
+class TestRoundTrip:
+    def test_from_tlb_write_back(self):
+        tlb = SetAssociativeTlb("t", 16, 4, 2)
+        for pn in [3, 7, 11, 3, 19, 23, 5]:
+            tlb.fill(pn)
+        tlb.lookup(7)
+        arr = ArrayTlb.from_tlb(tlb)
+        assert (arr.hits, arr.misses) == (tlb.hits, tlb.misses)
+        clone = SetAssociativeTlb("t", 16, 4, 2)
+        arr.write_back(clone)
+        assert clone._sets == tlb._sets
+
+
+class TestBatchProbe:
+    def test_matches_reference_across_chunks(self):
+        rng = np.random.default_rng(23)
+        for _ in range(60):
+            nsets = 1 << int(rng.integers(0, 5))
+            ways = int(rng.integers(1, 9))
+            arr = ArrayTlb("t", nsets * ways, ways, 1)
+            state = [[] for _ in range(nsets)]
+            tag_space = int(rng.integers(2, 400))
+            for _ in range(int(rng.integers(1, 5))):
+                m = int(rng.integers(1, 600))
+                pns = rng.integers(0, tag_space, size=m).astype(np.int64)
+                got = arr.batch_probe(pns)
+                want = reference_probe(state, ways, pns.tolist(), nsets - 1)
+                assert np.array_equal(got, want)
+                for si in range(nsets):
+                    assert arr.resident(si) == state[si]
+
+    def test_empty_stream(self):
+        arr = ArrayTlb("t", 8, 2, 1)
+        assert arr.batch_probe(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_deep_window_paths(self):
+        # A tag returning after a long, tag-poor gap exercises the
+        # merge-tree fallback (the windowed gather cannot reject it);
+        # a tag-rich gap exercises the suffix fast-reject.
+        ways = 2
+        arr = ArrayTlb("t", ways, ways, 1)  # single set
+        state = [[]]
+        poor = [7] + [1, 2] * 40 + [7]        # 2 distinct in window: hit
+        rich = [9] + [1, 2, 3] * 40 + [9]     # 3 distinct in window: miss
+        for stream in (poor, rich):
+            pns = np.array(stream, dtype=np.int64)
+            got = arr.batch_probe(pns)
+            want = reference_probe(state, ways, stream, 0)
+            assert np.array_equal(got, want)
+        assert not arr.hits and not arr.misses  # engine owns the counters
+
+    def test_probe_straddles_carried_state(self):
+        # Residents installed by one chunk must count as the prologue of
+        # the next: a hit whose window begins before the chunk boundary.
+        arr = ArrayTlb("t", 4, 4, 1)
+        arr.batch_probe(np.array([1, 2, 3], dtype=np.int64))
+        hits = arr.batch_probe(np.array([2, 9, 1], dtype=np.int64))
+        assert hits.tolist() == [True, False, True]

@@ -1,0 +1,255 @@
+"""Engine-equivalence tests for the vectorized fast path (repro.sim.fastpath).
+
+The contract under test: for every organization, workload, warmup
+fraction, chunk size and abort scenario, ``engine="vectorized"`` and
+``engine="scalar"`` produce the *same* ``PerformanceResult`` — dataclass
+equality, every field — and identical final TLB contents on clean runs.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.obs import ObservabilityConfig
+from repro.sim.config import ENGINES, SimulationConfig
+from repro.sim.simulator import TranslationSimulator
+from repro.traces.format import TraceMeta, TraceReader, TraceWriter
+from repro.traces.workload import TraceWorkload
+from repro.workloads import get_workload
+
+pytestmark = pytest.mark.fastpath
+
+SCALE = 64
+
+
+def run_engine(engine, org="mehpt", app="GUPS", n=6_000, warmup=0.0,
+               thp=False, chunk=None, scale=SCALE, seed=3, **config_kw):
+    workload = get_workload(app, scale=scale, seed=seed)
+    config = SimulationConfig(
+        organization=org, thp_enabled=thp, scale=scale, seed=seed,
+        engine=engine, **config_kw,
+    )
+    sim = TranslationSimulator(
+        workload, config, trace_length=n, warmup_fraction=warmup,
+        engine_chunk=chunk,
+    )
+    result = sim.run()
+    return result, sim.system
+
+
+def tlb_contents(system):
+    tlb = system.tlb
+    return {
+        (level, size): [list(s) for s in t._sets]
+        for level, group in (("l1", tlb.l1), ("l2", tlb.l2))
+        for size, t in group.items()
+    }
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        org=st.sampled_from(["radix", "ecpt", "mehpt"]),
+        thp=st.booleans(),
+        warmup=st.sampled_from([0.0, 0.25, 0.617]),
+        chunk=st.sampled_from([1, 257, 4096, None]),
+        app=st.sampled_from(["GUPS", "TC"]),
+        seed=st.integers(0, 2**16),
+    )
+    def test_results_bit_identical(self, org, thp, warmup, chunk, app, seed):
+        scalar, s_sys = run_engine(
+            "scalar", org=org, app=app, thp=thp, warmup=warmup,
+            chunk=chunk, seed=seed,
+        )
+        vector, v_sys = run_engine(
+            "vectorized", org=org, app=app, thp=thp, warmup=warmup,
+            chunk=chunk, seed=seed,
+        )
+        assert scalar == vector
+        assert tlb_contents(s_sys) == tlb_contents(v_sys)
+
+    @pytest.mark.parametrize("chunk", [257, 1024, None])
+    def test_aborted_run_bit_identical(self, chunk):
+        # ecpt at fmfi 0.75 hits the paper's contiguous-allocation
+        # failure mid-trace; the prefix accounting must match exactly.
+        scalar, _ = run_engine(
+            "scalar", org="ecpt", scale=512, n=30_000, warmup=0.1,
+            chunk=chunk, fmfi=0.75,
+        )
+        vector, _ = run_engine(
+            "vectorized", org="ecpt", scale=512, n=30_000, warmup=0.1,
+            chunk=chunk, fmfi=0.75,
+        )
+        assert scalar.failed and vector.failed
+        assert scalar == vector
+
+    def test_invariant_checks_run_in_vectorized_mode(self):
+        scalar, _ = run_engine("scalar", invariant_check_every=777)
+        vector, _ = run_engine("vectorized", invariant_check_every=777)
+        assert scalar == vector
+
+
+class TestEngineSelection:
+    def test_engine_validated(self):
+        assert SimulationConfig(engine="auto").engine == "auto"
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(engine="turbo")
+        assert "vectorized" in ENGINES
+
+    def test_auto_prefers_vectorized(self):
+        assert SimulationConfig().resolve_engine() == "vectorized"
+        assert SimulationConfig(engine="scalar").resolve_engine() == "scalar"
+
+    def test_tracing_forces_scalar(self):
+        traced = SimulationConfig(obs=ObservabilityConfig(trace_buffer=64))
+        assert traced.resolve_engine() == "scalar"
+        metrics_only = SimulationConfig(obs=ObservabilityConfig())
+        assert metrics_only.resolve_engine() == "vectorized"
+
+    def test_vectorized_with_tracing_rejected(self):
+        config = SimulationConfig(
+            engine="vectorized", obs=ObservabilityConfig(trace_buffer=64),
+        )
+        with pytest.raises(ConfigurationError):
+            config.resolve_engine()
+
+    def test_traced_auto_run_never_enters_fastpath(self, monkeypatch):
+        import repro.sim.fastpath as fastpath
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("vectorized engine ran while tracing")
+
+        monkeypatch.setattr(fastpath, "run_vectorized", boom)
+        result, _ = run_engine(
+            "auto", n=2_000, obs=ObservabilityConfig(trace_buffer=256),
+        )
+        assert result.accesses > 0
+
+    def test_engine_chunk_validated(self):
+        workload = get_workload("GUPS", scale=SCALE)
+        with pytest.raises(ConfigurationError):
+            TranslationSimulator(
+                workload, SimulationConfig(scale=SCALE), engine_chunk=0
+            )
+
+
+class TestObservabilityEquivalence:
+    def test_metrics_snapshots_match_across_engines(self):
+        scalar, _ = run_engine(
+            "scalar", n=4_000, obs=ObservabilityConfig(metrics=True),
+        )
+        vector, _ = run_engine(
+            "vectorized", n=4_000, obs=ObservabilityConfig(metrics=True),
+        )
+        assert scalar.metrics == vector.metrics
+        assert scalar == vector
+
+    def test_clock_skip_does_not_change_results(self):
+        # The scalar loop only advances the sim-cycle clock when a trace
+        # sink is attached; a traced run must still compute the same
+        # performance numbers as an untraced one.
+        plain, _ = run_engine("scalar", n=4_000)
+        traced, _ = run_engine(
+            "scalar", n=4_000,
+            obs=ObservabilityConfig(metrics=False, trace_buffer=100_000),
+        )
+        assert plain == traced
+
+
+class TestChunkedTraceFeeds:
+    @pytest.mark.parametrize("chunk_values", [1, 100, 4096, 65536])
+    def test_workload_chunks_concatenate_to_trace(self, chunk_values):
+        workload = get_workload("TC", scale=SCALE)
+        whole = workload.trace(5_000)
+        parts = list(get_workload("TC", scale=SCALE).trace_chunks(
+            5_000, chunk_values=chunk_values,
+        ))
+        assert all(p.size == chunk_values for p in parts[:-1])
+        assert np.array_equal(np.concatenate(parts), whole)
+
+    def test_chunk_values_validated(self):
+        workload = get_workload("TC", scale=SCALE)
+        with pytest.raises(ConfigurationError):
+            next(workload.trace_chunks(100, chunk_values=0))
+
+    def test_reader_window_matches_read(self, tmp_path):
+        path = str(tmp_path / "t.vpt")
+        rng = np.random.default_rng(5)
+        with TraceWriter(path, meta=TraceMeta(), chunk_values=64) as writer:
+            writer.append(rng.integers(0, 1 << 30, size=500))
+        with TraceReader(path) as reader:
+            whole = reader.read(300)
+        with TraceReader(path) as reader:
+            parts = list(reader.iter_window(300))
+        assert np.array_equal(np.concatenate(parts), whole)
+        with TraceReader(path) as reader:
+            looped = reader.read(1200, loop=True)
+        with TraceReader(path) as reader:
+            looped_parts = list(reader.iter_window(1200, loop=True))
+        assert np.array_equal(np.concatenate(looped_parts), looped)
+
+    def test_reader_window_validates_like_read(self, tmp_path):
+        path = str(tmp_path / "t.vpt")
+        with TraceWriter(path, meta=TraceMeta()) as writer:
+            writer.append(np.arange(10, dtype=np.int64))
+        with TraceReader(path) as reader:
+            with pytest.raises(ConfigurationError):
+                list(reader.iter_window(11))
+            with pytest.raises(ConfigurationError):
+                list(reader.iter_window(-1))
+
+
+class TestTraceReplayStreaming:
+    def make_trace(self, path, total, chunk=65_536):
+        # Synthesize a trace directly through the writer (the generator's
+        # burst loop would dominate the test's runtime).  The 512-page
+        # footprint fits the L2 TLB, keeping the replay hit-dominated.
+        meta = TraceMeta(scale=SCALE, seed=9)
+        rng = np.random.default_rng(9)
+        with TraceWriter(path, meta=meta, chunk_values=chunk) as writer:
+            remaining = total
+            while remaining:
+                n = min(chunk, remaining)
+                writer.append(rng.integers(0, 512, size=n).astype(np.int64))
+                remaining -= n
+
+    def test_replay_engines_agree(self, tmp_path):
+        path = str(tmp_path / "r.vpt")
+        self.make_trace(path, 50_000)
+        results = {}
+        for engine in ("scalar", "vectorized"):
+            config = SimulationConfig(
+                organization="mehpt", scale=SCALE, engine=engine,
+            )
+            sim = TranslationSimulator(
+                TraceWorkload(path), config, trace_length=50_000,
+            )
+            results[engine] = sim.run()
+        assert results["scalar"] == results["vectorized"]
+
+    def test_large_replay_streams_without_materializing(self, tmp_path):
+        # 4M records would be ~32MB as one int64 array (and far more as
+        # a Python list); the streaming replay must stay under 20MB.
+        total = 4_000_000
+        path = str(tmp_path / "big.vpt")
+        self.make_trace(path, total)
+        config = SimulationConfig(
+            organization="mehpt", scale=SCALE, engine="vectorized",
+        )
+        sim = TranslationSimulator(
+            TraceWorkload(path), config, trace_length=total,
+        )
+        tracemalloc.start()
+        result = sim.run()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert not result.failed
+        assert result.accesses == total
+        assert peak < 20 * 1024 * 1024, f"peak {peak / 1e6:.1f} MB"
+        with TraceReader(path) as reader:
+            assert reader.total_values == total  # really 4M records on disk
