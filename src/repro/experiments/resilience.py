@@ -80,6 +80,13 @@ class ResilienceResult:
     ecpt_crash_fmfi: Optional[float]
     #: Whether ME-HPT completed every point with zero invariant violations.
     mehpt_survived_all: bool
+    #: Reproducer-corpus replay verdicts (``repro.fuzz``), when a corpus
+    #: directory was passed; empty otherwise.
+    corpus_replays: List = field(default_factory=list)
+
+    def corpus_ok(self) -> bool:
+        """True when every replayed corpus entry matched its manifest."""
+        return all(replay.ok for replay in self.corpus_replays)
 
 
 def run(
@@ -88,8 +95,15 @@ def run(
     app: str = DEFAULT_APP,
     fault_plan: Optional[FaultPlan] = None,
     invariant_check_every: int = DEFAULT_CHECK_EVERY,
+    corpus_dir: Optional[str] = None,
 ) -> ResilienceResult:
-    """Sweep FMFI for ECPT and ME-HPT; no sweep cache (each point is unique)."""
+    """Sweep FMFI for ECPT and ME-HPT; no sweep cache (each point is unique).
+
+    With ``corpus_dir`` the sweep additionally replays the adversarial
+    reproducer corpus (see :mod:`repro.fuzz.corpus`) and attaches the
+    per-entry verdicts, so one command re-validates both the survival
+    curve and every minimized failure the fuzzer has banked.
+    """
     plan = fault_plan if fault_plan is not None else default_fault_plan(settings.seed)
     rows: List[ResilienceRow] = []
     for fmfi in fmfi_points:
@@ -138,10 +152,16 @@ def run(
         for row in rows
         if row.organization == "mehpt"
     )
+    replays: List = []
+    if corpus_dir is not None:
+        from repro.fuzz.corpus import replay_corpus
+
+        replays = replay_corpus(corpus_dir)
     return ResilienceResult(
         rows=rows,
         ecpt_crash_fmfi=ecpt_failures[0] if ecpt_failures else None,
         mehpt_survived_all=mehpt_ok,
+        corpus_replays=replays,
     )
 
 
@@ -173,15 +193,33 @@ def format_result(result: ResilienceResult) -> str:
         headers, body,
         title="Fragmentation resilience: survival vs FMFI (GUPS, 4KB HPTs)",
     )
-    return (
-        f"{table}\n"
-        f"ECPT first abort at FMFI: {crash}\n"
-        f"ME-HPT survived all points, invariants verified: {survived}"
-    )
+    lines = [
+        table,
+        f"ECPT first abort at FMFI: {crash}",
+        f"ME-HPT survived all points, invariants verified: {survived}",
+    ]
+    if result.corpus_replays:
+        good = sum(1 for replay in result.corpus_replays if replay.ok)
+        lines.append(
+            f"Adversarial corpus: {good}/{len(result.corpus_replays)} "
+            f"reproducers replayed with matching classification"
+        )
+        for replay in result.corpus_replays:
+            if not replay.ok:
+                lines.append(f"  MISMATCH {replay.name}: {replay.detail}")
+    return "\n".join(lines)
 
 
 def main() -> None:
-    print(format_result(run()))
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--corpus", default=None,
+        help="also replay the repro.fuzz reproducer corpus at this directory",
+    )
+    args = parser.parse_args()
+    print(format_result(run(corpus_dir=args.corpus)))
 
 
 if __name__ == "__main__":

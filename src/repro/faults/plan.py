@@ -71,6 +71,23 @@ class FaultSpec:
     ) -> None:
         if site not in SITES:
             raise ConfigurationError(f"unknown fault site {site!r} (not in {SITES})")
+        for name, value in (("every", every), ("max_failures", max_failures),
+                            ("min_bytes", min_bytes)):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(
+                    f"{name}={value!r} must be an integer count "
+                    f"(got {type(value).__name__})"
+                )
+        if not isinstance(probability, (int, float)) or isinstance(probability, bool):
+            raise ConfigurationError(
+                f"probability={probability!r} must be a number in [0, 1] "
+                f"(got {type(probability).__name__})"
+            )
+        if not isinstance(fmfi_above, (int, float)) or isinstance(fmfi_above, bool):
+            raise ConfigurationError(
+                f"fmfi_above={fmfi_above!r} must be a number "
+                f"(got {type(fmfi_above).__name__})"
+            )
         if every < 0:
             raise ConfigurationError(f"every={every} must be >= 0")
         if not 0.0 <= probability <= 1.0:
@@ -82,12 +99,47 @@ class FaultSpec:
             )
         if max_failures < 0:
             raise ConfigurationError(f"max_failures={max_failures} must be >= 0")
+        if min_bytes < 0:
+            raise ConfigurationError(f"min_bytes={min_bytes} must be >= 0")
+        if fmfi_above >= 1.0:
+            raise ConfigurationError(
+                f"fmfi_above={fmfi_above} can never fire — FMFI is always "
+                f"< 1.0 (use a negative value to disable the guard)"
+            )
         self.site = site
         self.every = every
         self.probability = probability
         self.max_failures = max_failures
         self.min_bytes = min_bytes
-        self.fmfi_above = fmfi_above
+        self.fmfi_above = float(fmfi_above)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (the fuzz corpus embeds fault plans this way)."""
+        return {
+            "site": self.site,
+            "every": self.every,
+            "probability": self.probability,
+            "max_failures": self.max_failures,
+            "min_bytes": self.min_bytes,
+            "fmfi_above": self.fmfi_above,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultSpec":
+        """Rebuild from :meth:`to_dict` output (full validation applies)."""
+        if not isinstance(raw, dict):
+            raise ConfigurationError(
+                f"fault spec must be a dict, got {type(raw).__name__}"
+            )
+        unknown = set(raw) - {
+            "site", "every", "probability", "max_failures", "min_bytes",
+            "fmfi_above",
+        }
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault spec field(s) {sorted(unknown)}"
+            )
+        return cls(**raw)
 
     def __repr__(self) -> str:
         mode = f"every={self.every}" if self.every else f"probability={self.probability}"
@@ -108,6 +160,16 @@ class FaultPlan:
 
     def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0) -> None:
         self.specs: List[FaultSpec] = list(specs)
+        for i, spec in enumerate(self.specs):
+            if not isinstance(spec, FaultSpec):
+                raise ConfigurationError(
+                    f"specs[{i}]={spec!r} is not a FaultSpec "
+                    f"(got {type(spec).__name__})"
+                )
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ConfigurationError(
+                f"seed={seed!r} must be an integer (got {type(seed).__name__})"
+            )
         self.seed = seed
         root = DeterministicRng(seed)
         self._rngs = [root.fork(salt=1000 + i) for i in range(len(self.specs))]

@@ -1,0 +1,74 @@
+"""Adversarial scenario fuzzing: stressors, runner, minimizer, corpus.
+
+The robustness subsystem built on top of the trace container
+(:mod:`repro.traces`), the fault plans (:mod:`repro.faults`) and the
+simulator (:mod:`repro.sim`):
+
+* :mod:`repro.fuzz.stressors` — the seeded stressor catalogue;
+* :mod:`repro.fuzz.scenario` — weighted stressor compositions, their
+  deterministic ``.vpt`` generation, and named presets;
+* :mod:`repro.fuzz.runner` — execution across organizations and outcome
+  classification (graceful aborts, invariant violations, non-graceful
+  crashes, engine divergence, cycle blowups);
+* :mod:`repro.fuzz.minimize` — delta-debugging trace minimization;
+* :mod:`repro.fuzz.corpus` — the versioned on-disk reproducer corpus
+  replayed by CI and the resilience sweep.
+
+``python -m repro.fuzz`` exposes ``generate`` / ``run`` / ``minimize``
+/ ``replay-corpus``; see FUZZING.md for the full contract.
+"""
+
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    ReplayResult,
+    add_entry,
+    load_manifest,
+    replay_corpus,
+)
+from repro.fuzz.minimize import MinimizationResult, minimize_trace
+from repro.fuzz.runner import (
+    CLASS_CYCLE_BLOWUP,
+    CLASS_DIVERGENCE,
+    CLASS_INVARIANT,
+    CLASS_NON_GRACEFUL,
+    CLASS_OK,
+    OrgOutcome,
+    ScenarioOutcome,
+    classify_failure_reason,
+    run_scenario,
+)
+from repro.fuzz.scenario import (
+    PRESETS,
+    Scenario,
+    StressorSpec,
+    make_preset,
+    preset_names,
+)
+from repro.fuzz.stressors import STRESSORS, Stressor, get_stressor
+
+__all__ = [
+    "CLASS_CYCLE_BLOWUP",
+    "CLASS_DIVERGENCE",
+    "CLASS_INVARIANT",
+    "CLASS_NON_GRACEFUL",
+    "CLASS_OK",
+    "CorpusEntry",
+    "MinimizationResult",
+    "OrgOutcome",
+    "PRESETS",
+    "ReplayResult",
+    "STRESSORS",
+    "Scenario",
+    "ScenarioOutcome",
+    "Stressor",
+    "StressorSpec",
+    "add_entry",
+    "classify_failure_reason",
+    "get_stressor",
+    "load_manifest",
+    "make_preset",
+    "minimize_trace",
+    "preset_names",
+    "replay_corpus",
+    "run_scenario",
+]

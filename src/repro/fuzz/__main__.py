@@ -1,0 +1,214 @@
+"""``python -m repro.fuzz`` — the adversarial fuzzing CLI.
+
+Verbs:
+
+* ``generate`` — materialize a scenario's ``.vpt`` trace (and a JSON
+  sidecar of the scenario itself) from a preset or a scenario file;
+* ``run`` — run seeded scenario variants through the organizations,
+  print the classification table, optionally minimizing every failure
+  into an output directory (the nightly CI budget);
+* ``minimize`` — shrink one failing trace to a reproducer;
+* ``replay-corpus`` — replay the checked-in corpus and exit non-zero on
+  any drift (the PR CI gate).
+
+Examples::
+
+    python -m repro.fuzz generate --preset frag-storm --seed 3 --out /tmp/s.vpt
+    python -m repro.fuzz run --preset all --seeds 4 --divergence
+    python -m repro.fuzz minimize --scenario s.json --trace s.vpt \\
+        --failure-class abort:contiguous --out repro.vpt
+    python -m repro.fuzz replay-corpus --corpus corpus/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.common.errors import MEHPTError
+from repro.fuzz.corpus import add_entry, replay_corpus
+from repro.fuzz.minimize import minimize_trace
+from repro.fuzz.runner import CLASS_OK, run_scenario
+from repro.fuzz.scenario import Scenario, make_preset, preset_names
+from repro.sim.config import ORGANIZATIONS
+
+
+def _load_scenario(args: argparse.Namespace) -> Scenario:
+    if getattr(args, "scenario", None):
+        with open(args.scenario, "r", encoding="utf-8") as handle:
+            scenario = Scenario.from_json(handle.read())
+    else:
+        scenario = make_preset(args.preset, seed=args.seed)
+    if getattr(args, "seed", None) is not None:
+        scenario = scenario.with_seed(args.seed)
+    return scenario
+
+
+def _scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario", help="scenario JSON file (alternative to --preset)"
+    )
+    parser.add_argument(
+        "--preset", choices=list(preset_names()),
+        help="named preset scenario",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+
+
+def _require_recipe(args: argparse.Namespace, parser: argparse.ArgumentParser) -> None:
+    if not args.scenario and not args.preset:
+        parser.error("one of --scenario / --preset is required")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    scenario = _load_scenario(args)
+    meta = scenario.generate_trace(args.out)
+    sidecar = os.path.splitext(args.out)[0] + ".scenario.json"
+    with open(sidecar, "w", encoding="utf-8") as handle:
+        handle.write(scenario.to_json() + "\n")
+    print(
+        f"{args.out}: {scenario.trace_length} records, scenario "
+        f"{scenario.name!r} seed {scenario.seed} (source={meta.source}); "
+        f"scenario JSON at {sidecar}"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    base = _load_scenario(args)
+    orgs = args.orgs.split(",") if args.orgs else list(ORGANIZATIONS)
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+    failures = 0
+    for i in range(args.seeds):
+        scenario = base.with_seed(base.seed + i)
+        outcome = run_scenario(
+            scenario, orgs=orgs, check_divergence=args.divergence,
+            workdir=args.out_dir,
+        )
+        print(outcome.summary())
+        if outcome.failure_class == CLASS_OK:
+            continue
+        failures += 1
+        if args.minimize and args.out_dir:
+            os.makedirs(args.out_dir, exist_ok=True)
+            out = os.path.join(
+                args.out_dir, f"{scenario.name}-seed{scenario.seed}-min.vpt"
+            )
+            result = minimize_trace(
+                scenario, outcome.trace_path, outcome.failure_class, out,
+                orgs=list(outcome.affected_orgs) or orgs,
+            )
+            print("  minimized:", result.summary())
+            if args.corpus:
+                # The manifest records what the *reproducer* does across
+                # the full organization set (the replay contract), which
+                # can be narrower than the original trace's outcome.
+                replay = run_scenario(
+                    scenario, trace_path=out, orgs=orgs,
+                    check_divergence=True, probe_downsize=False,
+                )
+                entry = add_entry(
+                    args.corpus,
+                    f"{scenario.name}-seed{scenario.seed}",
+                    out, scenario, replay.failure_class,
+                    replay.affected_orgs,
+                    notes="minimized by python -m repro.fuzz run",
+                )
+                print(f"  corpus: added {entry.name} ({entry.records} records)")
+    print(f"{args.seeds} scenario(s), {failures} with findings")
+    if args.fail_on_findings and failures:
+        return 1
+    return 0
+
+
+def _cmd_minimize(args: argparse.Namespace) -> int:
+    scenario = _load_scenario(args)
+    orgs = args.orgs.split(",") if args.orgs else None
+    result = minimize_trace(
+        scenario, args.trace, args.failure_class, args.out,
+        orgs=orgs, max_evals=args.max_evals,
+    )
+    print(result.summary())
+    return 0
+
+
+def _cmd_replay_corpus(args: argparse.Namespace) -> int:
+    orgs = args.orgs.split(",") if args.orgs else list(ORGANIZATIONS)
+    results = replay_corpus(
+        args.corpus, orgs=orgs, check_divergence=not args.no_divergence,
+    )
+    bad = 0
+    for result in results:
+        status = "ok" if result.ok else f"MISMATCH ({result.detail})"
+        print(f"{result.name}: {result.expected_class} -> {status}")
+        if not result.ok:
+            bad += 1
+    print(f"{len(results)} corpus entries replayed, {bad} mismatch(es)")
+    return 1 if bad else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Adversarial scenario fuzzer for the ME-HPT reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="write a scenario's .vpt trace")
+    _scenario_args(p_gen)
+    p_gen.add_argument("--out", required=True, help="output .vpt path")
+    p_gen.set_defaults(func=_cmd_generate, needs_recipe=True)
+
+    p_run = sub.add_parser("run", help="run seeded scenario variants")
+    _scenario_args(p_run)
+    p_run.add_argument("--seeds", type=int, default=1,
+                       help="number of consecutive seeds to run")
+    p_run.add_argument("--orgs", help="comma-separated organizations")
+    p_run.add_argument("--divergence", action="store_true",
+                       help="run scalar and vectorized engines and compare")
+    p_run.add_argument("--minimize", action="store_true",
+                       help="minimize every failing scenario")
+    p_run.add_argument("--out-dir", help="directory for traces/reproducers")
+    p_run.add_argument("--corpus", help="corpus dir to add reproducers to")
+    p_run.add_argument("--fail-on-findings", action="store_true",
+                       help="exit 1 when any scenario has a finding")
+    p_run.set_defaults(func=_cmd_run, needs_recipe=True)
+
+    p_min = sub.add_parser("minimize", help="shrink a failing trace")
+    _scenario_args(p_min)
+    p_min.add_argument("--trace", required=True, help="failing .vpt trace")
+    p_min.add_argument("--failure-class", required=True,
+                       help="expected class, e.g. abort:contiguous")
+    p_min.add_argument("--out", required=True, help="reproducer output path")
+    p_min.add_argument("--orgs", help="comma-separated organizations")
+    p_min.add_argument("--max-evals", type=int, default=64)
+    p_min.set_defaults(func=_cmd_minimize, needs_recipe=True)
+
+    p_rep = sub.add_parser("replay-corpus", help="replay the reproducer corpus")
+    p_rep.add_argument("--corpus", default="corpus", help="corpus directory")
+    p_rep.add_argument("--orgs", help="comma-separated organizations")
+    p_rep.add_argument("--no-divergence", action="store_true",
+                       help="skip the scalar/vectorized comparison")
+    p_rep.set_defaults(func=_cmd_replay_corpus, needs_recipe=False)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "needs_recipe", False):
+        _require_recipe(args, parser)
+    try:
+        return args.func(args)
+    except (MEHPTError, OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,266 @@
+"""The versioned on-disk reproducer corpus.
+
+``corpus/`` holds minimized (or deliberately small) failing scenario
+traces plus ``manifest.json``:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "name": "frag-ecpt-abort",
+          "trace": "frag-ecpt-abort.vpt",
+          "sha256": "...",
+          "records": 9000,
+          "failure_class": "abort:contiguous",
+          "affected_orgs": ["ecpt"],
+          "scenario": { ... full Scenario.to_dict() ... },
+          "notes": "..."
+        }
+      ]
+    }
+
+The manifest is the contract: :func:`replay_corpus` re-runs every entry
+through all three organizations (scalar *and* vectorized engines — the
+divergence check always runs on reproducers) and asserts the recorded
+failure class and affected organizations still hold.  A hash mismatch,
+a class drift, or a new divergence all fail the replay — that is the CI
+``fuzz-smoke`` gate.  ``version`` gates forward compatibility: readers
+refuse manifests newer than they understand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.fuzz.runner import ScenarioOutcome, run_scenario
+from repro.fuzz.scenario import Scenario
+from repro.sim.config import ORGANIZATIONS
+
+#: Current manifest schema version; readers reject anything newer.
+CORPUS_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+
+def file_sha256(path: str) -> str:
+    """Streaming SHA-256 of a file's bytes."""
+    sha = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            sha.update(block)
+    return sha.hexdigest()
+
+
+@dataclass
+class CorpusEntry:
+    """One checked-in reproducer: trace, provenance, expected outcome."""
+
+    name: str
+    trace: str
+    sha256: str
+    records: int
+    failure_class: str
+    affected_orgs: List[str]
+    scenario: Dict[str, Any]
+    notes: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace": self.trace,
+            "sha256": self.sha256,
+            "records": self.records,
+            "failure_class": self.failure_class,
+            "affected_orgs": list(self.affected_orgs),
+            "scenario": self.scenario,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "CorpusEntry":
+        try:
+            return cls(
+                name=str(raw["name"]),
+                trace=str(raw["trace"]),
+                sha256=str(raw["sha256"]),
+                records=int(raw["records"]),
+                failure_class=str(raw["failure_class"]),
+                affected_orgs=[str(o) for o in raw["affected_orgs"]],
+                scenario=dict(raw["scenario"]),
+                notes=str(raw.get("notes", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"corpus entry is malformed: {exc!r}", field="entry", value=raw,
+            ) from exc
+
+
+def manifest_path(corpus_dir: str) -> str:
+    return os.path.join(corpus_dir, MANIFEST_NAME)
+
+
+def load_manifest(corpus_dir: str) -> List[CorpusEntry]:
+    """Read and schema-check the manifest; entries come back name-sorted."""
+    path = manifest_path(corpus_dir)
+    if not os.path.exists(path):
+        raise ConfigurationError(
+            f"no corpus manifest at {path}", field="corpus_dir", value=corpus_dir,
+        )
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            raw = json.load(handle)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"corpus manifest {path} is unparseable: {exc}",
+                field="manifest", value=path,
+            ) from exc
+    version = raw.get("version")
+    if not isinstance(version, int) or version > CORPUS_VERSION:
+        raise ConfigurationError(
+            f"corpus manifest version {version!r} is newer than supported "
+            f"({CORPUS_VERSION})", field="version", value=version,
+        )
+    entries = [CorpusEntry.from_dict(entry) for entry in raw.get("entries", [])]
+    return sorted(entries, key=lambda e: e.name)
+
+
+def _write_manifest(corpus_dir: str, entries: Sequence[CorpusEntry]) -> None:
+    payload = {
+        "version": CORPUS_VERSION,
+        "entries": [e.to_dict() for e in sorted(entries, key=lambda e: e.name)],
+    }
+    path = manifest_path(corpus_dir)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def add_entry(
+    corpus_dir: str,
+    name: str,
+    trace_path: str,
+    scenario: Scenario,
+    failure_class: str,
+    affected_orgs: Sequence[str],
+    notes: str = "",
+) -> CorpusEntry:
+    """Copy a reproducer into the corpus and record it in the manifest.
+
+    Re-adding an existing name replaces its entry (and trace file), so
+    re-minimized reproducers update in place.
+    """
+    os.makedirs(corpus_dir, exist_ok=True)
+    dest_name = f"{name}.vpt"
+    dest = os.path.join(corpus_dir, dest_name)
+    if os.path.abspath(trace_path) != os.path.abspath(dest):
+        shutil.copyfile(trace_path, dest)
+    from repro.traces.format import TraceReader
+
+    with TraceReader(dest) as reader:
+        records = reader.total_values
+    entry = CorpusEntry(
+        name=name,
+        trace=dest_name,
+        sha256=file_sha256(dest),
+        records=records,
+        failure_class=failure_class,
+        affected_orgs=sorted(affected_orgs),
+        scenario=scenario.to_dict(),
+        notes=notes,
+    )
+    try:
+        entries = [e for e in load_manifest(corpus_dir) if e.name != name]
+    except ConfigurationError:
+        entries = []
+    entries.append(entry)
+    _write_manifest(corpus_dir, entries)
+    return entry
+
+
+@dataclass
+class ReplayResult:
+    """One corpus entry's replay verdict."""
+
+    name: str
+    expected_class: str
+    got_class: str
+    expected_orgs: List[str]
+    got_orgs: List[str]
+    ok: bool
+    detail: str = ""
+    outcome: Optional[ScenarioOutcome] = None
+
+
+def replay_entry(
+    corpus_dir: str,
+    entry: CorpusEntry,
+    orgs: Sequence[str] = ORGANIZATIONS,
+    check_divergence: bool = True,
+    registry=None,
+) -> ReplayResult:
+    """Re-run one entry and compare against its recorded outcome."""
+    trace = os.path.join(corpus_dir, entry.trace)
+    if registry is not None:
+        registry.counter("fuzz.corpus_replays").inc()
+    if not os.path.exists(trace):
+        return ReplayResult(
+            entry.name, entry.failure_class, "missing",
+            entry.affected_orgs, [], ok=False,
+            detail=f"trace file {entry.trace} is missing",
+        )
+    digest = file_sha256(trace)
+    if digest != entry.sha256:
+        return ReplayResult(
+            entry.name, entry.failure_class, "corrupt",
+            entry.affected_orgs, [], ok=False,
+            detail=f"sha256 {digest} != manifest {entry.sha256}",
+        )
+    scenario = Scenario.from_dict(entry.scenario)
+    outcome = run_scenario(
+        scenario, trace_path=trace, orgs=orgs,
+        check_divergence=check_divergence, probe_downsize=False,
+        registry=registry,
+    )
+    got_orgs = sorted(outcome.affected_orgs)
+    ok = (
+        outcome.failure_class == entry.failure_class
+        and got_orgs == sorted(entry.affected_orgs)
+    )
+    result = ReplayResult(
+        entry.name, entry.failure_class, outcome.failure_class,
+        entry.affected_orgs, got_orgs, ok=ok, outcome=outcome,
+    )
+    if not ok:
+        result.detail = (
+            f"expected {entry.failure_class}/{sorted(entry.affected_orgs)}, "
+            f"got {outcome.failure_class}/{got_orgs}"
+        )
+        if registry is not None:
+            registry.counter("fuzz.corpus_mismatches").inc()
+    return result
+
+
+def replay_corpus(
+    corpus_dir: str,
+    orgs: Sequence[str] = ORGANIZATIONS,
+    check_divergence: bool = True,
+    registry=None,
+) -> List[ReplayResult]:
+    """Replay every manifest entry; deterministic order (name-sorted)."""
+    return [
+        replay_entry(
+            corpus_dir, entry, orgs=orgs,
+            check_divergence=check_divergence, registry=registry,
+        )
+        for entry in load_manifest(corpus_dir)
+    ]

@@ -1,0 +1,245 @@
+"""Delta-debugging trace minimization for failing scenarios.
+
+Given a scenario, its generated trace, and the failure class the run
+produced, :func:`minimize_trace` shrinks the record stream while
+re-validating after every candidate that the *same* failure class still
+trips — never assuming monotonicity, only keeping reductions the
+predicate confirms.  Two phases, matching the failure shapes the
+stressors produce:
+
+1. **Chunk-level bisection** — exponential probing then binary search
+   for the shortest failing prefix at chunk granularity, refined to
+   record granularity.  Aborts (allocation failures, L2P exhaustion,
+   planted faults) are prefix-triggered, so this alone typically lands
+   within a few records of minimal.
+2. **Record-level shrink** — greedy interior segment removal: halves,
+   then quarters, and so on of the surviving stream are dropped
+   whenever the predicate still fails without them.
+
+Every evaluation writes a candidate ``.vpt`` and re-runs the scenario's
+affected organizations, so the reproducer that comes out is validated
+end-to-end, not inferred.  The whole procedure is deterministic: the
+same scenario, trace and budget produce an identical reproducer (the
+determinism acceptance test covers this).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.fuzz.runner import CLASS_OK, ScenarioOutcome, run_scenario
+from repro.fuzz.scenario import Scenario
+from repro.sim.config import ORGANIZATIONS
+from repro.traces.format import TraceReader, TraceWriter
+
+#: Default evaluation budget: each evaluation is a full (short) run of
+#: the affected organizations, so the budget bounds wall-clock directly.
+DEFAULT_MAX_EVALS = 64
+
+#: Chunk granularity for the bisection phase.
+DEFAULT_CHUNK_RECORDS = 1024
+
+
+@dataclass
+class MinimizationResult:
+    """What the minimizer did: sizes, evaluations, and the reproducer."""
+
+    scenario: Scenario
+    failure_class: str
+    original_records: int
+    minimized_records: int
+    evals: int
+    trace_path: str
+    #: The outcome of the final validation run over the reproducer.
+    final_outcome: Optional[ScenarioOutcome] = None
+
+    @property
+    def shrink_ratio(self) -> float:
+        if self.original_records == 0:
+            return 1.0
+        return self.minimized_records / self.original_records
+
+    def summary(self) -> str:
+        return (
+            f"{self.scenario.name}: {self.original_records} -> "
+            f"{self.minimized_records} records "
+            f"({self.shrink_ratio:.2%}) in {self.evals} evals, "
+            f"class {self.failure_class}"
+        )
+
+
+class _Evaluator:
+    """Writes candidate traces and re-checks the failure predicate."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        failure_class: str,
+        orgs: Sequence[str],
+        workdir: str,
+        max_evals: int,
+        registry=None,
+    ) -> None:
+        self.scenario = scenario
+        self.failure_class = failure_class
+        self.orgs = tuple(orgs)
+        self.workdir = workdir
+        self.max_evals = max_evals
+        self.registry = registry
+        self.evals = 0
+
+    def budget_left(self) -> bool:
+        return self.evals < self.max_evals
+
+    def still_fails(self, stream: np.ndarray) -> bool:
+        """True when ``stream`` still trips the recorded failure class."""
+        if stream.size == 0:
+            return False
+        if not self.budget_left():
+            return False
+        self.evals += 1
+        if self.registry is not None:
+            self.registry.counter("fuzz.minimizer_evals").inc()
+        path = os.path.join(self.workdir, "candidate.vpt")
+        self._write(stream, path)
+        outcome = run_scenario(
+            self.scenario, trace_path=path, orgs=self.orgs,
+            check_divergence=False, probe_downsize=False,
+        )
+        return outcome.failure_class == self.failure_class
+
+    def _write(self, stream: np.ndarray, path: str) -> None:
+        meta = self.scenario.trace_meta()
+        meta.source = "fuzz-min"
+        with TraceWriter(path, meta=meta) as writer:
+            writer.append(stream)
+
+
+def _shortest_failing_prefix(
+    stream: np.ndarray, ev: _Evaluator, chunk: int
+) -> np.ndarray:
+    """Exponential probe + binary search, chunk-level then record-level."""
+    n = stream.size
+    # Exponential probing at chunk granularity finds a failing prefix.
+    probe = chunk
+    hi = n
+    while probe < n and ev.budget_left():
+        if ev.still_fails(stream[:probe]):
+            hi = probe
+            break
+        probe *= 2
+    # Binary search between the last passing probe and the failing bound.
+    lo = 0 if hi <= chunk else hi // 2
+    while hi - lo > 1 and ev.budget_left():
+        mid = (lo + hi) // 2
+        if ev.still_fails(stream[:mid]):
+            hi = mid
+        else:
+            lo = mid
+    return stream[:hi]
+
+
+def _greedy_segment_removal(stream: np.ndarray, ev: _Evaluator) -> np.ndarray:
+    """Drop interior segments (halves, quarters, ...) that aren't needed."""
+    current = stream
+    segments = 2
+    while segments <= min(current.size, 16) and ev.budget_left():
+        bounds = np.linspace(0, current.size, segments + 1).astype(np.int64)
+        removed_any = False
+        # Iterate back-to-front so surviving indices stay valid.
+        for s in range(segments - 1, -1, -1):
+            if current.size <= 1 or not ev.budget_left():
+                break
+            lo, hi = int(bounds[s]), int(bounds[s + 1])
+            if hi - lo >= current.size:
+                continue
+            candidate = np.concatenate([current[:lo], current[hi:]])
+            if candidate.size and ev.still_fails(candidate):
+                current = candidate
+                removed_any = True
+                break  # segment bounds are stale; recompute
+        if not removed_any:
+            segments *= 2
+    return current
+
+
+def minimize_trace(
+    scenario: Scenario,
+    trace_path: str,
+    failure_class: str,
+    out_path: str,
+    orgs: Optional[Sequence[str]] = None,
+    max_evals: int = DEFAULT_MAX_EVALS,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    registry=None,
+) -> MinimizationResult:
+    """Shrink ``trace_path`` to a reproducer that still trips ``failure_class``.
+
+    ``orgs`` defaults to all three organizations; passing just the
+    affected ones makes each evaluation proportionally cheaper.  The
+    reproducer is written to ``out_path`` with provenance (the scenario,
+    the original trace's record count) in its header, and validated one
+    final time — the returned result carries that outcome.
+    """
+    if failure_class == CLASS_OK:
+        raise ConfigurationError(
+            "cannot minimize an 'ok' outcome — nothing to reproduce",
+            field="failure_class", value=failure_class,
+        )
+    if max_evals < 4:
+        raise ConfigurationError(
+            f"max_evals {max_evals} is too small to bisect anything",
+            field="max_evals", value=max_evals,
+        )
+    run_orgs = tuple(orgs) if orgs else ORGANIZATIONS
+    with TraceReader(trace_path) as reader:
+        stream = reader.read()
+    workdir = tempfile.mkdtemp(prefix="fuzz-min-")
+    ev = _Evaluator(scenario, failure_class, run_orgs, workdir, max_evals,
+                    registry=registry)
+
+    if not ev.still_fails(stream):
+        raise ConfigurationError(
+            f"scenario {scenario.name!r} does not reproduce class "
+            f"{failure_class!r} on the given trace (over orgs {run_orgs})",
+            field="failure_class", value=failure_class,
+        )
+
+    shrunk = _shortest_failing_prefix(stream, ev, chunk_records)
+    shrunk = _greedy_segment_removal(shrunk, ev)
+
+    meta = scenario.trace_meta()
+    meta.source = "fuzz-min"
+    meta.extra["minimized_from_records"] = int(stream.size)
+    meta.extra["failure_class"] = failure_class
+    with TraceWriter(out_path, meta=meta) as writer:
+        writer.append(shrunk)
+    final = run_scenario(
+        scenario, trace_path=out_path, orgs=run_orgs,
+        check_divergence=True, probe_downsize=False, registry=registry,
+    )
+    if final.failure_class != failure_class:
+        raise ConfigurationError(
+            f"minimized reproducer classifies as {final.failure_class!r}, "
+            f"expected {failure_class!r} — minimizer invariant broken",
+            field="failure_class", value=final.failure_class,
+        )
+    if registry is not None:
+        registry.counter("fuzz.minimizer_records_removed").inc(
+            int(stream.size - shrunk.size)
+        )
+    return MinimizationResult(
+        scenario=scenario,
+        failure_class=failure_class,
+        original_records=int(stream.size),
+        minimized_records=int(shrunk.size),
+        evals=ev.evals,
+        trace_path=out_path,
+        final_outcome=final,
+    )

@@ -1,0 +1,397 @@
+"""Adversarial scenarios: seeded stressor compositions and their traces.
+
+A :class:`Scenario` names a weighted mix of :mod:`repro.fuzz.stressors`
+entries plus the :class:`~repro.sim.config.SimulationConfig` overrides
+and optional :class:`~repro.faults.plan.FaultPlan` the run composes
+with.  Everything is a pure function of the scenario's fields:
+
+* **trace generation** — each stressor draws from an RNG forked from
+  ``SeedSequence([seed, index, crc32(name)])`` and produces its
+  weight-proportional share of the records; the shares are interleaved
+  in fixed-size slices.  The same scenario therefore always writes a
+  byte-identical ``.vpt`` file (the determinism acceptance test).
+* **config assembly** — stressor override contributions merge in
+  catalogue order, the scenario's own ``overrides`` win, and the result
+  is validated against the real ``SimulationConfig`` fields so a typo'd
+  override fails loudly instead of being ignored.
+
+Scenarios round-trip through JSON (the corpus manifest embeds them), and
+:data:`PRESETS` holds the named recipes the CLI and CI budgets draw from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.fuzz.stressors import get_stressor
+from repro.sim.config import ORGANIZATIONS, SimulationConfig
+from repro.traces.format import TraceMeta, TraceWriter
+
+#: Records per interleave slice when mixing stressor streams.
+INTERLEAVE_SLICE = 512
+
+#: Config fields scenarios may override (everything except the wiring
+#: fields the runner owns: organization, trace_file, fault_plan, obs).
+_RESERVED_OVERRIDES = ("organization", "trace_file", "fault_plan", "obs", "recovery")
+_CONFIG_FIELDS = tuple(
+    f.name for f in dataclasses.fields(SimulationConfig)
+    if f.name not in _RESERVED_OVERRIDES
+)
+
+
+@dataclass(frozen=True)
+class StressorSpec:
+    """One stressor reference inside a scenario: name, weight, parameters."""
+
+    name: str
+    weight: float = 1.0
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        get_stressor(self.name)  # unknown names fail at construction
+        if not self.weight > 0.0:
+            raise ConfigurationError(
+                f"stressor {self.name!r} weight {self.weight} must be > 0",
+                field="weight", value=self.weight,
+            )
+
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    @classmethod
+    def make(cls, name: str, weight: float = 1.0, **params: Any) -> "StressorSpec":
+        return cls(name=name, weight=weight, params=tuple(sorted(params.items())))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete adversarial run recipe (JSON round-trippable)."""
+
+    name: str
+    seed: int = 0
+    scale: int = 512
+    trace_length: int = 12000
+    #: The SimulationConfig seed — also the hash seed collision stressors
+    #: synthesize against, so the collisions are real at run time.
+    sim_seed: int = 12345
+    stressors: Tuple[StressorSpec, ...] = ()
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+    #: Serialized FaultSpec dicts (see FaultSpec.to_dict); empty = no plan.
+    fault_specs: Tuple[Tuple[Tuple[str, Any], ...], ...] = ()
+    fault_seed: int = 0
+    invariant_check_every: int = 0
+    #: cycles-per-access ratio vs the radix baseline above which a
+    #: surviving run is classified as a cycle-budget blowup.
+    blowup_threshold: float = 2.0
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.stressors:
+            raise ConfigurationError(
+                f"scenario {self.name!r} has no stressors", field="stressors",
+            )
+        if self.trace_length < 1:
+            raise ConfigurationError(
+                f"trace_length {self.trace_length} must be >= 1",
+                field="trace_length", value=self.trace_length,
+            )
+        for key, _value in self.overrides:
+            if key not in _CONFIG_FIELDS:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} overrides unknown config field "
+                    f"{key!r} (valid: {_CONFIG_FIELDS})",
+                    field="overrides", value=key,
+                )
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "scale": self.scale,
+            "trace_length": self.trace_length,
+            "sim_seed": self.sim_seed,
+            "stressors": [
+                {"name": s.name, "weight": s.weight, "params": s.params_dict()}
+                for s in self.stressors
+            ],
+            "overrides": dict(self.overrides),
+            "fault_specs": [dict(spec) for spec in self.fault_specs],
+            "fault_seed": self.fault_seed,
+            "invariant_check_every": self.invariant_check_every,
+            "blowup_threshold": self.blowup_threshold,
+            "notes": self.notes,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "Scenario":
+        if not isinstance(raw, Mapping):
+            raise ConfigurationError(
+                f"scenario must be a JSON object, got {type(raw).__name__}",
+                field="scenario", value=raw,
+            )
+        stressors = tuple(
+            StressorSpec(
+                name=str(s["name"]),
+                weight=float(s.get("weight", 1.0)),
+                params=tuple(sorted(dict(s.get("params", {})).items())),
+            )
+            for s in raw.get("stressors", ())
+        )
+        return cls(
+            name=str(raw.get("name", "unnamed")),
+            seed=int(raw.get("seed", 0)),
+            scale=int(raw.get("scale", 512)),
+            trace_length=int(raw.get("trace_length", 12000)),
+            sim_seed=int(raw.get("sim_seed", 12345)),
+            stressors=stressors,
+            overrides=tuple(sorted(dict(raw.get("overrides", {})).items())),
+            fault_specs=tuple(
+                tuple(sorted(dict(spec).items()))
+                for spec in raw.get("fault_specs", ())
+            ),
+            fault_seed=int(raw.get("fault_seed", 0)),
+            invariant_check_every=int(raw.get("invariant_check_every", 0)),
+            blowup_threshold=float(raw.get("blowup_threshold", 2.0)),
+            notes=str(raw.get("notes", "")),
+        )
+
+    @classmethod
+    def from_json(cls, blob: str) -> "Scenario":
+        try:
+            raw = json.loads(blob)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"scenario JSON is unparseable: {exc}", field="scenario",
+            ) from exc
+        return cls.from_dict(raw)
+
+    # -- derived objects -------------------------------------------------
+
+    def with_seed(self, seed: int) -> "Scenario":
+        return dataclasses.replace(self, seed=seed)
+
+    def build_fault_plan(self) -> Optional[FaultPlan]:
+        """The composed fault plan, rebuilt from the serialized specs."""
+        if not self.fault_specs:
+            return None
+        specs = [FaultSpec.from_dict(dict(spec)) for spec in self.fault_specs]
+        return FaultPlan(specs, seed=self.fault_seed)
+
+    def merged_overrides(self) -> Dict[str, Any]:
+        """Stressor override contributions, then the scenario's own."""
+        merged: Dict[str, Any] = {}
+        for spec in self.stressors:
+            merged.update(get_stressor(spec.name).overrides(spec.params_dict()))
+        merged.update(dict(self.overrides))
+        # JSON round-trips tuples as lists; SimulationConfig wants tuples.
+        if "chunk_sizes" in merged:
+            merged["chunk_sizes"] = tuple(merged["chunk_sizes"])
+        return merged
+
+    def config_for(self, organization: str, trace_path: str) -> SimulationConfig:
+        """The SimulationConfig this scenario runs ``organization`` with."""
+        if organization not in ORGANIZATIONS:
+            raise ConfigurationError(
+                f"organization {organization!r} not in {ORGANIZATIONS}",
+                field="organization", value=organization,
+            )
+        kwargs = self.merged_overrides()
+        kwargs.setdefault("scale", self.scale)
+        kwargs.setdefault("seed", self.sim_seed)
+        kwargs.setdefault("invariant_check_every", self.invariant_check_every)
+        return SimulationConfig(
+            organization=organization,
+            trace_file=trace_path,
+            fault_plan=self.build_fault_plan(),
+            **kwargs,
+        )
+
+    # -- trace generation ------------------------------------------------
+
+    def _stressor_streams(self) -> List[np.ndarray]:
+        """Each stressor's weight-proportional share of the records."""
+        weights = np.array([s.weight for s in self.stressors], dtype=np.float64)
+        shares = weights / weights.sum()
+        counts = np.floor(shares * self.trace_length).astype(np.int64)
+        # Largest-remainder top-up so the counts sum exactly.
+        remainder = self.trace_length - int(counts.sum())
+        order = np.argsort(-(shares * self.trace_length - counts), kind="stable")
+        for i in range(remainder):
+            counts[order[i % len(order)]] += 1
+        streams = []
+        for index, spec in enumerate(self.stressors):
+            n = int(counts[index])
+            if n == 0:
+                streams.append(np.empty(0, dtype=np.int64))
+                continue
+            digest = zlib.crc32(spec.name.encode("utf-8")) & 0x7FFFFFFF
+            rng = np.random.default_rng(
+                np.random.SeedSequence([self.seed, index, digest])
+            )
+            params = spec.params_dict()
+            params.setdefault("sim_seed", self.sim_seed)
+            stream = get_stressor(spec.name).generate(rng, n, params)
+            stream = np.asarray(stream, dtype=np.int64)
+            if stream.size != n:
+                raise ConfigurationError(
+                    f"stressor {spec.name!r} produced {stream.size} records, "
+                    f"asked for {n}", field="stressor", value=spec.name,
+                )
+            streams.append(stream)
+        return streams
+
+    def generate_stream(self) -> np.ndarray:
+        """The scenario's full VPN stream: sliced round-robin interleave."""
+        streams = self._stressor_streams()
+        if len(streams) == 1:
+            return streams[0]
+        out = np.empty(self.trace_length, dtype=np.int64)
+        cursors = [0] * len(streams)
+        pos = 0
+        while pos < self.trace_length:
+            progressed = False
+            for i, stream in enumerate(streams):
+                take = min(INTERLEAVE_SLICE, stream.size - cursors[i])
+                if take <= 0:
+                    continue
+                out[pos : pos + take] = stream[cursors[i] : cursors[i] + take]
+                cursors[i] += take
+                pos += take
+                progressed = True
+            if not progressed:  # pragma: no cover - counts sum to length
+                break
+        return out
+
+    def trace_meta(self) -> TraceMeta:
+        return TraceMeta(
+            source="fuzz",
+            seed=self.sim_seed,
+            scale=self.scale,
+            extra={"generator": "repro.fuzz", "scenario": self.to_dict()},
+        )
+
+    def generate_trace(self, path: str, registry=None) -> TraceMeta:
+        """Write the scenario's ``.vpt`` trace (byte-identical per seed)."""
+        meta = self.trace_meta()
+        with TraceWriter(path, meta=meta, registry=registry) as writer:
+            writer.append(self.generate_stream())
+        return meta
+
+
+def scenario_from_trace_meta(meta: TraceMeta) -> Optional[Scenario]:
+    """Recover the generating scenario embedded in a fuzz trace header."""
+    raw = meta.extra.get("scenario") if meta.extra else None
+    if raw is None:
+        return None
+    return Scenario.from_dict(raw)
+
+
+# -- named presets ---------------------------------------------------------
+
+
+def _preset_frag_abort(seed: int) -> Scenario:
+    return Scenario(
+        name="frag-storm",
+        seed=seed,
+        trace_length=12000,
+        stressors=(StressorSpec.make("fragmentation_storm", blocks=2048, fmfi=0.78),),
+        notes="dense doublings at FMFI 0.78: ECPT aborts, ME-HPT pays chunked costs",
+    )
+
+
+def _preset_l2p(seed: int) -> Scenario:
+    return Scenario(
+        name="l2p-ladder",
+        seed=seed,
+        trace_length=8000,
+        stressors=(StressorSpec.make("l2p_overflow", blocks=4096),),
+        notes="8KB-only ladder with 8 chunks/way: ME-HPT L2P exhaustion",
+    )
+
+
+def _preset_collision(seed: int) -> Scenario:
+    return Scenario(
+        name="collision-cluster",
+        seed=seed,
+        trace_length=12000,
+        blowup_threshold=1.5,
+        stressors=(StressorSpec.make("collision_cluster", mask_bits=8, buckets=8,
+                                     max_blocks=1024),),
+        notes="2-way mix64 collisions into 8 buckets: kick/emergency-resize storm",
+    )
+
+
+def _preset_churn_oscillation(seed: int) -> Scenario:
+    return Scenario(
+        name="churn-oscillation",
+        seed=seed,
+        trace_length=12000,
+        invariant_check_every=2048,
+        stressors=(
+            StressorSpec.make("churn", windows=6, window_blocks=512, weight=1.0),
+            StressorSpec.make("oscillation", blocks=2048, phases=5, weight=1.0),
+        ),
+        notes="VMA churn interleaved with footprint oscillation, invariants on",
+    )
+
+
+def _preset_planted_fault(seed: int) -> Scenario:
+    return Scenario(
+        name="planted-fault",
+        seed=seed,
+        trace_length=20000,
+        stressors=(StressorSpec.make("fragmentation_storm", blocks=2048, fmfi=0.5),),
+        overrides=(("fmfi", 0.5),),
+        fault_specs=(
+            tuple(sorted(
+                FaultSpec(
+                    "contiguous_alloc", every=3, min_bytes=2 * 1024 * 1024
+                ).to_dict().items()
+            )),
+        ),
+        fault_seed=99,
+        notes=(
+            "injected permanent contiguous-alloc failure on the 3rd way "
+            "doubling of at least 2MB (build-time allocations are below "
+            "the min_bytes gate, so the abort lands inside the trace loop)"
+        ),
+    )
+
+
+#: Named scenario recipes: the corpus seeds, the CLI's --preset domain,
+#: and the CI fuzz budgets all draw from here.
+PRESETS: Dict[str, Any] = {
+    "frag-storm": _preset_frag_abort,
+    "l2p-ladder": _preset_l2p,
+    "collision-cluster": _preset_collision,
+    "churn-oscillation": _preset_churn_oscillation,
+    "planted-fault": _preset_planted_fault,
+}
+
+
+def make_preset(name: str, seed: int = 0) -> Scenario:
+    """Instantiate a preset scenario at ``seed``."""
+    factory = PRESETS.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown preset {name!r} (not in {tuple(sorted(PRESETS))})",
+            field="preset", value=name,
+        )
+    return factory(seed)
+
+
+def preset_names() -> Sequence[str]:
+    return tuple(sorted(PRESETS))

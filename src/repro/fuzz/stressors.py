@@ -1,0 +1,297 @@
+"""The adversarial stressor catalogue: seeded VPN-stream generators.
+
+Each stressor is a named recipe for one kind of memory behavior the
+paper's machinery must survive:
+
+* ``fragmentation_storm`` — a dense footprint under pathological FMFI,
+  pushing ECPT's contiguous way doublings into the >0.7-FMFI failure
+  region (Section III) while ME-HPT pays chunked-allocation overheads;
+* ``churn`` — mmap/munmap-style working-set migration: successive VA
+  windows are faulted in and abandoned, growing the tables across many
+  disjoint VMAs (numaPTE's churn failure shape);
+* ``oscillation`` — footprint grow→shrink→grow: accesses expand over the
+  full footprint, collapse to a hot core, and expand again, stressing
+  downsizing and per-way balance (the fuzz runner's downsize probe
+  drives the same phases through map/unmap);
+* ``collision_cluster`` — VPNs whose blocks collide in the *actual*
+  :mod:`repro.hashing` way functions, synthesized by scanning candidate
+  blocks against the same ``mix64`` way seeds the simulator will use,
+  so a handful of buckets absorb the whole footprint and kick chains /
+  emergency resizes dominate;
+* ``l2p_overflow`` — a footprint that outgrows a deliberately shortened
+  chunk ladder, driving the >64-entry L2P pressure path to
+  :class:`~repro.common.errors.L2POverflowError`.
+
+A stressor contributes two things: a deterministic VPN stream (a pure
+function of its forked RNG and parameters) and a set of
+:class:`~repro.sim.config.SimulationConfig` overrides (e.g. the storm's
+FMFI, the overflow's shortened ladder).  Scenarios compose stressors by
+weight; see :mod:`repro.fuzz.scenario`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import KB
+from repro.hashing.hashes import HashFamily, mix64, mix64_array
+from repro.workloads.base import DATA_VMA_BASE, PAGES_PER_BLOCK
+
+#: Maximum candidate blocks the collision scan examines per call; bounds
+#: generation time regardless of how aggressive the parameters are.
+MAX_COLLISION_SCAN_BLOCKS = 16_000_000
+
+
+def _dense_pages(blocks: int, base_block: int = DATA_VMA_BASE // PAGES_PER_BLOCK) -> np.ndarray:
+    """All 8 pages of ``blocks`` consecutive HPT blocks, as VPNs."""
+    block_ids = np.arange(base_block, base_block + blocks, dtype=np.int64)
+    return (block_ids[:, None] * PAGES_PER_BLOCK + np.arange(PAGES_PER_BLOCK)).ravel()
+
+
+def fragmentation_storm(rng: np.random.Generator, n: int, params: Mapping[str, Any]) -> np.ndarray:
+    """Uniform traffic over a dense footprint sized to force big doublings.
+
+    The footprint is chosen so the 4KB ways double into the
+    contiguous-allocation failure region once FMFI (the ``fmfi``
+    override) exceeds the paper's 0.7 threshold.
+    """
+    pages = _dense_pages(int(params.get("blocks", 2048)))
+    return pages[rng.integers(0, pages.size, size=n)]
+
+
+def _fragmentation_overrides(params: Mapping[str, Any]) -> Dict[str, Any]:
+    return {"fmfi": float(params.get("fmfi", 0.78))}
+
+
+def churn(rng: np.random.Generator, n: int, params: Mapping[str, Any]) -> np.ndarray:
+    """Working-set migration across disjoint VA windows.
+
+    The stream visits ``windows`` successive windows of
+    ``window_blocks`` blocks each, separated by VMA-splitting gaps; a
+    ``revisit`` fraction of each phase's accesses lands in earlier
+    windows so abandoned mappings stay live in the tables.
+    """
+    windows = int(params.get("windows", 6))
+    window_blocks = int(params.get("window_blocks", 512))
+    revisit = float(params.get("revisit", 0.25))
+    if windows < 1 or window_blocks < 1:
+        raise ConfigurationError(
+            f"churn needs windows >= 1 and window_blocks >= 1 "
+            f"(got {windows}, {window_blocks})"
+        )
+    # Window stride leaves a multi-VMA gap (> the synthesizer's 4096-page
+    # threshold) between working sets.
+    stride_blocks = window_blocks * 4 + 1024
+    base_block = DATA_VMA_BASE // PAGES_PER_BLOCK
+    window_pages = [
+        _dense_pages(window_blocks, base_block + w * stride_blocks)
+        for w in range(windows)
+    ]
+    out = np.empty(n, dtype=np.int64)
+    bounds = np.linspace(0, n, windows + 1).astype(np.int64)
+    for w in range(windows):
+        lo, hi = int(bounds[w]), int(bounds[w + 1])
+        size = hi - lo
+        if size <= 0:
+            continue
+        pages = window_pages[w]
+        phase = pages[rng.integers(0, pages.size, size=size)]
+        if w > 0 and revisit > 0.0:
+            mask = rng.random(size) < revisit
+            if mask.any():
+                old = np.concatenate(window_pages[:w])
+                phase[mask] = old[rng.integers(0, old.size, size=int(mask.sum()))]
+        out[lo:hi] = phase
+    return out
+
+
+def oscillation(rng: np.random.Generator, n: int, params: Mapping[str, Any]) -> np.ndarray:
+    """Footprint grow→shrink→grow phases over one dense region.
+
+    Odd phases collapse to the first ``core_fraction`` of the footprint;
+    even phases span all of it.  Composed with ``allow_downsize`` (the
+    override this stressor contributes) the shrink phases starve the
+    outer pages, and the runner's downsize probe replays the same phase
+    structure through explicit map/unmap calls.
+    """
+    blocks = int(params.get("blocks", 2048))
+    phases = int(params.get("phases", 5))
+    core_fraction = float(params.get("core_fraction", 0.125))
+    if phases < 1 or not 0.0 < core_fraction <= 1.0:
+        raise ConfigurationError(
+            f"oscillation needs phases >= 1 and core_fraction in (0, 1] "
+            f"(got {phases}, {core_fraction})"
+        )
+    pages = _dense_pages(blocks)
+    core = pages[: max(1, int(pages.size * core_fraction))]
+    out = np.empty(n, dtype=np.int64)
+    bounds = np.linspace(0, n, phases + 1).astype(np.int64)
+    for p in range(phases):
+        lo, hi = int(bounds[p]), int(bounds[p + 1])
+        size = hi - lo
+        if size <= 0:
+            continue
+        pool = pages if p % 2 == 0 else core
+        out[lo:hi] = pool[rng.integers(0, pool.size, size=size)]
+    return out
+
+
+def _oscillation_overrides(params: Mapping[str, Any]) -> Dict[str, Any]:
+    return {"allow_downsize": True}
+
+
+def collision_blocks(
+    sim_seed: int,
+    mask_bits: int,
+    buckets: int,
+    max_blocks: int,
+    scan_blocks: int,
+    constrained_ways: int,
+) -> np.ndarray:
+    """Blocks whose 4KB-table hashes collide into a few buckets per way.
+
+    Scans candidate block numbers (starting at the data VMA base, so the
+    VPNs look like ordinary heap addresses) and keeps those whose hash,
+    under the *actual* per-way ``mix64`` seeds the simulator derives
+    from ``sim_seed``, lands in the first ``buckets`` slots of a
+    ``2**mask_bits``-slot way — for each of the first
+    ``constrained_ways`` ways.  The survivors saturate those buckets at
+    every table size up to the mask, forcing kick chains and emergency
+    resizes.  Fully vectorized; bounded by
+    :data:`MAX_COLLISION_SCAN_BLOCKS`.
+    """
+    mask = 1 << mask_bits
+    if not 1 <= buckets <= mask:
+        raise ConfigurationError(
+            f"collision buckets {buckets} must be in [1, 2**mask_bits={mask}]"
+        )
+    if not 1 <= constrained_ways <= 3:
+        raise ConfigurationError(
+            f"constrained_ways {constrained_ways} must be in [1, 3]"
+        )
+    # size_index 0 = the 4KB table (PAGE_SIZES ordering in ecpt.tables).
+    family = HashFamily(seed=sim_seed * 31 + 0)
+    way_seeds = [mix64(family.seed * 1000003 + w + 1) for w in range(constrained_ways)]
+    scan = min(int(scan_blocks), MAX_COLLISION_SCAN_BLOCKS)
+    base = DATA_VMA_BASE // PAGES_PER_BLOCK
+    found = []
+    have = 0
+    step = 2_000_000
+    for start in range(0, scan, step):
+        cand = np.arange(base + start, base + min(start + step, scan), dtype=np.int64)
+        keep = np.ones(cand.size, dtype=bool)
+        for ws in way_seeds:
+            h = mix64_array(cand, ws)
+            keep &= (h & np.uint64(mask - 1)) < np.uint64(buckets)
+        hits = cand[keep]
+        if hits.size:
+            found.append(hits)
+            have += hits.size
+        if have >= max_blocks:
+            break
+    if not found:
+        raise ConfigurationError(
+            f"collision scan found no blocks (mask_bits={mask_bits}, "
+            f"buckets={buckets}, scan_blocks={scan}); widen the buckets or "
+            f"lower mask_bits"
+        )
+    return np.concatenate(found)[:max_blocks]
+
+
+def collision_cluster(rng: np.random.Generator, n: int, params: Mapping[str, Any]) -> np.ndarray:
+    """Uniform traffic over a hash-colliding footprint (see above).
+
+    ``sim_seed`` must match the :class:`SimulationConfig` seed the
+    scenario runs with — the scenario generator injects it.
+    """
+    blocks = collision_blocks(
+        sim_seed=int(params.get("sim_seed", 12345)),
+        mask_bits=int(params.get("mask_bits", 8)),
+        buckets=int(params.get("buckets", 8)),
+        max_blocks=int(params.get("max_blocks", 1024)),
+        scan_blocks=int(params.get("scan_blocks", 4_000_000)),
+        constrained_ways=int(params.get("constrained_ways", 2)),
+    )
+    pages = (blocks[:, None] * PAGES_PER_BLOCK + np.arange(PAGES_PER_BLOCK)).ravel()
+    return pages[rng.integers(0, pages.size, size=n)]
+
+
+def l2p_overflow(rng: np.random.Generator, n: int, params: Mapping[str, Any]) -> np.ndarray:
+    """A steadily growing footprint against a shortened chunk ladder.
+
+    The contributed overrides pin ME-HPT to 8KB chunks with a small
+    ``max_chunks_per_way``, so way growth exhausts the ladder and
+    surfaces :class:`~repro.common.errors.L2POverflowError` as a
+    recorded abort.
+    """
+    pages = _dense_pages(int(params.get("blocks", 4096)))
+    # Mostly a sequential sweep (monotonic way growth), salted with
+    # uniform revisits so the stream is not purely cold faults.
+    out = np.empty(n, dtype=np.int64)
+    sweep = pages[np.arange(n, dtype=np.int64) * pages.size // max(n, 1) % pages.size]
+    out[:] = sweep
+    mask = rng.random(n) < float(params.get("revisit", 0.3))
+    if mask.any():
+        out[mask] = pages[rng.integers(0, pages.size, size=int(mask.sum()))]
+    return out
+
+
+def _l2p_overrides(params: Mapping[str, Any]) -> Dict[str, Any]:
+    return {
+        "chunk_sizes": (8 * KB,),
+        "max_chunks_per_way": int(params.get("max_chunks_per_way", 8)),
+    }
+
+
+def _no_overrides(params: Mapping[str, Any]) -> Dict[str, Any]:
+    return {}
+
+
+@dataclass(frozen=True)
+class Stressor:
+    """One catalogue entry: a generator plus its config contribution."""
+
+    name: str
+    generate: Callable[[np.random.Generator, int, Mapping[str, Any]], np.ndarray]
+    overrides: Callable[[Mapping[str, Any]], Dict[str, Any]]
+    description: str
+
+
+#: The stressor catalogue, keyed by name (the ``StressorSpec.name`` domain).
+STRESSORS: Dict[str, Stressor] = {
+    "fragmentation_storm": Stressor(
+        "fragmentation_storm", fragmentation_storm, _fragmentation_overrides,
+        "dense footprint under pathological FMFI (contiguous-alloc pressure)",
+    ),
+    "churn": Stressor(
+        "churn", churn, _no_overrides,
+        "mmap/munmap-style working-set migration across disjoint VMAs",
+    ),
+    "oscillation": Stressor(
+        "oscillation", oscillation, _oscillation_overrides,
+        "footprint grow-shrink-grow phases (downsize / per-way balance)",
+    ),
+    "collision_cluster": Stressor(
+        "collision_cluster", collision_cluster, _no_overrides,
+        "VPNs hash-colliding in the real way functions (kick storms)",
+    ),
+    "l2p_overflow": Stressor(
+        "l2p_overflow", l2p_overflow, _l2p_overrides,
+        "footprint growth against a shortened chunk ladder (L2P pressure)",
+    ),
+}
+
+
+def get_stressor(name: str) -> Stressor:
+    """Look up a catalogue entry; unknown names fail with the full menu."""
+    stressor = STRESSORS.get(name)
+    if stressor is None:
+        raise ConfigurationError(
+            f"unknown stressor {name!r} (not in {tuple(sorted(STRESSORS))})",
+            field="name", value=name,
+        )
+    return stressor

@@ -235,6 +235,28 @@ CATALOGUE: Dict[str, MetricSpec] = {
     "faults.recovery_cycles": MetricSpec(
         KIND_COUNTER, "cycles", "repro.faults.log",
         "Cycles spent in recovery paths (retries, rollbacks, fallbacks)."),
+    # -- adversarial fuzzing (repro.fuzz) --------------------------------
+    "fuzz.scenarios_run": MetricSpec(
+        KIND_COUNTER, "scenarios", "repro.fuzz.runner",
+        "Adversarial scenarios executed across organizations."),
+    "fuzz.failures_found": MetricSpec(
+        KIND_COUNTER, "scenarios", "repro.fuzz.runner",
+        "Scenarios whose aggregate classification was not 'ok'."),
+    "fuzz.divergence_checks": MetricSpec(
+        KIND_COUNTER, "checks", "repro.fuzz.runner",
+        "Scalar-vs-vectorized engine comparisons run on scenario traces."),
+    "fuzz.minimizer_evals": MetricSpec(
+        KIND_COUNTER, "evaluations", "repro.fuzz.minimize",
+        "Candidate traces the delta-debugging minimizer re-validated."),
+    "fuzz.minimizer_records_removed": MetricSpec(
+        KIND_COUNTER, "records", "repro.fuzz.minimize",
+        "Trace records removed by successful minimizations."),
+    "fuzz.corpus_replays": MetricSpec(
+        KIND_COUNTER, "entries", "repro.fuzz.corpus",
+        "Reproducer corpus entries replayed and re-classified."),
+    "fuzz.corpus_mismatches": MetricSpec(
+        KIND_COUNTER, "entries", "repro.fuzz.corpus",
+        "Corpus replays whose classification drifted from the manifest."),
 }
 
 

@@ -324,6 +324,90 @@ def _read_header(handle: BinaryIO, path: str) -> TraceMeta:
         ) from exc
 
 
+def _is_int(value: Any) -> bool:
+    """A real integer — bools are excluded (JSON true/false parse as bool)."""
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _validate_footer_schema(
+    footer: Any, path: str, footer_offset: int, file_size: int
+) -> Dict[str, Any]:
+    """Check the parsed footer's shape before anything indexes into it.
+
+    Garbage that *parses* as JSON (fuzzed files, partial overwrites) must
+    surface as :class:`TraceFormatError` with file-offset context, never
+    as a ``TypeError``/``ValueError`` leaking from chunk iteration.
+    """
+    if not isinstance(footer, dict):
+        raise TraceFormatError(
+            f"{path} footer at offset {footer_offset} is a JSON "
+            f"{type(footer).__name__}, not an object",
+            path=path, footer_offset=footer_offset,
+        )
+    if "chunks" not in footer or "total_values" not in footer:
+        raise TraceFormatError(
+            f"{path} footer at offset {footer_offset} is incomplete",
+            path=path, footer_offset=footer_offset,
+        )
+    total = footer["total_values"]
+    if not _is_int(total) or total < 0:
+        raise TraceFormatError(
+            f"{path} footer total_values {total!r} is not a non-negative "
+            f"integer", path=path, footer_offset=footer_offset,
+        )
+    chunks = footer["chunks"]
+    if not isinstance(chunks, list):
+        raise TraceFormatError(
+            f"{path} footer chunk index is a {type(chunks).__name__}, "
+            f"not a list", path=path, footer_offset=footer_offset,
+        )
+    data_end = footer_offset
+    for chunk_no, entry in enumerate(chunks):
+        if not isinstance(entry, (list, tuple)) or len(entry) != 5:
+            raise TraceFormatError(
+                f"{path} footer chunk {chunk_no} entry is malformed "
+                f"(want [offset, count, payload_len, crc32, prev_vpn], "
+                f"got {entry!r})",
+                path=path, footer_offset=footer_offset, chunk=chunk_no,
+            )
+        offset, count, payload_len, crc, prev_vpn = entry
+        if not all(_is_int(v) for v in (offset, count, payload_len, crc, prev_vpn)):
+            raise TraceFormatError(
+                f"{path} footer chunk {chunk_no} entry holds non-integer "
+                f"fields: {entry!r}",
+                path=path, footer_offset=footer_offset, chunk=chunk_no,
+            )
+        if offset < 0 or count < 1 or payload_len < 1 or not 0 <= crc < 1 << 32:
+            raise TraceFormatError(
+                f"{path} footer chunk {chunk_no} entry is out of range: "
+                f"offset={offset} count={count} payload_len={payload_len} "
+                f"crc={crc}",
+                path=path, footer_offset=footer_offset, chunk=chunk_no,
+            )
+        if offset + _CHUNK_HEADER_BYTES + payload_len > data_end:
+            raise TraceFormatError(
+                f"{path} footer chunk {chunk_no} points past the data "
+                f"region (offset {offset} + {payload_len} payload bytes "
+                f"vs footer at {footer_offset})",
+                path=path, footer_offset=footer_offset, chunk=chunk_no,
+            )
+    for key in ("min_vpn", "max_vpn"):
+        value = footer.get(key)
+        if value is not None and not _is_int(value):
+            raise TraceFormatError(
+                f"{path} footer {key} {value!r} is not an integer",
+                path=path, footer_offset=footer_offset,
+            )
+    sealed = footer.get("meta")
+    if sealed is not None and not isinstance(sealed, dict):
+        raise TraceFormatError(
+            f"{path} footer sealed metadata is a "
+            f"{type(sealed).__name__}, not an object",
+            path=path, footer_offset=footer_offset,
+        )
+    return footer
+
+
 def _read_footer(handle: BinaryIO, path: str) -> Dict[str, Any]:
     """Parse the trailer-located footer index from an open trace file."""
     handle.seek(0, os.SEEK_END)
@@ -337,22 +421,30 @@ def _read_footer(handle: BinaryIO, path: str) -> Dict[str, Any]:
             f"{path} has no trailer magic — unsealed or truncated trace",
             path=path,
         )
-    footer_offset, footer_len = struct.unpack(
-        _TRAILER_FMT, trailer[: struct.calcsize(_TRAILER_FMT)]
-    )
+    try:
+        footer_offset, footer_len = struct.unpack(
+            _TRAILER_FMT, trailer[: struct.calcsize(_TRAILER_FMT)]
+        )
+    except struct.error as exc:  # pragma: no cover - length is fixed above
+        raise TraceFormatError(
+            f"{path} trailer is undecodable: {exc}", path=path,
+        ) from exc
     if footer_offset + footer_len > size - _TRAILER_BYTES:
-        raise TraceFormatError(f"{path} footer location is corrupt", path=path)
+        raise TraceFormatError(
+            f"{path} footer location is corrupt (offset {footer_offset} + "
+            f"{footer_len} bytes vs {size}-byte file)",
+            path=path, footer_offset=footer_offset,
+        )
     handle.seek(footer_offset)
     blob = handle.read(footer_len)
     try:
         footer = json.loads(blob.decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:
         raise TraceFormatError(
-            f"{path} footer is unparseable: {exc}", path=path,
+            f"{path} footer at offset {footer_offset} is unparseable: {exc}",
+            path=path, footer_offset=footer_offset,
         ) from exc
-    if "chunks" not in footer or "total_values" not in footer:
-        raise TraceFormatError(f"{path} footer is incomplete", path=path)
-    return footer
+    return _validate_footer_schema(footer, path, footer_offset, size)
 
 
 class TraceReader:

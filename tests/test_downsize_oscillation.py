@@ -1,0 +1,103 @@
+"""Deterministic grow→shrink→grow oscillation across downsizing.
+
+The fuzzer's oscillation stressor only *suggests* downsizing pressure;
+this test pins the behaviour directly: populate a table well past its
+initial capacity, delete down to a small core, re-grow with fresh keys,
+and hold ``check_invariants()`` plus per-way balance through every
+phase.  Independent of :mod:`repro.fuzz` so a fuzzer regression cannot
+mask a downsizing regression (or vice versa).
+"""
+
+import pytest
+
+from repro.sim.config import SimulationConfig
+from repro.workloads import get_workload
+from tests.conftest import make_chunked_table, make_contiguous_table
+
+GROW = 3000
+CORE = 200
+REGROW = 2500
+
+
+def _assert_way_balance(table, live):
+    """Entries conserved across ways, and no way hoards the table."""
+    counts = [way.count for way in table.ways]
+    assert sum(counts) == live
+    assert all(count >= 0 for count in counts)
+    # The all-way/per-way policies keep occupancy within the resize
+    # thresholds, so no single way should hold the whole footprint once
+    # the table is past trivial size.
+    if live >= 100:
+        assert max(counts) < live
+
+
+def _oscillate(table):
+    for key in range(GROW):
+        table.insert(key, key)
+    table.drain()
+    table.check_invariants()
+    _assert_way_balance(table, GROW)
+    grown_slots = table.capacity()
+
+    for key in range(CORE, GROW):
+        table.delete(key)
+    table.drain()
+    table.check_invariants()
+    _assert_way_balance(table, CORE)
+    shrunk_slots = table.capacity()
+    assert shrunk_slots < grown_slots
+    assert any(way.downsizes > 0 for way in table.ways)
+    for key in range(CORE):
+        assert table.lookup(key) == key
+
+    for key in range(10_000, 10_000 + REGROW):
+        table.insert(key, key)
+    table.drain()
+    table.check_invariants()
+    _assert_way_balance(table, CORE + REGROW)
+    assert table.capacity() > shrunk_slots
+    for key in range(10_000, 10_000 + REGROW):
+        assert table.lookup(key) == key
+    return [way.size for way in table.ways]
+
+
+class TestOscillationAcrossDownsize:
+    def test_contiguous_table_grow_shrink_grow(self):
+        sizes = _oscillate(make_contiguous_table(initial_slots=16))
+        assert all(size >= 16 for size in sizes)
+
+    def test_chunked_table_grow_shrink_grow(self):
+        sizes = _oscillate(make_chunked_table(initial_slots=16, chunk_bytes=1024))
+        assert all(size >= 16 for size in sizes)
+
+    def test_oscillation_is_deterministic(self):
+        first = _oscillate(make_chunked_table(initial_slots=16, chunk_bytes=1024))
+        second = _oscillate(make_chunked_table(initial_slots=16, chunk_bytes=1024))
+        assert first == second
+
+
+class TestPageTableOscillation:
+    """The same oscillation through the ME-HPT page-table facade."""
+
+    @pytest.fixture()
+    def tables(self):
+        config = SimulationConfig(
+            organization="mehpt", scale=512, allow_downsize=True, seed=3,
+        )
+        workload = get_workload("GUPS", scale=512, seed=3)
+        return config.build(workload).page_tables
+
+    def test_map_unmap_map_preserves_invariants(self, tables):
+        base = 0x1000
+        pages = 1500
+        for i in range(pages):
+            tables.map(base + i, i)
+        tables.check_invariants()
+        for i in range(100, pages):
+            tables.unmap(base + i)
+        tables.check_invariants()
+        for i in range(100, pages):
+            tables.map(base + i, pages + i)
+        tables.check_invariants()
+        assert tables.translate(base + 50) == (50, "4K")
+        assert tables.translate(base + 200) == (pages + 200, "4K")

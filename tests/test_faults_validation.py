@@ -1,0 +1,110 @@
+"""FaultSpec / FaultPlan construction-time validation and round-trips.
+
+Bad parameters must be rejected at construction with the same error
+quality as ``unknown fault site`` — not surface later as silent
+no-fires or TypeErrors mid-sweep.  The dict round-trip is what the fuzz
+corpus uses to embed fault plans in scenario JSON.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.faults.plan import (
+    SITE_CHUNK_ALLOC,
+    SITE_CONTIGUOUS_ALLOC,
+    FaultPlan,
+    FaultSpec,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestFaultSpecValidation:
+    def test_unknown_site(self):
+        with pytest.raises(ConfigurationError, match="unknown fault site"):
+            FaultSpec("coffee_machine", every=2)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"every": True},
+        {"every": 2, "max_failures": False},
+        {"every": 2, "min_bytes": True},
+        {"every": 2.5},
+    ])
+    def test_bool_or_float_counts_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError, match="integer count"):
+            FaultSpec(SITE_CHUNK_ALLOC, **kwargs)
+
+    def test_bool_probability_rejected(self):
+        with pytest.raises(ConfigurationError, match="probability"):
+            FaultSpec(SITE_CHUNK_ALLOC, probability=True)
+
+    def test_bool_fmfi_above_rejected(self):
+        with pytest.raises(ConfigurationError, match="fmfi_above"):
+            FaultSpec(SITE_CHUNK_ALLOC, every=2, fmfi_above=False)
+
+    def test_fmfi_above_one_can_never_fire(self):
+        with pytest.raises(ConfigurationError, match="can never fire"):
+            FaultSpec(SITE_CHUNK_ALLOC, every=2, fmfi_above=1.0)
+
+    def test_negative_min_bytes(self):
+        with pytest.raises(ConfigurationError, match="min_bytes"):
+            FaultSpec(SITE_CHUNK_ALLOC, every=2, min_bytes=-1)
+
+    def test_every_and_probability_exclusive(self):
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            FaultSpec(SITE_CHUNK_ALLOC, every=2, probability=0.5)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            FaultSpec(SITE_CHUNK_ALLOC)
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ConfigurationError, match="in \\[0, 1\\]"):
+            FaultSpec(SITE_CHUNK_ALLOC, probability=1.5)
+
+
+class TestFaultSpecRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        spec = FaultSpec(
+            SITE_CONTIGUOUS_ALLOC, every=3, max_failures=7,
+            min_bytes=2 * 1024 * 1024, fmfi_above=0.5,
+        )
+        clone = FaultSpec.from_dict(spec.to_dict())
+        assert clone.to_dict() == spec.to_dict()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        raw = FaultSpec(SITE_CHUNK_ALLOC, every=2).to_dict()
+        raw["frequency"] = 9
+        with pytest.raises(ConfigurationError, match="unknown fault spec field"):
+            FaultSpec.from_dict(raw)
+
+    def test_from_dict_rejects_non_dict(self):
+        with pytest.raises(ConfigurationError, match="must be a dict"):
+            FaultSpec.from_dict([("site", SITE_CHUNK_ALLOC)])
+
+    def test_from_dict_revalidates(self):
+        raw = FaultSpec(SITE_CHUNK_ALLOC, every=2).to_dict()
+        raw["every"] = -1
+        with pytest.raises(ConfigurationError, match="every"):
+            FaultSpec.from_dict(raw)
+
+
+class TestFaultPlanValidation:
+    def test_non_spec_entries_rejected(self):
+        with pytest.raises(ConfigurationError, match="is not a FaultSpec"):
+            FaultPlan([{"site": SITE_CHUNK_ALLOC, "every": 2}])
+
+    def test_bool_seed_rejected(self):
+        with pytest.raises(ConfigurationError, match="seed"):
+            FaultPlan([], seed=True)
+
+    def test_min_bytes_gates_opportunity_counting(self):
+        # Requests below the gate are not opportunities: the counter
+        # only advances on eligible requests, so the firing schedule is
+        # a function of *eligible* traffic.
+        plan = FaultPlan(
+            [FaultSpec(SITE_CONTIGUOUS_ALLOC, every=2, min_bytes=1024)]
+        )
+        assert plan.decide(SITE_CONTIGUOUS_ALLOC, nbytes=512) is None
+        assert plan.opportunities() == 0
+        assert plan.decide(SITE_CONTIGUOUS_ALLOC, nbytes=2048) is None
+        assert plan.decide(SITE_CONTIGUOUS_ALLOC, nbytes=2048) is not None
+        assert plan.fired() == 1

@@ -1,0 +1,121 @@
+"""``python -m repro.fuzz`` CLI: all four verbs plus error paths."""
+
+import json
+import os
+
+import pytest
+
+from repro.fuzz.__main__ import main
+from repro.fuzz.corpus import load_manifest
+from repro.fuzz.scenario import make_preset
+
+pytestmark = pytest.mark.fuzz
+
+
+class TestGenerate:
+    def test_generate_writes_trace_and_sidecar(self, tmp_path, capsys):
+        out = str(tmp_path / "s.vpt")
+        rc = main([
+            "generate", "--preset", "planted-fault", "--seed", "3",
+            "--out", out,
+        ])
+        assert rc == 0
+        assert os.path.exists(out)
+        sidecar = str(tmp_path / "s.scenario.json")
+        assert os.path.exists(sidecar)
+        raw = json.loads(open(sidecar).read())
+        assert raw["name"] == "planted-fault"
+        assert raw["seed"] == 3
+        assert "records" in capsys.readouterr().out
+
+    def test_generate_from_scenario_file(self, tmp_path):
+        scenario = make_preset("planted-fault", seed=1)
+        blob = str(tmp_path / "in.json")
+        with open(blob, "w") as handle:
+            handle.write(scenario.to_json())
+        out = str(tmp_path / "from-json.vpt")
+        assert main(["generate", "--scenario", blob, "--out", out]) == 0
+        assert os.path.exists(out)
+
+    def test_missing_recipe_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            main(["generate", "--out", str(tmp_path / "x.vpt")])
+        assert err.value.code == 2
+
+    def test_unknown_preset_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            main([
+                "generate", "--preset", "zip-bomb",
+                "--out", str(tmp_path / "x.vpt"),
+            ])
+        assert err.value.code == 2
+
+
+class TestRunMinimizeReplay:
+    def test_run_reports_findings(self, tmp_path, capsys):
+        rc = main([
+            "run", "--preset", "planted-fault", "--orgs", "ecpt",
+            "--out-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ecpt=abort:contiguous" in out
+        assert "1 with findings" in out
+
+    def test_fail_on_findings(self, tmp_path):
+        rc = main([
+            "run", "--preset", "planted-fault", "--orgs", "ecpt",
+            "--out-dir", str(tmp_path), "--fail-on-findings",
+        ])
+        assert rc == 1
+
+    def test_run_minimize_into_corpus_then_replay(self, tmp_path, capsys):
+        corpus = str(tmp_path / "corpus")
+        rc = main([
+            "run", "--preset", "planted-fault", "--orgs", "radix,ecpt",
+            "--out-dir", str(tmp_path / "work"), "--minimize",
+            "--corpus", corpus,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "minimized:" in out and "corpus: added" in out
+        entries = load_manifest(corpus)
+        assert len(entries) == 1
+        # < 1% of the 20000-record original.
+        assert entries[0].records <= 200
+
+        rc = main(["replay-corpus", "--corpus", corpus])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 mismatch(es)" in out
+
+    def test_minimize_verb(self, tmp_path, capsys):
+        trace = str(tmp_path / "full.vpt")
+        assert main([
+            "generate", "--preset", "planted-fault", "--out", trace,
+        ]) == 0
+        out = str(tmp_path / "min.vpt")
+        rc = main([
+            "minimize", "--preset", "planted-fault", "--trace", trace,
+            "--failure-class", "abort:contiguous", "--out", out,
+            "--orgs", "ecpt",
+        ])
+        assert rc == 0
+        assert os.path.exists(out)
+        assert "records" in capsys.readouterr().out
+
+    def test_replay_missing_corpus_errors(self, tmp_path, capsys):
+        rc = main(["replay-corpus", "--corpus", str(tmp_path / "nope")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_minimize_wrong_class_errors(self, tmp_path, capsys):
+        trace = str(tmp_path / "full.vpt")
+        main(["generate", "--preset", "planted-fault", "--out", trace])
+        rc = main([
+            "minimize", "--preset", "planted-fault", "--trace", trace,
+            "--failure-class", "abort:l2p", "--out",
+            str(tmp_path / "min.vpt"), "--orgs", "ecpt",
+        ])
+        assert rc == 1
+        assert "does not reproduce" in capsys.readouterr().err

@@ -1,0 +1,174 @@
+"""Versioned reproducer corpus: manifest contract and replay verdicts."""
+
+import json
+import os
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.fuzz.corpus import (
+    CORPUS_VERSION,
+    CorpusEntry,
+    add_entry,
+    file_sha256,
+    load_manifest,
+    manifest_path,
+    replay_corpus,
+    replay_entry,
+)
+from repro.fuzz.minimize import minimize_trace
+from repro.fuzz.runner import CLASS_ABORT_CONTIGUOUS, run_scenario
+from repro.fuzz.scenario import make_preset
+from repro.obs import MetricsRegistry
+
+pytestmark = pytest.mark.fuzz
+
+
+@pytest.fixture(scope="module")
+def reproducer(tmp_path_factory):
+    """A minimized planted-fault reproducer plus its scenario."""
+    workdir = str(tmp_path_factory.mktemp("corpus-src"))
+    scenario = make_preset("planted-fault", seed=0)
+    trace = os.path.join(workdir, "full.vpt")
+    scenario.generate_trace(trace)
+    outcome = run_scenario(scenario, trace_path=trace, orgs=("ecpt",))
+    out = os.path.join(workdir, "repro.vpt")
+    minimize_trace(scenario, trace, outcome.failure_class, out, orgs=("ecpt",))
+    return scenario, out
+
+
+@pytest.fixture()
+def corpus(reproducer, tmp_path):
+    scenario, trace = reproducer
+    corpus_dir = str(tmp_path / "corpus")
+    add_entry(
+        corpus_dir, "planted", trace, scenario,
+        CLASS_ABORT_CONTIGUOUS, ["ecpt"], notes="test entry",
+    )
+    return corpus_dir
+
+
+class TestManifest:
+    def test_add_entry_writes_manifest_and_trace(self, corpus):
+        assert os.path.exists(manifest_path(corpus))
+        assert os.path.exists(os.path.join(corpus, "planted.vpt"))
+        entries = load_manifest(corpus)
+        assert [e.name for e in entries] == ["planted"]
+        entry = entries[0]
+        assert entry.failure_class == CLASS_ABORT_CONTIGUOUS
+        assert entry.affected_orgs == ["ecpt"]
+        assert entry.sha256 == file_sha256(os.path.join(corpus, entry.trace))
+        assert entry.records > 0
+        assert entry.scenario["name"] == "planted-fault"
+
+    def test_readd_replaces_entry(self, corpus, reproducer):
+        scenario, trace = reproducer
+        add_entry(
+            corpus, "planted", trace, scenario,
+            CLASS_ABORT_CONTIGUOUS, ["ecpt"], notes="updated",
+        )
+        entries = load_manifest(corpus)
+        assert len(entries) == 1
+        assert entries[0].notes == "updated"
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no corpus manifest"):
+            load_manifest(str(tmp_path / "nowhere"))
+
+    def test_future_version_rejected(self, corpus):
+        path = manifest_path(corpus)
+        raw = json.loads(open(path).read())
+        raw["version"] = CORPUS_VERSION + 1
+        with open(path, "w") as handle:
+            json.dump(raw, handle)
+        with pytest.raises(ConfigurationError, match="newer than supported"):
+            load_manifest(corpus)
+
+    def test_non_integer_version_rejected(self, corpus):
+        path = manifest_path(corpus)
+        raw = json.loads(open(path).read())
+        raw["version"] = "one"
+        with open(path, "w") as handle:
+            json.dump(raw, handle)
+        with pytest.raises(ConfigurationError, match="version"):
+            load_manifest(corpus)
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            CorpusEntry.from_dict({"name": "x"})
+
+    def test_entry_round_trip(self, corpus):
+        entry = load_manifest(corpus)[0]
+        assert CorpusEntry.from_dict(entry.to_dict()) == entry
+
+
+class TestReplay:
+    def test_replay_matches_manifest(self, corpus):
+        registry = MetricsRegistry()
+        results = replay_corpus(
+            corpus, orgs=("ecpt",), check_divergence=True, registry=registry,
+        )
+        assert len(results) == 1
+        assert results[0].ok, results[0].detail
+        assert results[0].got_class == CLASS_ABORT_CONTIGUOUS
+        snapshot = registry.snapshot()
+        assert snapshot["fuzz.corpus_replays"]["value"] == 1
+        assert "fuzz.corpus_mismatches" not in snapshot
+
+    def test_corrupt_trace_detected(self, corpus):
+        entry = load_manifest(corpus)[0]
+        with open(os.path.join(corpus, entry.trace), "r+b") as handle:
+            handle.seek(30)
+            handle.write(b"\xff\xff\xff")
+        result = replay_entry(corpus, entry, orgs=("ecpt",))
+        assert not result.ok
+        assert result.got_class == "corrupt"
+        assert "sha256" in result.detail
+
+    def test_missing_trace_detected(self, corpus):
+        entry = load_manifest(corpus)[0]
+        os.unlink(os.path.join(corpus, entry.trace))
+        result = replay_entry(corpus, entry, orgs=("ecpt",))
+        assert not result.ok
+        assert result.got_class == "missing"
+
+    def test_class_drift_detected(self, corpus, registry=None):
+        entry = load_manifest(corpus)[0]
+        entry.failure_class = "abort:l2p"
+        registry = MetricsRegistry()
+        result = replay_entry(corpus, entry, orgs=("ecpt",), registry=registry)
+        assert not result.ok
+        assert "expected abort:l2p" in result.detail
+        assert registry.snapshot()["fuzz.corpus_mismatches"]["value"] == 1
+
+
+CHECKED_IN_CORPUS = os.path.join(os.path.dirname(__file__), "..", "corpus")
+
+
+class TestCheckedInCorpus:
+    """The repository's own ``corpus/`` must replay green (the CI gate)."""
+
+    def test_manifest_spans_required_classes(self):
+        entries = load_manifest(CHECKED_IN_CORPUS)
+        assert len(entries) >= 5
+        classes = {e.failure_class for e in entries}
+        assert len(classes) >= 3, classes
+
+    def test_checked_in_corpus_replays_green(self):
+        results = replay_corpus(CHECKED_IN_CORPUS, check_divergence=True)
+        bad = [r for r in results if not r.ok]
+        assert not bad, [(r.name, r.detail) for r in bad]
+        # Divergence coverage: every replayed organization ran both
+        # scalar and vectorized engines on the reproducer.
+        for result in results:
+            for org_outcome in result.outcome.outcomes.values():
+                assert org_outcome.divergence_checked
+
+    def test_resilience_sweep_attaches_corpus_replays(self, corpus):
+        from repro.experiments.resilience import format_result, run
+
+        result = run(fmfi_points=(0.0,), corpus_dir=corpus)
+        assert len(result.corpus_replays) == 1
+        assert result.corpus_ok()
+        text = format_result(result)
+        assert "Adversarial corpus: 1/1" in text

@@ -1,0 +1,112 @@
+"""Delta-debugging minimizer: shrink bound, determinism, guard rails.
+
+The acceptance bar: for the planted failure the reproducer must keep
+tripping the *same* failure class at <= 1% of the original trace
+length, and re-running the minimizer must reproduce the identical
+reproducer byte-for-byte.
+"""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.fuzz.minimize import minimize_trace
+from repro.fuzz.runner import CLASS_ABORT_CONTIGUOUS, CLASS_OK, run_scenario
+from repro.fuzz.scenario import make_preset
+from repro.obs import MetricsRegistry
+from repro.traces.format import TraceReader
+
+pytestmark = pytest.mark.fuzz
+
+
+def _sha(path):
+    with open(path, "rb") as handle:
+        return hashlib.sha256(handle.read()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def planted(tmp_path_factory):
+    """The planted-fault scenario, its full trace, and its classification."""
+    workdir = str(tmp_path_factory.mktemp("minimize"))
+    scenario = make_preset("planted-fault", seed=0)
+    trace = os.path.join(workdir, "full.vpt")
+    scenario.generate_trace(trace)
+    outcome = run_scenario(scenario, trace_path=trace, orgs=("ecpt",))
+    assert outcome.failure_class == CLASS_ABORT_CONTIGUOUS
+    return scenario, trace, outcome
+
+
+class TestMinimization:
+    def test_shrinks_below_one_percent(self, planted, tmp_path):
+        scenario, trace, outcome = planted
+        out = str(tmp_path / "repro.vpt")
+        registry = MetricsRegistry()
+        result = minimize_trace(
+            scenario, trace, outcome.failure_class, out,
+            orgs=("ecpt",), registry=registry,
+        )
+        assert result.shrink_ratio <= 0.01, result.summary()
+        assert result.minimized_records >= 1
+        assert result.failure_class == CLASS_ABORT_CONTIGUOUS
+        # The final validation ran both engines on the reproducer.
+        final = result.final_outcome
+        assert final is not None
+        assert final.outcomes["ecpt"].divergence_checked
+        assert final.failure_class == CLASS_ABORT_CONTIGUOUS
+        snapshot = registry.snapshot()
+        assert snapshot["fuzz.minimizer_evals"]["value"] == result.evals
+        assert snapshot["fuzz.minimizer_records_removed"]["value"] == (
+            result.original_records - result.minimized_records
+        )
+
+    def test_reproducer_carries_provenance(self, planted, tmp_path):
+        scenario, trace, outcome = planted
+        out = str(tmp_path / "repro.vpt")
+        minimize_trace(
+            scenario, trace, outcome.failure_class, out, orgs=("ecpt",),
+        )
+        with TraceReader(out) as reader:
+            meta = reader.meta
+        assert meta.source == "fuzz-min"
+        assert meta.extra["minimized_from_records"] == scenario.trace_length
+        assert meta.extra["failure_class"] == CLASS_ABORT_CONTIGUOUS
+
+    def test_minimization_is_deterministic(self, planted, tmp_path):
+        scenario, trace, outcome = planted
+        a, b = str(tmp_path / "a.vpt"), str(tmp_path / "b.vpt")
+        one = minimize_trace(
+            scenario, trace, outcome.failure_class, a, orgs=("ecpt",),
+        )
+        two = minimize_trace(
+            scenario, trace, outcome.failure_class, b, orgs=("ecpt",),
+        )
+        assert one.minimized_records == two.minimized_records
+        assert one.evals == two.evals
+        assert _sha(a) == _sha(b)
+
+
+class TestGuardRails:
+    def test_ok_class_rejected(self, planted, tmp_path):
+        scenario, trace, _outcome = planted
+        with pytest.raises(ConfigurationError, match="nothing to reproduce"):
+            minimize_trace(
+                scenario, trace, CLASS_OK, str(tmp_path / "x.vpt"),
+            )
+
+    def test_tiny_budget_rejected(self, planted, tmp_path):
+        scenario, trace, outcome = planted
+        with pytest.raises(ConfigurationError, match="max_evals"):
+            minimize_trace(
+                scenario, trace, outcome.failure_class,
+                str(tmp_path / "x.vpt"), max_evals=2,
+            )
+
+    def test_non_reproducing_class_rejected(self, planted, tmp_path):
+        scenario, trace, _outcome = planted
+        with pytest.raises(ConfigurationError, match="does not reproduce"):
+            minimize_trace(
+                scenario, trace, "invariant_violation",
+                str(tmp_path / "x.vpt"), orgs=("ecpt",),
+            )

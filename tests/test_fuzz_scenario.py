@@ -1,0 +1,169 @@
+"""Scenario composition, validation, and deterministic generation.
+
+The acceptance bar: the same seed and stressor mix must produce a
+byte-identical ``.vpt`` file — generation is a pure function of the
+scenario value, with no wall-clock or global RNG leakage.
+"""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.fuzz.scenario import (
+    PRESETS,
+    Scenario,
+    StressorSpec,
+    make_preset,
+    preset_names,
+    scenario_from_trace_meta,
+)
+from repro.fuzz.stressors import STRESSORS, get_stressor
+from repro.traces.format import TraceReader
+
+pytestmark = pytest.mark.fuzz
+
+
+def _sha(path):
+    with open(path, "rb") as handle:
+        return hashlib.sha256(handle.read()).hexdigest()
+
+
+class TestStressorCatalogue:
+    def test_catalogue_names(self):
+        assert {
+            "fragmentation_storm", "churn", "oscillation",
+            "collision_cluster", "l2p_overflow",
+        } <= set(STRESSORS)
+
+    def test_unknown_stressor_lists_menu(self):
+        with pytest.raises(ConfigurationError, match="fragmentation_storm"):
+            get_stressor("heap_spray")
+
+    @pytest.mark.parametrize("name", sorted(set(STRESSORS) - {"collision_cluster"}))
+    def test_streams_are_deterministic(self, name):
+        stressor = get_stressor(name)
+        params = dict(sim_seed=7)
+        one = stressor.generate(np.random.default_rng(5), 500, params)
+        two = stressor.generate(np.random.default_rng(5), 500, params)
+        assert one.dtype.kind in "iu"
+        assert one.size == 500
+        np.testing.assert_array_equal(one, two)
+
+
+class TestScenarioValidation:
+    def test_empty_stressors_rejected(self):
+        with pytest.raises(ConfigurationError, match="stressor"):
+            Scenario(name="empty", seed=0, stressors=())
+
+    @pytest.mark.parametrize("key", ["organization", "trace_file", "fault_plan"])
+    def test_reserved_override_rejected(self, key):
+        with pytest.raises(ConfigurationError, match="reserved|override"):
+            Scenario(
+                name="bad", seed=0,
+                stressors=(StressorSpec.make("churn"),),
+                overrides=((key, "x"),),
+            )
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ConfigurationError, match="fmfi_level"):
+            Scenario(
+                name="bad", seed=0,
+                stressors=(StressorSpec.make("churn"),),
+                overrides=(("fmfi_level", 0.5),),
+            )
+
+    def test_unknown_stressor_name_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="heap_spray"):
+            StressorSpec.make("heap_spray")
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ConfigurationError, match="weight"):
+            StressorSpec.make("churn", weight=0.0)
+
+
+class TestPresets:
+    def test_preset_names_sorted_and_complete(self):
+        assert tuple(preset_names()) == tuple(sorted(PRESETS))
+        assert len(preset_names()) >= 5
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError, match="unknown preset"):
+            make_preset("zip-bomb")
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_json_round_trip(self, name):
+        scenario = make_preset(name, seed=3)
+        clone = Scenario.from_json(scenario.to_json())
+        assert clone == scenario
+        assert clone.to_dict() == scenario.to_dict()
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_stream_shape(self, name):
+        scenario = make_preset(name, seed=1)
+        stream = scenario.generate_stream()
+        assert stream.dtype.kind in "iu"
+        assert stream.size == scenario.trace_length
+        assert int(stream.min()) >= 0
+
+    def test_with_seed(self):
+        scenario = make_preset("frag-storm", seed=1)
+        other = scenario.with_seed(9)
+        assert other.seed == 9
+        assert other.stressors == scenario.stressors
+
+
+class TestDeterministicGeneration:
+    def test_same_seed_byte_identical(self, tmp_path):
+        a, b = str(tmp_path / "a.vpt"), str(tmp_path / "b.vpt")
+        make_preset("churn-oscillation", seed=4).generate_trace(a)
+        make_preset("churn-oscillation", seed=4).generate_trace(b)
+        assert _sha(a) == _sha(b)
+
+    def test_different_seed_differs(self, tmp_path):
+        a, b = str(tmp_path / "a.vpt"), str(tmp_path / "b.vpt")
+        make_preset("churn-oscillation", seed=4).generate_trace(a)
+        make_preset("churn-oscillation", seed=5).generate_trace(b)
+        assert _sha(a) != _sha(b)
+
+    def test_trace_meta_embeds_scenario(self, tmp_path):
+        path = str(tmp_path / "meta.vpt")
+        scenario = make_preset("l2p-ladder", seed=2)
+        scenario.generate_trace(path)
+        with TraceReader(path) as reader:
+            meta = reader.meta
+            assert reader.total_values == scenario.trace_length
+        assert meta.source == "fuzz"
+        recovered = scenario_from_trace_meta(meta)
+        assert recovered == scenario
+
+    def test_overrides_surface_in_config(self, tmp_path):
+        path = str(tmp_path / "cfg.vpt")
+        scenario = make_preset("l2p-ladder", seed=0)
+        scenario.generate_trace(path)
+        config = scenario.config_for("mehpt", path)
+        assert config.max_chunks_per_way == 8
+        assert config.organization == "mehpt"
+        assert config.trace_file == path
+
+    def test_scenario_override_beats_stressor_override(self):
+        scenario = Scenario(
+            name="mix", seed=0,
+            stressors=(
+                StressorSpec.make("fragmentation_storm", fmfi=0.78),
+            ),
+            overrides=(("fmfi", 0.33),),
+        )
+        assert scenario.merged_overrides()["fmfi"] == 0.33
+
+    def test_fault_specs_round_trip_via_json(self):
+        scenario = make_preset("planted-fault", seed=0)
+        raw = json.loads(scenario.to_json())
+        clone = Scenario.from_dict(raw)
+        plan = clone.build_fault_plan()
+        assert plan is not None
+        assert plan.specs[0].site == "contiguous_alloc"
+        assert plan.specs[0].min_bytes == 2 * 1024 * 1024
+        assert plan.seed == scenario.fault_seed

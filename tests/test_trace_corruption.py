@@ -1,0 +1,229 @@
+"""Trace-container corruption handling: every malformed footer shape
+must surface as :class:`TraceFormatError` with file-offset context, and
+``python -m repro.traces validate`` must exit non-zero with a one-line
+diagnosis — never a ``TypeError``/``KeyError`` leaking from chunk
+iteration.
+"""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.traces import __main__ as traces_cli
+from repro.traces.format import (
+    TRAILER_MAGIC,
+    TraceMeta,
+    TraceReader,
+    TraceWriter,
+    _TRAILER_FMT,
+    validate_trace,
+)
+
+pytestmark = pytest.mark.traces
+
+_TRAILER_STRUCT_BYTES = struct.calcsize(_TRAILER_FMT)
+
+
+@pytest.fixture()
+def good_trace(tmp_path):
+    path = str(tmp_path / "good.vpt")
+    with TraceWriter(path, meta=TraceMeta(source="corruption-test")) as writer:
+        writer.append(np.arange(1000, 1500, dtype=np.uint64))
+    return path
+
+
+def _read_bytes(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _rewrite_footer(good_path, out_path, footer_bytes):
+    """The original data region with ``footer_bytes`` as the new footer."""
+    blob = _read_bytes(good_path)
+    trailer = blob[-(_TRAILER_STRUCT_BYTES + len(TRAILER_MAGIC)):]
+    footer_offset, _footer_len = struct.unpack(
+        _TRAILER_FMT, trailer[:_TRAILER_STRUCT_BYTES]
+    )
+    with open(out_path, "wb") as handle:
+        handle.write(blob[:footer_offset])
+        handle.write(footer_bytes)
+        handle.write(struct.pack(_TRAILER_FMT, footer_offset, len(footer_bytes)))
+        handle.write(TRAILER_MAGIC)
+    return out_path
+
+
+def _footer_json(good_path):
+    with open(good_path, "rb") as handle:
+        blob = handle.read()
+    trailer = blob[-(_TRAILER_STRUCT_BYTES + len(TRAILER_MAGIC)):]
+    offset, length = struct.unpack(_TRAILER_FMT, trailer[:_TRAILER_STRUCT_BYTES])
+    return json.loads(blob[offset:offset + length].decode("utf-8"))
+
+
+def _corrupt_footer(good_path, tmp_path, mutate):
+    footer = _footer_json(good_path)
+    mutate(footer)
+    out = str(tmp_path / "bad.vpt")
+    return _rewrite_footer(good_path, out, json.dumps(footer).encode("utf-8"))
+
+
+class TestStructuralCorruption:
+    def test_truncated_header(self, good_trace, tmp_path):
+        out = tmp_path / "short.vpt"
+        out.write_bytes(_read_bytes(good_trace)[:8])
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            TraceReader(str(out))
+
+    def test_truncated_mid_data(self, good_trace, tmp_path):
+        out = tmp_path / "middata.vpt"
+        out.write_bytes(_read_bytes(good_trace)[:-10])
+        with pytest.raises(TraceFormatError, match="trailer magic"):
+            TraceReader(str(out))
+
+    def test_missing_trailer_magic(self, good_trace, tmp_path):
+        blob = bytearray(_read_bytes(good_trace))
+        blob[-len(TRAILER_MAGIC):] = b"XXXX"
+        out = tmp_path / "nomagic.vpt"
+        out.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError, match="trailer magic"):
+            TraceReader(str(out))
+
+    def test_footer_offset_past_eof(self, good_trace, tmp_path):
+        blob = bytearray(_read_bytes(good_trace))
+        bad = struct.pack(_TRAILER_FMT, len(blob) * 2, 10)
+        start = len(blob) - (_TRAILER_STRUCT_BYTES + len(TRAILER_MAGIC))
+        blob[start:start + _TRAILER_STRUCT_BYTES] = bad
+        out = tmp_path / "pasteof.vpt"
+        out.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError, match="footer location is corrupt"):
+            TraceReader(str(out))
+
+    def test_garbage_footer_bytes(self, good_trace, tmp_path):
+        out = _rewrite_footer(
+            good_trace, str(tmp_path / "garbage.vpt"), b"\xff\xfe not json!"
+        )
+        with pytest.raises(TraceFormatError, match="unparseable"):
+            TraceReader(out)
+
+    def test_error_carries_offset_context(self, good_trace, tmp_path):
+        out = _rewrite_footer(good_trace, str(tmp_path / "ctx.vpt"), b"[]")
+        with pytest.raises(TraceFormatError) as err:
+            TraceReader(out)
+        assert "offset" in str(err.value)
+        assert err.value.context.get("footer_offset") is not None
+
+
+class TestFooterSchemaCorruption:
+    def test_footer_not_an_object(self, good_trace, tmp_path):
+        out = _rewrite_footer(good_trace, str(tmp_path / "list.vpt"), b"[1, 2]")
+        with pytest.raises(TraceFormatError, match="not an object"):
+            TraceReader(out)
+
+    def test_footer_missing_keys(self, good_trace, tmp_path):
+        out = _rewrite_footer(
+            good_trace, str(tmp_path / "nokeys.vpt"), b'{"unrelated": 1}'
+        )
+        with pytest.raises(TraceFormatError, match="incomplete"):
+            TraceReader(out)
+
+    @pytest.mark.parametrize("total", [-5, True, "many", None])
+    def test_bad_total_values(self, good_trace, tmp_path, total):
+        out = _corrupt_footer(
+            good_trace, tmp_path,
+            lambda f: f.__setitem__("total_values", total),
+        )
+        with pytest.raises(TraceFormatError, match="total_values"):
+            TraceReader(out)
+
+    def test_chunks_not_a_list(self, good_trace, tmp_path):
+        out = _corrupt_footer(
+            good_trace, tmp_path, lambda f: f.__setitem__("chunks", {"a": 1})
+        )
+        with pytest.raises(TraceFormatError, match="not a list"):
+            TraceReader(out)
+
+    def test_chunk_entry_wrong_arity(self, good_trace, tmp_path):
+        out = _corrupt_footer(
+            good_trace, tmp_path,
+            lambda f: f.__setitem__("chunks", [[0, 1, 2]]),
+        )
+        with pytest.raises(TraceFormatError, match="malformed"):
+            TraceReader(out)
+
+    def test_chunk_entry_non_integer(self, good_trace, tmp_path):
+        out = _corrupt_footer(
+            good_trace, tmp_path,
+            lambda f: f.__setitem__("chunks", [["x", 1, 2, 3, 4]]),
+        )
+        with pytest.raises(TraceFormatError, match="non-integer"):
+            TraceReader(out)
+
+    def test_chunk_entry_out_of_range(self, good_trace, tmp_path):
+        out = _corrupt_footer(
+            good_trace, tmp_path,
+            lambda f: f.__setitem__("chunks", [[-4, 1, 8, 0, 0]]),
+        )
+        with pytest.raises(TraceFormatError, match="out of range"):
+            TraceReader(out)
+
+    def test_chunk_points_past_data_region(self, good_trace, tmp_path):
+        def mutate(footer):
+            entry = list(footer["chunks"][0])
+            entry[2] = 1 << 30  # payload_len far beyond the footer
+            footer["chunks"][0] = entry
+
+        out = _corrupt_footer(good_trace, tmp_path, mutate)
+        with pytest.raises(TraceFormatError, match="past the data region"):
+            TraceReader(out)
+
+    def test_bad_vpn_bounds(self, good_trace, tmp_path):
+        out = _corrupt_footer(
+            good_trace, tmp_path, lambda f: f.__setitem__("min_vpn", "zero")
+        )
+        with pytest.raises(TraceFormatError, match="min_vpn"):
+            TraceReader(out)
+
+    def test_bad_sealed_meta(self, good_trace, tmp_path):
+        out = _corrupt_footer(
+            good_trace, tmp_path, lambda f: f.__setitem__("meta", [1, 2])
+        )
+        with pytest.raises(TraceFormatError, match="sealed metadata"):
+            TraceReader(out)
+
+
+class TestValidateCli:
+    """``python -m repro.traces validate`` is the triage entry point."""
+
+    def test_good_trace_exits_zero(self, good_trace, capsys):
+        assert traces_cli.main(["validate", good_trace]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("mutate, diagnosis", [
+        (lambda f: f.__setitem__("total_values", -1), "total_values"),
+        (lambda f: f.__setitem__("chunks", 7), "not a list"),
+        (lambda f: f.__setitem__("chunks", [[1]]), "malformed"),
+    ])
+    def test_corrupt_footer_exits_nonzero_with_diagnosis(
+        self, good_trace, tmp_path, capsys, mutate, diagnosis
+    ):
+        bad = _corrupt_footer(good_trace, tmp_path, mutate)
+        assert traces_cli.main(["validate", bad]) == 1
+        out = capsys.readouterr().out
+        assert diagnosis in out
+
+    def test_truncated_file_exits_nonzero(self, good_trace, tmp_path, capsys):
+        out = tmp_path / "trunc.vpt"
+        out.write_bytes(_read_bytes(good_trace)[:-10])
+        assert traces_cli.main(["validate", str(out)]) == 1
+        assert "trailer" in capsys.readouterr().out
+
+    def test_validate_trace_reports_problem_strings(self, good_trace, tmp_path):
+        bad = _corrupt_footer(
+            good_trace, tmp_path, lambda f: f.__setitem__("chunks", None)
+        )
+        report = validate_trace(bad)
+        assert not report.ok
+        assert any("not a list" in problem for problem in report.problems)

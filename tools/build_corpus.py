@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Rebuild the checked-in adversarial reproducer corpus (``corpus/``).
+
+Runs every preset scenario at seed 0, minimizes the prefix-triggered
+abort failures, classifies each stored trace across all three
+organizations with the divergence check on (exactly what
+``python -m repro.fuzz replay-corpus`` will later re-assert), and
+rewrites ``corpus/manifest.json``.
+
+The whole pipeline is deterministic, so re-running this script on an
+unchanged simulator produces a byte-identical corpus; a diff after a
+simulator change is a *finding* (the corpus caught a behavior shift).
+
+Usage::
+
+    PYTHONPATH=src python tools/build_corpus.py [--corpus corpus]
+"""
+
+import argparse
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.fuzz.corpus import add_entry  # noqa: E402
+from repro.fuzz.minimize import minimize_trace  # noqa: E402
+from repro.fuzz.runner import CLASS_OK, run_scenario  # noqa: E402
+from repro.fuzz.scenario import make_preset, preset_names  # noqa: E402
+
+#: preset -> (minimize?, orgs to minimize over).  Prefix-triggered aborts
+#: minimize well; cycle-blowup classes are ratio-based and only stable at
+#: their full trace length, so those entries stay unminimized.
+MINIMIZE = {
+    "frag-storm": ("ecpt",),
+    "l2p-ladder": ("mehpt",),
+    "planted-fault": ("ecpt",),
+}
+
+
+def build(corpus_dir: str) -> int:
+    workdir = tempfile.mkdtemp(prefix="corpus-build-")
+    built = 0
+    for name in preset_names():
+        scenario = make_preset(name, seed=0)
+        trace = os.path.join(workdir, f"{name}.vpt")
+        scenario.generate_trace(trace)
+        outcome = run_scenario(scenario, trace_path=trace)
+        print(outcome.summary())
+        if outcome.failure_class == CLASS_OK:
+            print(f"  {name}: no finding at seed 0, skipped")
+            continue
+
+        stored = trace
+        notes = f"full {scenario.trace_length}-record trace (ratio-based class)"
+        if name in MINIMIZE:
+            orgs = MINIMIZE[name]
+            narrow = run_scenario(
+                scenario, trace_path=trace, orgs=orgs, probe_downsize=False,
+            )
+            stored = os.path.join(workdir, f"{name}-min.vpt")
+            result = minimize_trace(
+                scenario, trace, narrow.failure_class, stored, orgs=orgs,
+            )
+            notes = f"minimized over {','.join(orgs)}: {result.summary()}"
+            print(f"  {result.summary()}")
+
+        # The manifest records what the stored trace does across ALL
+        # organizations with the divergence check on — the exact replay
+        # contract CI re-asserts.
+        replay = run_scenario(
+            scenario, trace_path=stored, check_divergence=True,
+            probe_downsize=False,
+        )
+        entry = add_entry(
+            corpus_dir, f"{name}-seed0", stored, scenario,
+            replay.failure_class, replay.affected_orgs, notes=notes,
+        )
+        print(
+            f"  corpus: {entry.name} = {entry.failure_class} "
+            f"affected={entry.affected_orgs} ({entry.records} records)"
+        )
+        built += 1
+    print(f"{built} corpus entries written to {corpus_dir}/")
+    return 0 if built else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--corpus", default="corpus", help="output directory")
+    args = parser.parse_args()
+    return build(args.corpus)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
