@@ -1,27 +1,43 @@
-"""Hot-path microbenchmark: scalar vs vectorized engine on a recorded trace.
+"""Hot-path microbenchmark: scalar vs vectorized engine on recorded traces.
 
-Replays the same ``.vpt`` trace through both simulation engines, checks
+Replays the same ``.vpt`` traces through both simulation engines, checks
 the results are bit-identical, and records accesses/sec for each in
-``benchmarks/output/BENCH_hotpath.json`` so the speedup is tracked over
-time.  The trace-replay scenario is the fast path's headline case: the
-binary chunk reads feed the batched probes directly, with no generator
-work in the loop.
+``benchmarks/output/BENCH_hotpath.json`` (mirrored to the repo root as
+``BENCH_hotpath.json``) so the speedup is tracked over time.
 
-Two environment knobs let CI run a cheaper configuration:
+Two scenarios:
 
-* ``HOTPATH_EVENTS`` — trace length (default 1000000).
+* **GUPS trace replay** — the fast path's headline case: TLB-hit heavy,
+  the binary chunk reads feed the batched probes directly.  Gated at
+  20x since PR 7 batch-walks the miss path too.
+* **fragmentation-storm replay** (``repro.fuzz`` stressor) — a
+  miss-heavy adversarial trace (>90% of accesses walk).  Walk *planning*
+  is inherently sequential (CWC lookups and cuckoo probes mutate tiny
+  caches access-by-access), so the win here comes from batched line
+  resolution and cache probing only; the gate asserts the batched walk
+  path itself pays off, not just the hit path.
+
+Environment knobs let CI run a cheaper configuration:
+
+* ``HOTPATH_EVENTS`` — GUPS trace length (default 1000000).
 * ``HOTPATH_MIN_SPEEDUP`` — required vectorized/scalar throughput ratio
-  (default 5.0, the paper-repro target; the CI perf-smoke job relaxes
-  it to 1.0 on a small trace, asserting only that vectorized wins).
+  on GUPS (default 20.0, the paper-repro target; the CI perf-smoke job
+  relaxes it to 1.0 on a small trace, asserting only the direction).
+* ``HOTPATH_MISS_EVENTS`` — fragmentation-storm trace length (default
+  200000).
+* ``HOTPATH_MISS_MIN_SPEEDUP`` — required ratio on the miss-heavy trace
+  (default 1.5; CI relaxes it to 1.0, direction-only).
 """
 
 import json
 import os
+import shutil
 import time
 
 import pytest
 
 from benchmarks.conftest import once
+from repro.fuzz.scenario import Scenario, StressorSpec
 from repro.sim.config import SimulationConfig
 from repro.sim.simulator import TranslationSimulator
 from repro.traces.record import record_workload
@@ -31,9 +47,12 @@ from repro.workloads import get_workload
 SCALE = 64
 SEED = 17
 TRACE_EVENTS = int(os.environ.get("HOTPATH_EVENTS", "1000000"))
-MIN_SPEEDUP = float(os.environ.get("HOTPATH_MIN_SPEEDUP", "5.0"))
+MIN_SPEEDUP = float(os.environ.get("HOTPATH_MIN_SPEEDUP", "20.0"))
+MISS_EVENTS = int(os.environ.get("HOTPATH_MISS_EVENTS", "200000"))
+MISS_MIN_SPEEDUP = float(os.environ.get("HOTPATH_MISS_MIN_SPEEDUP", "1.5"))
 
 _OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 @pytest.fixture(scope="module")
@@ -43,6 +62,49 @@ def trace_path(tmp_path_factory):
     workload = get_workload("GUPS", scale=SCALE, seed=SEED)
     record_workload(workload, TRACE_EVENTS, path)
     return path
+
+
+@pytest.fixture(scope="module")
+def miss_heavy(tmp_path_factory):
+    """A miss-heavy fragmentation-storm trace plus its scenario.
+
+    The ``fragmentation_storm`` stressor sweeps a fresh footprint block
+    after block, so nearly every access is a full TLB miss and a large
+    share demand-fault; FMFI 0.5 keeps the run clean (no abort) at any
+    length.
+    """
+    scenario = Scenario(
+        name="frag-storm-bench", seed=SEED, trace_length=MISS_EVENTS,
+        stressors=(
+            StressorSpec.make("fragmentation_storm", blocks=2048, fmfi=0.5),
+        ),
+        overrides=(("fmfi", 0.5),),
+    )
+    path = str(tmp_path_factory.mktemp("hotpath-miss") / "frag.vpt")
+    scenario.generate_trace(path)
+    return scenario, path
+
+
+def _save(section, payload):
+    """Merge one benchmark section into the JSON, mirror to repo root."""
+    os.makedirs(_OUTPUT_DIR, exist_ok=True)
+    out = os.path.join(_OUTPUT_DIR, "BENCH_hotpath.json")
+    merged = {}
+    if os.path.exists(out):
+        try:
+            with open(out) as handle:
+                merged = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            merged = {}
+    if not isinstance(merged, dict) or "scalar_accesses_per_sec" in merged:
+        merged = {}  # pre-PR-7 flat layout: start fresh
+    merged[section] = payload
+    with open(out, "w") as handle:
+        json.dump(merged, handle, indent=2)
+        handle.write("\n")
+    shutil.copyfile(out, os.path.join(_REPO_ROOT, "BENCH_hotpath.json"))
+    print(f"\n{json.dumps(payload, indent=2)}\n[saved to {out}]")
+    return out
 
 
 def _replay(trace_path, engine):
@@ -71,7 +133,7 @@ def test_bench_hotpath_speedup(benchmark, trace_path):
     scalar_rate = TRACE_EVENTS / scalar_s
     vector_rate = TRACE_EVENTS / vector_s
     speedup = vector_rate / scalar_rate
-    payload = {
+    _save("gups_replay", {
         "workload": "GUPS trace replay",
         "organization": "mehpt",
         "thp": True,
@@ -80,15 +142,53 @@ def test_bench_hotpath_speedup(benchmark, trace_path):
         "vectorized_accesses_per_sec": round(vector_rate),
         "speedup": round(speedup, 2),
         "min_speedup": MIN_SPEEDUP,
-    }
-    os.makedirs(_OUTPUT_DIR, exist_ok=True)
-    out = os.path.join(_OUTPUT_DIR, "BENCH_hotpath.json")
-    with open(out, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    print(f"\n{json.dumps(payload, indent=2)}\n[saved to {out}]")
+    })
 
     assert speedup >= MIN_SPEEDUP, (
         f"vectorized engine only {speedup:.2f}x scalar "
         f"({vector_rate:,.0f} vs {scalar_rate:,.0f} accesses/sec)"
+    )
+
+
+def _replay_miss_heavy(scenario, trace_path, engine):
+    config = scenario.config_for("mehpt", trace_path)
+    config.engine = engine
+    sim = TranslationSimulator(
+        config.load_trace_workload(), config, trace_length=MISS_EVENTS,
+    )
+    start = time.perf_counter()
+    result = sim.run()
+    elapsed = time.perf_counter() - start
+    assert not result.failed
+    return result, elapsed
+
+
+def test_bench_hotpath_miss_heavy(benchmark, miss_heavy):
+    scenario, path = miss_heavy
+    scalar_result, scalar_s = _replay_miss_heavy(scenario, path, "scalar")
+    vector_result, vector_s = once(
+        benchmark, lambda: _replay_miss_heavy(scenario, path, "vectorized")
+    )
+    assert scalar_result == vector_result
+    assert scalar_result.walks > 0.9 * MISS_EVENTS  # stays miss-heavy
+
+    scalar_rate = MISS_EVENTS / scalar_s
+    vector_rate = MISS_EVENTS / vector_s
+    speedup = vector_rate / scalar_rate
+    _save("miss_heavy_frag_storm", {
+        "workload": "fragmentation-storm trace replay (repro.fuzz)",
+        "organization": "mehpt",
+        "thp": False,
+        "trace_events": MISS_EVENTS,
+        "walks": scalar_result.walks,
+        "faults": scalar_result.faults,
+        "scalar_accesses_per_sec": round(scalar_rate),
+        "vectorized_accesses_per_sec": round(vector_rate),
+        "speedup": round(speedup, 2),
+        "min_speedup": MISS_MIN_SPEEDUP,
+    })
+
+    assert speedup >= MISS_MIN_SPEEDUP, (
+        f"vectorized engine only {speedup:.2f}x scalar on the miss-heavy "
+        f"trace ({vector_rate:,.0f} vs {scalar_rate:,.0f} accesses/sec)"
     )

@@ -81,36 +81,11 @@ class EcptWalker:
             self.obs.emit(EVENT_WALK_START, walk=self.walks, vpn=vpn)
         cycles = self.cwc_cycles  # both CWCs probed in parallel
         accesses = 0
-        pmd_sizes = self.pmd_cwc.lookup(vpn)
-        pud_sizes = self.pud_cwc.lookup(vpn)
-        if pmd_sizes is not None:
-            candidate_sizes = frozenset(pmd_sizes) | frozenset(
-                s for s in (pud_sizes or frozenset()) if s == "1G"
-            )
-            if pud_sizes is None and "1G" in self.tables.pud_cwt.sizes_for(vpn):
-                # Rare: a 1GB page not visible to the PMD side; take the
-                # coarse path to be safe.
-                candidate_sizes = candidate_sizes | frozenset(["1G"])
-        elif pud_sizes is not None:
-            candidate_sizes = frozenset(pud_sizes)
-        else:
-            coarse = self.tables.pud_cwt.sizes_for(vpn)
-            lines: List[int] = [self.tables.pud_cwt.line_addr(vpn)]
-            ambiguous = len(coarse - frozenset(["1G"])) > 1
-            if ambiguous:
-                lines.append(self.tables.pmd_cwt.line_addr(vpn))
-            cycles += self.caches.access_parallel(lines)
-            accesses += len(lines)
-            self.cwt_memory_reads += len(lines)
-            self.pud_cwc.fill(vpn, coarse)
-            if ambiguous:
-                precise = self.tables.pmd_cwt.sizes_for(vpn)
-                self.pmd_cwc.fill(vpn, precise)
-                candidate_sizes = frozenset(precise) | frozenset(
-                    s for s in coarse if s == "1G"
-                )
-            else:
-                candidate_sizes = frozenset(coarse)
+        candidate_sizes, cwt_lines = self._resolve_candidates(vpn)
+        if cwt_lines:
+            cycles += self.caches.access_parallel(cwt_lines)
+            accesses += len(cwt_lines)
+            self.cwt_memory_reads += len(cwt_lines)
         if not candidate_sizes:
             # Nothing maps this region: fault without probing the HPTs.
             self._account(cycles, accesses)
@@ -131,6 +106,45 @@ class EcptWalker:
                 return WalkResult(ppn, page_size, cycles, accesses)
         self._account(cycles, accesses)
         return WalkResult(None, None, cycles, accesses)
+
+    def _resolve_candidates(self, vpn: int):
+        """CWC/CWT resolution for one walk: the candidate page sizes plus
+        the CWT cache lines read from memory (empty on a CWC hit).
+
+        Performs the real CWC lookups and fills — the batched walk engine
+        shares this method so its CWC hit/miss sequence and fill contents
+        are identical to the scalar walker's.  The caller charges the
+        returned lines to the cache hierarchy.
+        """
+        pmd_sizes = self.pmd_cwc.lookup(vpn)
+        pud_sizes = self.pud_cwc.lookup(vpn)
+        lines: List[int] = []
+        if pmd_sizes is not None:
+            candidate_sizes = frozenset(pmd_sizes) | frozenset(
+                s for s in (pud_sizes or frozenset()) if s == "1G"
+            )
+            if pud_sizes is None and "1G" in self.tables.pud_cwt.sizes_for(vpn):
+                # Rare: a 1GB page not visible to the PMD side; take the
+                # coarse path to be safe.
+                candidate_sizes = candidate_sizes | frozenset(["1G"])
+        elif pud_sizes is not None:
+            candidate_sizes = frozenset(pud_sizes)
+        else:
+            coarse = self.tables.pud_cwt.sizes_for(vpn)
+            lines.append(self.tables.pud_cwt.line_addr(vpn))
+            ambiguous = len(coarse - frozenset(["1G"])) > 1
+            if ambiguous:
+                lines.append(self.tables.pmd_cwt.line_addr(vpn))
+            self.pud_cwc.fill(vpn, coarse)
+            if ambiguous:
+                precise = self.tables.pmd_cwt.sizes_for(vpn)
+                self.pmd_cwc.fill(vpn, precise)
+                candidate_sizes = frozenset(precise) | frozenset(
+                    s for s in coarse if s == "1G"
+                )
+            else:
+                candidate_sizes = frozenset(coarse)
+        return candidate_sizes, lines
 
     def _extra_probe_cycles(self, vpn: int, sizes: FrozenSet[str]) -> int:
         """Hook for subclasses (ME-HPT adds visible L2P latency here)."""

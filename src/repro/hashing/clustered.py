@@ -18,8 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
 from repro.common.errors import ConfigurationError
 from repro.hashing.cuckoo import ElasticCuckooTable
+from repro.hashing.hashes import hash_array
 
 #: log2 of extra page-number bits per page size relative to 4KB pages.
 PAGE_SHIFT = {"4K": 0, "2M": 9, "1G": 18}
@@ -124,6 +127,21 @@ class ClusteredHashedPageTable:
             storage, idx = way.locate(way.hash(block))
             lines.append(storage.line_addr(idx))
         return lines
+
+    def probe_line_addrs_batch(self, vpns: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`probe_line_addrs` — shape ``(len(vpns), W)``.
+
+        Row ``i`` equals ``probe_line_addrs(int(vpns[i]))``.  Valid only
+        while the underlying cuckoo table is not mutated (fault-separated
+        segments in the batched walk engine).
+        """
+        shift = PAGE_SHIFT[self.page_size] + _BLOCK_SHIFT
+        blocks = vpns.astype(np.uint64) >> np.uint64(shift)
+        cols = [
+            way.line_addrs_batch(hash_array(way.hash, blocks))
+            for way in self.table.ways
+        ]
+        return np.stack(cols, axis=1)
 
     # -- accounting -----------------------------------------------------------
 

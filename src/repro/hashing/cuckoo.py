@@ -23,6 +23,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Callable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.common.errors import (
     ConfigurationError,
     ContiguousAllocationError,
@@ -158,6 +160,28 @@ class ElasticWay:
         if slot is not None and slot[0] == key:
             return slot
         return None
+
+    def line_addrs_batch(self, hashes: np.ndarray) -> np.ndarray:
+        """Vectorized ``storage.line_addr(*locate(h))`` over a hash array.
+
+        Element ``i`` equals ``s.line_addr(i)`` for ``s, i = locate(h[i])``.
+        Only valid between mutations: the batched walk engine calls this
+        inside a fault-separated segment where ``size``/``old_size``/
+        ``rehash_ptr``/``direction`` and the storages are all frozen.
+        """
+        h = hashes.astype(np.uint64)
+        if self.direction == 0:
+            return self.storage.line_addr_array(
+                (h & np.uint64(self.size - 1)).astype(np.int64)
+            )
+        old_idx = (h & np.uint64(self.old_size - 1)).astype(np.int64)
+        new_idx = (h & np.uint64(self.size - 1)).astype(np.int64)
+        live = self.old_storage if self.old_storage is not None else self.storage
+        return np.where(
+            old_idx >= np.int64(self.rehash_ptr),
+            live.line_addr_array(old_idx),
+            self.storage.line_addr_array(new_idx),
+        )
 
     # -- resize state ------------------------------------------------------
 

@@ -41,6 +41,7 @@ def _build_crc_table() -> List[int]:
 
 
 _CRC_TABLE = _build_crc_table()
+_CRC_TABLE_NP = np.array(_CRC_TABLE, dtype=np.uint32)
 
 
 def crc32c(value: int, seed: int = 0) -> int:
@@ -56,6 +57,23 @@ def crc32c(value: int, seed: int = 0) -> int:
         crc = (crc >> 8) ^ _CRC_TABLE[(crc ^ (v & 0xFF)) & 0xFF]
         v >>= 8
     return crc ^ 0xFFFFFFFF
+
+
+def crc32c_array(values: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorized :func:`crc32c` over a non-negative integer array.
+
+    Element ``i`` equals ``crc32c(int(values[i]), seed)`` exactly: the
+    same table-driven byte loop, run on uint32 lanes.  The vectorized
+    walk engine uses this to probe cuckoo ways configured with the
+    paper-faithful CRC hash family.
+    """
+    v = values.astype(np.uint64)
+    crc = np.full(v.shape, (seed ^ 0xFFFFFFFF) & 0xFFFFFFFF, dtype=np.uint32)
+    for _ in range(8):
+        byte = (v & np.uint64(0xFF)).astype(np.uint32)
+        crc = (crc >> np.uint32(8)) ^ _CRC_TABLE_NP[(crc ^ byte) & np.uint32(0xFF)]
+        v = v >> np.uint64(8)
+    return crc ^ np.uint32(0xFFFFFFFF)
 
 
 # ---------------------------------------------------------------------------
@@ -111,7 +129,12 @@ class HashFamily:
         self.kind = kind
 
     def function(self, way: int) -> Callable[[int], int]:
-        """Return the hash function for ``way`` (a closure over the seed)."""
+        """Return the hash function for ``way`` (a closure over the seed).
+
+        The returned callable carries ``kind`` and ``seed`` attributes so
+        :func:`hash_array` can evaluate the same function over a whole
+        numpy array bit-exactly.
+        """
         way_seed = mix64(self.seed * 1000003 + way + 1)
         if self.kind == "crc32c":
             def crc_fn(key: int, _seed: int = way_seed & 0xFFFFFFFF) -> int:
@@ -119,13 +142,38 @@ class HashFamily:
                 high = crc32c(key ^ 0xA5A5A5A5A5A5A5A5, _seed ^ 0x5A5A5A5A)
                 return (high << 32) | low
 
+            crc_fn.kind = "crc32c"
+            crc_fn.seed = way_seed & 0xFFFFFFFF
             return crc_fn
 
         def mix_fn(key: int, _seed: int = way_seed) -> int:
             return mix64(key, _seed)
 
+        mix_fn.kind = "mix64"
+        mix_fn.seed = way_seed
         return mix_fn
 
     def functions(self, ways: int) -> List[Callable[[int], int]]:
         """Return hash functions for ``ways`` consecutive ways."""
         return [self.function(w) for w in range(ways)]
+
+
+def hash_array(fn: Callable[[int], int], values: np.ndarray) -> np.ndarray:
+    """Evaluate a :meth:`HashFamily.function` closure over an array.
+
+    Bit-identical to calling ``fn`` element-wise (uint64 result array);
+    falls back to a Python loop for callables without the ``kind``/
+    ``seed`` attributes, so any ``int -> int`` hash still works.
+    """
+    kind = getattr(fn, "kind", None)
+    if kind == "mix64":
+        return mix64_array(values, fn.seed)
+    if kind == "crc32c":
+        seed = fn.seed
+        low = crc32c_array(values, seed).astype(np.uint64)
+        flipped = values.astype(np.uint64) ^ np.uint64(0xA5A5A5A5A5A5A5A5)
+        high = crc32c_array(flipped, seed ^ 0x5A5A5A5A).astype(np.uint64)
+        return (high << np.uint64(32)) | low
+    return np.fromiter(
+        (fn(int(v)) for v in values.tolist()), dtype=np.uint64, count=values.size
+    )

@@ -23,6 +23,8 @@ from __future__ import annotations
 import itertools
 from typing import Any, List, Optional, Tuple
 
+import numpy as np
+
 from repro.common.errors import ConfigurationError, SimulationError
 from repro.common.units import is_power_of_two
 
@@ -131,6 +133,10 @@ class Storage:
         disjoint address ranges so the cache model distinguishes them.
         """
         return self._line_base + index
+
+    def line_addr_array(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`line_addr`: the same affine map over an array."""
+        return np.int64(self._line_base) + np.asarray(indices, dtype=np.int64)
 
 
 class ContiguousStorage(Storage):

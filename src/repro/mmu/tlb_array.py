@@ -44,6 +44,34 @@ from repro.mmu.tlb import SetAssociativeTlb
 EMPTY_AGE = 255
 
 
+def stable_argsort_ids(keys: np.ndarray) -> np.ndarray:
+    """Stable argsort of non-negative int64 keys, radix-fast when narrow.
+
+    numpy's ``kind="stable"`` sort is a radix sort only for <=16-bit
+    integer dtypes; for int64 it falls back to timsort, which is ~8x
+    slower on random data.  Probe streams are usually confined to a
+    small page-number range (a workload footprint), so re-basing to the
+    minimum and sorting uint16 halves recovers the radix path: one pass
+    when the range fits 16 bits, a composed low/high two-pass radix
+    (stable, so the composition sorts by the full value) when it fits
+    32, and the plain int64 stable sort otherwise.
+    """
+    if keys.size <= 1:
+        return np.arange(keys.size, dtype=np.intp)
+    lo = np.int64(keys.min())
+    span = np.int64(keys.max()) - lo
+    if span < (1 << 16):
+        return np.argsort((keys - lo).astype(np.uint16), kind="stable")
+    if span < (1 << 32):
+        based = (keys - lo).astype(np.uint32)
+        by_low = np.argsort((based & np.uint32(0xFFFF)).astype(np.uint16),
+                            kind="stable")
+        by_high = np.argsort((based[by_low] >> np.uint32(16)).astype(np.uint16),
+                             kind="stable")
+        return by_low[by_high]
+    return np.argsort(keys, kind="stable")
+
+
 def prefix_rank_counts(
     values: np.ndarray, bounds: np.ndarray, thresholds: np.ndarray
 ) -> np.ndarray:
@@ -130,19 +158,33 @@ class ArrayTlb:
     @classmethod
     def from_tlb(cls, tlb: SetAssociativeTlb) -> "ArrayTlb":
         """Snapshot a list TLB's geometry, contents and counters."""
-        arr = cls(tlb.name, tlb.entries, tlb.ways, tlb.hit_cycles)
-        for set_index, entries in enumerate(tlb._sets):
+        arr = cls.from_lists(tlb.name, tlb._sets, tlb.ways, tlb.hit_cycles)
+        arr.hits = tlb.hits
+        arr.misses = tlb.misses
+        return arr
+
+    @classmethod
+    def from_lists(
+        cls, name: str, sets: List[List[int]], ways: int, hit_cycles: int
+    ) -> "ArrayTlb":
+        """Build from MRU-first per-set tag lists (the list layout used by
+        :class:`SetAssociativeTlb`, :class:`~repro.mem.cache.CacheLevel`
+        and the PWC)."""
+        arr = cls(name, len(sets) * ways, ways, hit_cycles)
+        for set_index, entries in enumerate(sets):
             for age, page_number in enumerate(entries):
                 arr.tags[set_index, age] = page_number
                 arr.ages[set_index, age] = age
-        arr.hits = tlb.hits
-        arr.misses = tlb.misses
         return arr
 
     def write_back(self, tlb: SetAssociativeTlb) -> None:
         """Install this state's contents into ``tlb`` (recency order)."""
         for set_index in range(self.num_sets):
             tlb._sets[set_index] = self.resident(set_index)
+
+    def write_back_lists(self) -> List[List[int]]:
+        """Return the per-set MRU-first tag lists of the current state."""
+        return [self.resident(i) for i in range(self.num_sets)]
 
     def resident(self, set_index: int) -> List[int]:
         """The set's tags in MRU-first order (the list TLB's layout)."""
@@ -260,28 +302,52 @@ class ArrayTlb:
         all_set = np.concatenate([pro_set, sets])
         m = int(all_pn.size)
 
+        # Previous occurrence of the same tag (same tag => same set).
+        by_tag = stable_argsort_ids(all_pn)
+        same = all_pn[by_tag][1:] == all_pn[by_tag][:-1]
+
+        # No-eviction shortcut: when every set's combined footprint
+        # (carried-over residents plus the chunk's distinct tags) fits
+        # its ways, nothing is ever evicted, so an access hits iff its
+        # tag occurred at all before — in the prologue or earlier in
+        # the chunk.  This skips the whole coordinate/window machinery
+        # and covers the common warm regime of a working set that fits
+        # the structure (e.g. the L2 TLB) at a fraction of the cost.
+        distinct_per_set = np.bincount(
+            all_set[by_tag][np.concatenate(([True], ~same))],
+            minlength=self.num_sets,
+        )
+        if distinct_per_set.max() <= self.ways:
+            has_prev = np.zeros(m, dtype=bool)
+            has_prev[by_tag[1:][same]] = True
+            hits[:] = has_prev[p0:]
+            # _apply_end_state only compares coordinates within one
+            # set, where global stream positions order identically.
+            self._apply_end_state(
+                all_pn, all_set, np.arange(m, dtype=np.int32), by_tag, same
+            )
+            return hits
+
         # Per-set substream coordinates, offset by the set's base so
         # they are globally unique and ordered within each set.  All
         # coordinate arithmetic is int32 (a chunk is far below 2**31):
         # the radix argsort, the window gathers and the merge tree are
         # memory-bound, so the narrow dtype is a real speedup.
-        by_set = np.argsort(all_set, kind="stable")
+        if self._set_mask < (1 << 16):
+            by_set = np.argsort(all_set.astype(np.uint16), kind="stable")
+        else:
+            by_set = np.argsort(all_set, kind="stable")
         coord = np.empty(m, dtype=np.int32)
         coord[by_set] = np.arange(m, dtype=np.int32)
         set_counts = np.bincount(all_set, minlength=self.num_sets)
         set_base = np.zeros(self.num_sets, dtype=np.int32)
         np.cumsum(set_counts[:-1], out=set_base[1:])
 
-        # Previous occurrence of the same tag (same tag => same set).
-        by_tag = np.argsort(all_pn, kind="stable")
-        same = all_pn[by_tag][1:] == all_pn[by_tag][:-1]
-        prev = np.full(m, -1, dtype=np.int64)
-        prev[by_tag[1:][same]] = by_tag[:-1][same]
+        prev = np.full(m, -1, dtype=np.int32)
+        prev[by_tag[1:][same]] = by_tag[:-1][same].astype(np.int32)
         has_prev = prev >= 0
-        window_start = np.where(
-            has_prev, coord[np.where(has_prev, prev, 0)],
-            set_base[all_set] - np.int32(1),
-        ).astype(np.int32)
+        window_start = set_base[all_set] - np.int32(1)
+        window_start[has_prev] = coord[prev[has_prev]]
         ordered_starts = np.empty(m, dtype=np.int32)
         ordered_starts[coord] = window_start
 
@@ -320,38 +386,63 @@ class ArrayTlb:
         are long yet recently tag-poor — rare in practice — pay for a
         :func:`prefix_rank_counts` merge-tree query.
         """
-        span = min(max(4 * self.ways, 16), 64)
-        offs = np.arange(-span, 0, dtype=np.int32)[None, :]
+        span = min(max(self.ways + 4, 8), 64)
+        m = ordered_starts.size
         direct = (ends - starts) <= span
-        # An access is its window's first sighting of a tag iff its own
-        # previous occurrence lies before the window: distinct = count.
         if direct.any():
-            # Whole window fits in ``span`` columns: count it exactly,
-            # masking gather slots that fall before the window start.
-            d_ends = ends[direct]
+            # Whole window fits in ``span`` columns: count its distinct
+            # tags exactly with one gather, masking slots before the
+            # window start (an access is its window's first sighting of
+            # a tag iff its own previous occurrence lies before it).
+            offs = np.arange(-span, 0, dtype=np.int32)[None, :]
             d_lo = starts[direct][:, None]
-            idx = d_ends[:, None] + offs
+            idx = ends[direct][:, None] + offs
             cnt = (
                 (ordered_starts[np.maximum(idx, 0)] < d_lo) & (idx >= d_lo)
             ).sum(axis=1, dtype=np.int32)
             hits[rest[direct] - p0] = cnt <= self.ways
-        suffix = ~direct
-        if suffix.any():
-            # Longer window: every gather slot is in-window, so no mask.
-            # More than ``ways`` distinct tags in the suffix alone proves
-            # a miss; otherwise the full window needs a merge-tree query.
-            s_ends = ends[suffix]
-            s_lo = s_ends - np.int32(span)
+        longer = ~direct
+        n_long = int(np.count_nonzero(longer))
+        if not n_long:
+            return
+        # Longer window: more than ``ways`` distinct tags in its last
+        # ``span`` accesses alone proves a miss (distinct counts only
+        # grow with the window).  That suffix count depends on the end
+        # coordinate only, and a long window never crosses its set's
+        # block, so when queries are dense it is cheapest to count every
+        # coordinate with contiguous shifted compares — no gathers.
+        l_ends = ends[longer]
+        if n_long * span > m:
+            acc = np.zeros(m, dtype=np.int16)
+            thresh = np.arange(m, dtype=np.int32)
+            thresh -= np.int32(span)
+            for k in range(1, span + 1):
+                acc[k:] += ordered_starts[:-k] < thresh[k:]
+            cnt = acc[l_ends].astype(np.int32)
+        else:
+            offs = np.arange(-span, 0, dtype=np.int32)[None, :]
             cnt = (
-                ordered_starts[s_ends[:, None] + offs] < s_lo[:, None]
+                ordered_starts[l_ends[:, None] + offs]
+                < (l_ends - np.int32(span))[:, None]
             ).sum(axis=1, dtype=np.int32)
-            deep = cnt <= self.ways
-            if deep.any():
-                sel = rest[suffix][deep]
-                ranks = prefix_rank_counts(
-                    ordered_starts, s_ends[deep], starts[suffix][deep]
-                )
-                hits[sel - p0] = (ranks - starts[suffix][deep]) <= self.ways
+        # Tag-poor suffixes — rare in practice — need a full-window query.
+        deep = cnt <= self.ways
+        n_deep = int(np.count_nonzero(deep))
+        if not n_deep:
+            return
+        d_ends = l_ends[deep]
+        d_starts = starts[longer][deep]
+        sel = rest[longer][deep] - p0
+        if n_deep <= 256 and int((d_ends - d_starts).sum()) <= (1 << 19):
+            # Too little work to amortize the merge tree: count each
+            # window directly with one slice scan per query.
+            for q in range(n_deep):
+                s, e = int(d_starts[q]), int(d_ends[q])
+                distinct = int(np.count_nonzero(ordered_starts[s:e] < s))
+                hits[sel[q]] = distinct <= self.ways
+        else:
+            ranks = prefix_rank_counts(ordered_starts, d_ends, d_starts)
+            hits[sel] = (ranks - d_starts) <= self.ways
 
     def _apply_end_state(
         self,

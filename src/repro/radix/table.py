@@ -192,6 +192,26 @@ class RadixPageTable:
         _leaf, lines = self.walk(vpn)
         return lines
 
+    def node_for_prefix(self, prefix: int, depth: int) -> Optional[_Node]:
+        """The node probed at level ``depth`` for a VPN whose top index
+        slices equal ``prefix`` (``depth`` 9-bit slices; 0 = the root).
+
+        Returns None when the path is absent or blocked by a huge-page
+        leaf.  Used by the batched walk engine to resolve node base
+        addresses once per prefix: nodes are only ever created, never
+        moved or removed, so a resolved address stays valid for the rest
+        of the run.
+        """
+        node = self.root
+        for level in range(depth):
+            entry = node.entries.get(
+                (prefix >> ((depth - 1 - level) * LEVEL_BITS)) & (FANOUT - 1)
+            )
+            if not isinstance(entry, _Node):
+                return None
+            node = entry
+        return node
+
     # -- accounting -------------------------------------------------------
 
     def table_bytes(self) -> int:

@@ -125,11 +125,11 @@ class SimulationConfig:
     trace_file: Optional[str] = None
 
     # Simulation engine (repro.sim.fastpath).  "auto" picks the
-    # vectorized batched engine unless event tracing is enabled (events
-    # need exact per-access ordering, which only the scalar loop
-    # produces); "scalar"/"vectorized" force one.  Results are
-    # bit-identical either way, so this knob is deliberately absent from
-    # the sweep engine's cache keys.
+    # vectorized batched engine; "scalar"/"vectorized" force one.
+    # Results are bit-identical either way — including traced event
+    # streams, which the vectorized engine synthesizes in per-access
+    # order — so this knob is deliberately absent from the sweep
+    # engine's cache keys.
     engine: str = "auto"
 
     def __post_init__(self) -> None:
@@ -171,23 +171,11 @@ class SimulationConfig:
     def resolve_engine(self) -> str:
         """The engine the simulator will actually run: scalar or vectorized.
 
-        ``auto`` selects the vectorized engine unless tracing is on.
-        Forcing ``vectorized`` together with tracing is a contradiction —
-        batched execution cannot emit per-access-ordered events — and
-        raises :class:`ConfigurationError`.
+        ``auto`` selects the vectorized engine.  Tracing no longer forces
+        the scalar loop: the batched engine synthesizes the per-access
+        event stream from its batch results, byte-identically.
         """
-        if self.engine == "scalar":
-            return "scalar"
-        tracing = self.tracing_enabled()
-        if self.engine == "vectorized":
-            if tracing:
-                raise ConfigurationError(
-                    "engine='vectorized' cannot produce per-access event "
-                    "traces; use engine='scalar' (or 'auto') with tracing",
-                    field="engine", value=self.engine,
-                )
-            return "vectorized"
-        return "scalar" if tracing else "vectorized"
+        return "scalar" if self.engine == "scalar" else "vectorized"
 
     # -- scaled parameters -------------------------------------------------
 

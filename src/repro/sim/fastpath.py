@@ -4,33 +4,62 @@
 numpy chunks instead of one Python int at a time.  Per chunk it decides
 — exactly, via :class:`~repro.mmu.tlb_array.ArrayTlb`'s offline LRU
 computation — which accesses hit L1 (zero cycles), which hit L2, and
-which are full misses; only the full misses (typically ≪1% of accesses)
-drop into the existing scalar code, where the page walker, demand
-faults, warmup snapshots and invariant checks run exactly as in the
-scalar engine.  Results are **bit-identical** to
+which are full misses.  The misses are then *batch-walked*
+(:mod:`repro.mmu.walk_batch`): per fault-separated segment the walkers'
+cache-line streams are resolved with vectorized gathers (cuckoo-way
+addresses, radix node memos) and probed against array mirrors of the
+cache hierarchy; only accesses that mutate simulator state — demand
+faults, with their kicks, resizes and allocations — run through the
+real fault handler, in global trace order.  Results are
+**bit-identical** to
 :class:`~repro.sim.simulator.TranslationSimulator`'s scalar loop: every
-``PerformanceResult`` field, every TLB counter, and the abort/warmup
-accounting (property-tested in ``tests/test_sim_fastpath.py``).
+``PerformanceResult`` field, every TLB/cache/walker counter, metrics
+snapshots, abort/warmup accounting, and — when a trace sink is attached
+— the traced event stream byte-for-byte (property-tested in
+``tests/test_sim_fastpath.py`` and ``tests/test_obs_trace_equivalence.py``).
 
 What makes exactness possible:
 
 * Every completed access leaves its tag at the MRU position of the TLBs
   of its resolved page size, so per-chunk hit levels are a pure function
-  of the VPN stream (see :mod:`repro.mmu.tlb_array`).
+  of the VPN stream (see :mod:`repro.mmu.tlb_array`).  The same
+  invariant holds for cache-hierarchy lines, which is what lets the
+  batched walker mirror the caches as arrays.
 * THP page-size decisions are stateless and per-2MB-region consistent
   (:meth:`~repro.kernel.thp.ThpPolicy.page_size_for` plus the VMA clip
   in :meth:`~repro.kernel.address_space.AddressSpace.handle_fault`), so
   each access's resolved size is computed up front by
   :class:`StaticThpSizer` and the chunk splits into independent per-size
   probe streams.
+* Faults are the only operations that mutate page tables, cuckoo
+  geometry or CWT contents, so between faults the walk batcher can
+  resolve line addresses for many walks at once; the cache hierarchy is
+  touched by nothing but walks, so its probes can be deferred across
+  fault boundaries and batched per chunk.
 * Cycle totals are integer-valued floats below 2**53, so batched sums
   equal the scalar engine's one-by-one accumulation exactly.
 
-Full misses are processed *in global trace order* through the real
-walker and fault handler, so cache-hierarchy state, cuckoo kicks,
-resizes and aborts are exact.  Event tracing needs per-access ordering
-the batched engine cannot provide, so ``SimulationConfig.resolve_engine``
-never selects this path while a trace sink is configured.
+Event tracing composes with this engine: the scalar engine's per-access
+events (``walk_start``/``walk_end``/``tlb_miss``/``measure_start``) are
+synthesized from the batch results in per-access order with the exact
+scalar clock values, while fault-path events (``fault_serviced``,
+kicks, resizes, chunk transitions) are emitted live by the real fault
+machinery.  The synthesized emit-call sequence equals the scalar
+engine's, so per-kind sampling counters, sequence numbers and therefore
+the JSONL/ring-buffer output are byte-identical.
+
+Ordering contract for invariant checks (satellite of PR 7): the scalar
+engine checks invariants after every ``invariant_check_every``-th
+access; this engine performs the same *set* of checks against the same
+page-table states — faults are the only mutations and checks are
+caught up before each fault and at chunk end — so any check that fails
+in one engine fails in the other with the same ``progress`` value.  The
+only divergence is *when* a failing check raises relative to hit-only
+accesses between two faults: the vectorized engine may execute those
+accesses (and, when tracing, emit later walks' events) before the
+deferred check fires.  Counters and traces of *completed* runs are
+unaffected; only the partial state observed after an uncaught
+``SimulationError`` differs.
 """
 
 from __future__ import annotations
@@ -46,6 +75,13 @@ from repro.hashing.hashes import mix64_array
 from repro.kernel.address_space import AddressSpace
 from repro.kernel.thp import PAGES_PER_2M
 from repro.mmu.tlb_array import ArrayTlb
+from repro.mmu.walk_batch import make_walk_batch
+from repro.obs.trace import (
+    EVENT_MEASURE_START,
+    EVENT_TLB_MISS,
+    EVENT_WALK_END,
+    EVENT_WALK_START,
+)
 from repro.sim.simulator import (
     ABORT_ERRORS,
     LoopOutcome,
@@ -141,12 +177,14 @@ def run_vectorized(
 
     Mirrors the scalar loop of
     :meth:`~repro.sim.simulator.TranslationSimulator.run` exactly —
-    counters, cycles, warmup snapshot, abort accounting and invariant
-    checks — and returns the same :class:`LoopOutcome`.
+    counters, cycles, warmup snapshot, abort accounting, invariant
+    checks and traced events — and returns the same :class:`LoopOutcome`.
     """
     tlb = system.tlb
     aspace = system.address_space
     config = system.config
+    obs = system.obs
+    tracer_on = obs is not None and obs.tracer is not None
     sizes = list(tlb.l1.keys())
     sizer = StaticThpSizer(aspace, sizes)
     shifts = [PAGE_SHIFT[size] for size in sizes]
@@ -158,12 +196,15 @@ def run_vectorized(
     l2_arr: Dict[str, ArrayTlb] = {
         size: ArrayTlb.from_tlb(t) for size, t in tlb.l2.items()
     }
+    batcher = make_walk_batch(system, sizes)
     walk_fn = system.walker.walk
     fault_fn = aspace.handle_fault
     check_every = config.invariant_check_every
     next_check = check_every
     boundary = warmup_events - 1  # global index completing the warmup
     warm_taken = warmup_events == 0
+    # When warmup_events == 0 the simulator emits measure_start itself.
+    measure_emitted = (not tracer_on) or warmup_events == 0
 
     outcome = LoopOutcome()
     base = 0
@@ -202,6 +243,63 @@ def run_vectorized(
             outcome.warm_walks = before[2] + int((level[:prefix] >= 2).sum())
             outcome.warm_faults = before[3] + int((level[:prefix] == 3).sum())
 
+        # -- traced-mode clock / event synthesis -------------------------
+        # Events of access i carry the clock at the access's start: the
+        # cumulative translation cycles through access i-1, exactly as
+        # the scalar loop stamps them.  ``emit_state`` tracks how far
+        # the per-access cycle prefix sum has been folded in; cycles of
+        # batched walks are final before any event referencing them is
+        # emitted (the flush scatters them first).
+        boundary_local = boundary - base
+        emit_state = [0, 0.0]  # [accesses folded into the sum, their sum]
+
+        def _clock_before(local: int) -> int:
+            if local > emit_state[0]:
+                emit_state[1] += float(cycles[emit_state[0]:local].sum())
+                emit_state[0] = local
+            return int(before_cycles + emit_state[1])
+
+        def _measure_before(local: int) -> None:
+            # The scalar loop emits measure_start right after the
+            # warmup-completing access; replicate it before emitting any
+            # later access's events (hit-only accesses emit nothing, so
+            # this preserves the exact event sequence).
+            nonlocal measure_emitted
+            if not measure_emitted and boundary_local < local:
+                obs.advance_clock(_clock_before(boundary_local + 1))
+                obs.emit(EVENT_MEASURE_START, event=warmup_events)
+                measure_emitted = True
+
+        def _emit_walk(local, walk_id, vpn, walk_cycles, accesses, is_fault):
+            _measure_before(local)
+            obs.advance_clock(_clock_before(local))
+            obs.emit(EVENT_WALK_START, walk=walk_id, vpn=vpn)
+            obs.emit(
+                EVENT_WALK_END, walk=walk_id, cycles=walk_cycles,
+                accesses=accesses,
+            )
+            obs.emit(
+                EVENT_TLB_MISS, vpn=vpn,
+                level="fault" if is_fault else "walk",
+                cycles=l2_probe_cycles + walk_cycles,
+            )
+
+        def _drain() -> None:
+            """Probe pending batched walks; scatter cycles, emit events."""
+            if batcher is None:
+                return
+            result = batcher.flush()
+            if result is None:
+                return
+            cycles[result.locals_] = l2_probe_cycles + result.cycles
+            if tracer_on:
+                for j in range(result.locals_.size):
+                    _emit_walk(
+                        int(result.locals_[j]), result.walk_ids[j],
+                        result.vpns[j], int(result.cycles[j]),
+                        int(result.accesses[j]), result.faults[j],
+                    )
+
         aborted_at = -1
         try:
             for local in np.flatnonzero(level >= 2).tolist():
@@ -211,21 +309,50 @@ def run_vectorized(
                     next_check += check_every
                 aborted_at = local
                 vpn = int(chunk[local])
-                walk = walk_fn(vpn)
-                cycles[local] = l2_probe_cycles + walk.cycles
-                if walk.fault:
-                    level[local] = 3
-                    fault = fault_fn(vpn)
-                    assert fault.page_size == sizes[int(stream[local])], (
-                        "static page-size prediction diverged from the kernel"
-                    )
-                elif walk.page_size is not None:
-                    assert walk.page_size == sizes[int(stream[local])], (
-                        "static page-size prediction diverged from the walker"
-                    )
+                code = int(stream[local])
+                if batcher is not None:
+                    if batcher.plan(local, vpn, code):
+                        # State-mutating access: seal the segment's line
+                        # addresses against the pre-fault geometry, then
+                        # run the real fault handler in trace order.
+                        # Cache probing itself only needs to happen now
+                        # when events are being synthesized.
+                        batcher.seal_segment()
+                        if tracer_on:
+                            _drain()
+                        level[local] = 3
+                        fault = fault_fn(vpn)
+                        assert fault.page_size == sizes[code], (
+                            "static page-size prediction diverged from the kernel"
+                        )
+                else:
+                    # No batched implementation for this walker/cache
+                    # geometry: scalar walker per miss, still exact.
+                    if tracer_on:
+                        _measure_before(local)
+                        obs.advance_clock(_clock_before(local))
+                    walk = walk_fn(vpn)
+                    cycles[local] = l2_probe_cycles + walk.cycles
+                    if tracer_on:
+                        obs.emit(
+                            EVENT_TLB_MISS, vpn=vpn,
+                            level="fault" if walk.fault else "walk",
+                            cycles=int(l2_probe_cycles + walk.cycles),
+                        )
+                    if walk.fault:
+                        level[local] = 3
+                        fault = fault_fn(vpn)
+                        assert fault.page_size == sizes[code], (
+                            "static page-size prediction diverged from the kernel"
+                        )
+                    elif walk.page_size is not None:
+                        assert walk.page_size == sizes[code], (
+                            "static page-size prediction diverged from the walker"
+                        )
                 if next_check and next_check == index:
                     check_system_invariants(system, index)
                     next_check += check_every
+            _drain()
             while next_check and next_check <= base + n - 1:
                 check_system_invariants(system, next_check)
                 next_check += check_every
@@ -236,13 +363,27 @@ def run_vectorized(
                 system.degradation.record(
                     EVENT_ABORT, "trace", error=type(exc).__name__,
                 )
+            # Finalize the pending batched walks (all planned at or
+            # before the aborting access) so their cycles and cache
+            # counters are exact.  In traced mode this is a no-op: the
+            # drain already ran before the fault handler raised.
+            _drain()
             done = aborted_at + 1  # aborting access counted, not completed
             outcome.events_done = base + aborted_at
             _apply_counters(tlb, sizes, level[:done], stream[:done])
             outcome.total_cycles += float(cycles[:done].sum())
+            # The aborting access never *completes* (the scalar loop's
+            # events_done stops just before it), so the warmup window is
+            # only closed when the boundary access lies strictly before
+            # it — `boundary < base + aborted_at` is events_done-based,
+            # intentionally one tighter than the clean path's
+            # `boundary < base + n`.  An abort exactly at the boundary
+            # leaves the run inside warmup, as in the scalar engine.
             if not warm_taken and boundary < base + aborted_at:
                 _warm_snapshot(boundary - base + 1)
                 warm_taken = True
+            if batcher is not None:
+                batcher.caches.write_back()
             return outcome
 
         _apply_counters(tlb, sizes, level, stream)
@@ -250,6 +391,11 @@ def run_vectorized(
         if not warm_taken and boundary < base + n:
             _warm_snapshot(boundary - base + 1)
             warm_taken = True
+        if tracer_on:
+            # measure_start for a warmup boundary inside a hit-only
+            # chunk tail, then the scalar loop's end-of-access clock.
+            _measure_before(n)
+            obs.advance_clock(int(outcome.total_cycles))
         base += n
         outcome.events_done = base
 
@@ -258,8 +404,11 @@ def run_vectorized(
     # tests) see exactly what the scalar engine leaves behind.  After an
     # abort the arrays hold full-chunk (future) state, so they are
     # deliberately not written back; aborted runs' TLB *contents* are
-    # unspecified, their counters exact.
+    # unspecified, their counters exact.  (The cache mirrors *are*
+    # written back on abort: they only ever advance walk by walk.)
     for size in sizes:
         l1_arr[size].write_back(tlb.l1[size])
         l2_arr[size].write_back(tlb.l2[size])
+    if batcher is not None:
+        batcher.caches.write_back()
     return outcome

@@ -93,6 +93,84 @@ class TestEngineEquivalence:
         vector, _ = run_engine("vectorized", invariant_check_every=777)
         assert scalar == vector
 
+    def test_invariant_cadence_below_chunk_size(self):
+        # Satellite of PR 7: several checkpoints per chunk, with demand
+        # faults landing between them (warmup-free GUPS faults heavily
+        # early on).  The vectorized engine catches checks up lazily —
+        # before each miss and at chunk end — which must not change any
+        # result of a completed run.
+        for every in (3, 64, 100):
+            scalar, _ = run_engine(
+                "scalar", n=3_000, chunk=512, invariant_check_every=every,
+            )
+            vector, _ = run_engine(
+                "vectorized", n=3_000, chunk=512, invariant_check_every=every,
+            )
+            assert scalar == vector
+
+
+class TestAbortWarmupBoundary:
+    """Satellite of PR 7: the abort path's warmup-snapshot condition.
+
+    The clean path closes the warmup window when ``boundary < base + n``;
+    the abort path uses ``boundary < base + aborted_at`` because the
+    aborting access never completes (``events_done`` excludes it).  Pin
+    scalar/vectorized equivalence with the boundary placed exactly at,
+    just before, and just after the aborting access.
+    """
+
+    N = 30_000
+
+    @pytest.fixture(scope="class")
+    def abort_index(self):
+        result, _ = run_engine(
+            "scalar", org="ecpt", scale=512, n=self.N, fmfi=0.75, warmup=0.0,
+        )
+        assert result.failed
+        # events_done == index of the aborting access (it never
+        # completes); with warmup 0, accesses == events_done * repeats.
+        repeats = max(
+            1, get_workload("GUPS", scale=512, seed=3).spec.pattern.page_repeats
+        )
+        assert result.accesses % repeats == 0
+        return result.accesses // repeats
+
+    @pytest.mark.parametrize("delta", [-2, -1, 0, 1, 2])
+    def test_abort_straddles_warmup_boundary(self, abort_index, delta):
+        # warmup_events = int(frac * N); choose frac to land the warmup
+        # boundary (warmup_events - 1) at abort_index + delta.
+        warmup_events = abort_index + delta + 1
+        if not 0 < warmup_events < self.N:
+            pytest.skip("boundary out of range for this trace")
+        frac = (warmup_events + 0.5) / self.N
+        scalar, _ = run_engine(
+            "scalar", org="ecpt", scale=512, n=self.N, fmfi=0.75,
+            warmup=frac,
+        )
+        vector, _ = run_engine(
+            "vectorized", org="ecpt", scale=512, n=self.N, fmfi=0.75,
+            warmup=frac,
+        )
+        assert scalar.failed and vector.failed
+        assert scalar == vector
+
+    @pytest.mark.parametrize("chunk", [64, 257])
+    def test_abort_boundary_with_small_chunks(self, abort_index, chunk):
+        # Same straddle with the abort mid-chunk rather than in the
+        # first chunk, exercising the base-relative index arithmetic.
+        warmup_events = abort_index  # boundary one before the abort
+        frac = (warmup_events + 0.5) / self.N
+        scalar, _ = run_engine(
+            "scalar", org="ecpt", scale=512, n=self.N, fmfi=0.75,
+            warmup=frac, chunk=chunk,
+        )
+        vector, _ = run_engine(
+            "vectorized", org="ecpt", scale=512, n=self.N, fmfi=0.75,
+            warmup=frac, chunk=chunk,
+        )
+        assert scalar.failed and vector.failed
+        assert scalar == vector
+
 
 class TestEngineSelection:
     def test_engine_validated(self):
@@ -105,30 +183,40 @@ class TestEngineSelection:
         assert SimulationConfig().resolve_engine() == "vectorized"
         assert SimulationConfig(engine="scalar").resolve_engine() == "scalar"
 
-    def test_tracing_forces_scalar(self):
+    def test_tracing_composes_with_vectorized(self):
+        # Tracing no longer forces the scalar loop (PR 7): the batched
+        # engine synthesizes the per-access event stream itself.
         traced = SimulationConfig(obs=ObservabilityConfig(trace_buffer=64))
-        assert traced.resolve_engine() == "scalar"
+        assert traced.resolve_engine() == "vectorized"
         metrics_only = SimulationConfig(obs=ObservabilityConfig())
         assert metrics_only.resolve_engine() == "vectorized"
 
-    def test_vectorized_with_tracing_rejected(self):
+    def test_vectorized_with_tracing_accepted(self):
         config = SimulationConfig(
             engine="vectorized", obs=ObservabilityConfig(trace_buffer=64),
         )
-        with pytest.raises(ConfigurationError):
-            config.resolve_engine()
+        assert config.resolve_engine() == "vectorized"
+        result, _ = run_engine(
+            "vectorized", n=2_000, obs=ObservabilityConfig(trace_buffer=256),
+        )
+        assert result.accesses > 0
 
-    def test_traced_auto_run_never_enters_fastpath(self, monkeypatch):
+    def test_traced_auto_run_enters_fastpath(self, monkeypatch):
         import repro.sim.fastpath as fastpath
 
-        def boom(*args, **kwargs):  # pragma: no cover - failure path
-            raise AssertionError("vectorized engine ran while tracing")
+        entered = []
+        real = fastpath.run_vectorized
 
-        monkeypatch.setattr(fastpath, "run_vectorized", boom)
+        def spy(*args, **kwargs):
+            entered.append(True)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(fastpath, "run_vectorized", spy)
         result, _ = run_engine(
             "auto", n=2_000, obs=ObservabilityConfig(trace_buffer=256),
         )
         assert result.accesses > 0
+        assert entered
 
     def test_engine_chunk_validated(self):
         workload = get_workload("GUPS", scale=SCALE)
