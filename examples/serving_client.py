@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Serving walkthrough: the whole repro.serve surface against a
+throwaway server.
+
+This boots a private server on an ephemeral port (small queue, two
+worker shards, its own cache and spool directories under a temp dir)
+and walks every part of the wire contract SERVING.md documents:
+
+1. health check and queue introspection,
+2. upload a corpus `.vpt` reproducer, get its content-addressed handle,
+3. replay it against ME-HPT and ECPT, streaming NDJSON events live,
+4. priorities: an interactive job overtakes queued batch jobs,
+5. back-pressure: saturate the queue, get a 429 and a retry-after hint,
+   then resubmit politely with ``submit_with_retry``,
+6. cancellation: reap a running worker mid-job and watch it respawn,
+7. scrape ``/metrics`` for the ``serve_*`` series this session produced,
+
+then SIGTERMs the server and waits for the graceful drain.
+
+Run:  PYTHONPATH=src python examples/serving_client.py
+"""
+
+import json
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.sim.results import result_from_record
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+CORPUS_TRACE = REPO_ROOT / "corpus" / "churn-oscillation-seed0.vpt"
+
+# Small enough that every cell is sub-second; the corpus trace holds
+# 12000 records, so a 6000-record replay never hits the end.
+FAST_SETTINGS = {"scale": 1024, "trace_length": 6000}
+
+
+def boot_server(workdir: pathlib.Path) -> "tuple[subprocess.Popen, int]":
+    """Start ``python -m repro.serve`` on an ephemeral port.
+
+    The tiny queue (4 total, 2 per client) is deliberate: it makes the
+    back-pressure section of the walkthrough trip a real 429.
+    """
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve",
+         "--port", "0",
+         "--shards", "2",
+         "--queue-capacity", "4",
+         "--per-client-capacity", "2",
+         "--cache-dir", str(workdir / "cache"),
+         "--spool-dir", str(workdir / "spool")],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    # The boot line is "repro.serve listening on http://127.0.0.1:PORT".
+    line = process.stdout.readline().strip()
+    port = int(line.rsplit(":", 1)[1])
+    print(f"booted: {line}")
+    return process, port
+
+
+def show(event: dict) -> None:
+    """One-line rendering of a streamed NDJSON event."""
+    print(f"  << {json.dumps(event, sort_keys=True)[:120]}")
+
+
+def main() -> int:
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="serving-example-"))
+    process, port = boot_server(workdir)
+    client = ServeClient(port=port, timeout=120)
+    try:
+        # -- 1. liveness and queue introspection -----------------------
+        print("\n[1] health + queue")
+        print("  health:", json.dumps(client.health(), sort_keys=True)[:100])
+        print("  queue: ", json.dumps(client.queue(), sort_keys=True)[:100])
+
+        # -- 2. upload a corpus reproducer -----------------------------
+        print("\n[2] upload a .vpt trace (content-addressed)")
+        upload = client.upload_trace(str(CORPUS_TRACE))
+        print(f"  {CORPUS_TRACE.name}: {upload['records']} records"
+              f" -> {upload['trace']}")
+        again = client.upload_trace(str(CORPUS_TRACE))
+        assert again["trace"] == upload["trace"], "uploads are idempotent"
+        print("  re-upload returned the same handle (idempotent)")
+
+        # -- 3. replay it, streaming events ----------------------------
+        print("\n[3] replay against ME-HPT and ECPT, streamed live")
+        terminal, results = client.run({
+            "kind": "perf",
+            "cells": [{"app": upload["trace"], "organization": org,
+                       "thp": False}
+                      for org in ("mehpt", "ecpt")],
+            "settings": FAST_SETTINGS,
+            "client": "walkthrough",
+        }, on_event=show)
+        assert terminal["event"] == "done", terminal
+        for entry in results:
+            result = result_from_record(entry["result"])
+            print(f"  {entry['cell'][1]:>6}: "
+                  f"cycles/access {result.cycles_per_access():.2f}")
+
+        # -- 4. priorities: interactive overtakes batch ----------------
+        print("\n[4] priority: an interactive job jumps the batch queue")
+        # Occupy both shards with staggered blockers: the first frees a
+        # shard after 2s (one dispatch decision), the second holds its
+        # shard long enough that the batch job must keep waiting.
+        blockers = [client.submit({
+            "kind": "selftest", "duration_seconds": seconds,
+            "client": f"blocker-{i}", "priority": 2,
+        }) for i, seconds in enumerate((2.0, 6.0))]
+        batch = client.submit({
+            "kind": "perf",
+            "cells": [{"app": "GUPS", "organization": "radix"}],
+            "settings": FAST_SETTINGS,
+            "client": "batch", "priority": 2,
+        })
+        interactive = client.submit({
+            "kind": "perf",
+            "cells": [{"app": "GUPS", "organization": "mehpt"}],
+            "settings": FAST_SETTINGS,
+            "client": "interactive", "priority": 0,
+        })
+        terminal, _ = client.wait(interactive["job"])
+        batch_status = client.status(batch["job"])["status"]
+        print(f"  interactive finished ({terminal['event']}) while the "
+              f"earlier-submitted batch job is still '{batch_status}'")
+        client.wait(batch["job"])
+        for blocker in blockers:
+            client.wait(blocker["job"])
+
+        # -- 5. back-pressure: saturate, 429, polite retry -------------
+        print("\n[5] back-pressure: fill the queue until it pushes back")
+        holders = [client.submit({
+            "kind": "selftest", "duration_seconds": 1.5,
+            "client": f"holder-{i}",
+        }) for i in range(6)]            # 2 running + 4 queued = full
+        try:
+            client.submit({"kind": "selftest", "duration_seconds": 0.1,
+                           "client": "late"})
+            raise AssertionError("expected a 429")
+        except ServeClientError as exc:
+            hint = exc.context["retry_after_seconds"]
+            print(f"  429 {exc.context['reason']}: retry in {hint:.1f}s")
+        receipt = client.submit_with_retry(
+            {"kind": "selftest", "duration_seconds": 0.1, "client": "late"})
+        print(f"  submit_with_retry slept and got {receipt['job']} admitted")
+        for held in holders + [receipt]:
+            client.wait(held["job"])
+
+        # -- 6. cancellation reaps the worker --------------------------
+        print("\n[6] cancel a running job; its worker is reaped")
+        doomed = client.submit({"kind": "selftest", "duration_seconds": 60.0,
+                                "client": "doomed"})
+        time.sleep(0.5)                  # let it reach a worker
+        outcome = client.cancel(doomed["job"])
+        print(f"  cancelled {doomed['job']}: "
+              f"worker reaped = {outcome['reaped_worker']}")
+
+        # -- 7. the serve.* metric series ------------------------------
+        print("\n[7] /metrics (serve_* series only)")
+        for line in client.metrics().splitlines():
+            if line.startswith("serve_"):
+                print(f"  {line}")
+        return 0
+    finally:
+        print("\nshutting down (SIGTERM -> graceful drain)")
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=30)
+        print(f"server exited {process.returncode}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -257,6 +257,43 @@ CATALOGUE: Dict[str, MetricSpec] = {
     "fuzz.corpus_mismatches": MetricSpec(
         KIND_COUNTER, "entries", "repro.fuzz.corpus",
         "Corpus replays whose classification drifted from the manifest."),
+    # -- translation service (repro.serve) -------------------------------
+    "serve.requests": MetricSpec(
+        KIND_COUNTER, "requests", "repro.serve.server",
+        "HTTP requests handled, labelled by route."),
+    "serve.queue_depth": MetricSpec(
+        KIND_GAUGE, "jobs", "repro.serve.queue",
+        "Jobs admitted and waiting for a worker shard."),
+    "serve.admission_rejections": MetricSpec(
+        KIND_COUNTER, "jobs", "repro.serve.queue",
+        "Submissions refused with back-pressure, labelled by reason."),
+    "serve.inflight_jobs": MetricSpec(
+        KIND_GAUGE, "jobs", "repro.serve.workers",
+        "Jobs currently executing on worker shards."),
+    "serve.jobs_completed": MetricSpec(
+        KIND_COUNTER, "jobs", "repro.serve.server",
+        "Jobs that finished and streamed a final done event."),
+    "serve.jobs_failed": MetricSpec(
+        KIND_COUNTER, "jobs", "repro.serve.server",
+        "Jobs that ended with a structured error event."),
+    "serve.jobs_cancelled": MetricSpec(
+        KIND_COUNTER, "jobs", "repro.serve.server",
+        "Jobs cancelled by clients (queued or reaped mid-run)."),
+    "serve.job_timeouts": MetricSpec(
+        KIND_COUNTER, "jobs", "repro.serve.server",
+        "Jobs whose execution deadline expired (worker reaped)."),
+    "serve.worker_restarts": MetricSpec(
+        KIND_COUNTER, "restarts", "repro.serve.workers",
+        "Worker processes reaped (cancel/timeout) or respawned after a crash."),
+    "serve.cache_hit_ratio": MetricSpec(
+        KIND_GAUGE, "ratio", "repro.serve.server",
+        "Sweep-engine disk-cache hits / lookups across all served jobs."),
+    "serve.trace_uploads": MetricSpec(
+        KIND_COUNTER, "uploads", "repro.serve.server",
+        "Validated .vpt traces accepted into the upload spool."),
+    "serve.streamed_events": MetricSpec(
+        KIND_COUNTER, "events", "repro.serve.server",
+        "Progress/result/obs events streamed to event-stream subscribers."),
 }
 
 

@@ -1,0 +1,77 @@
+"""Translation as a service: the async experiment/replay server.
+
+The package turns the sweep engine into a long-running service:
+clients ``POST`` experiment cells, figure sweeps and uploaded ``.vpt``
+trace replays as JSON; a sharded pool of worker processes resolves them
+through the *same* :class:`~repro.experiments.engine.SweepEngine` fan-out
+and disk cache a direct ``run_cells`` call uses — so a served cell is
+byte-identical to a script-driven one and shares its cache entry — and
+progress, per-cell results and obs events stream back as chunked NDJSON.
+
+Layers (one module each, bottom-up):
+
+``protocol``
+    Request validation and the event schema.  Everything is checked at
+    admission time, including dry-building every cell's
+    ``SimulationConfig``, so workers never see malformed jobs.
+``queue``
+    :class:`~repro.serve.queue.FairPriorityQueue` — bounded, prioritised,
+    client-fair admission with ``retry_after`` back-pressure hints.
+``workers``
+    :class:`~repro.serve.workers.ShardPool` — long-lived worker
+    processes the server can reap (cancellation, timeouts) and respawn.
+``server``
+    :class:`~repro.serve.server.ServeServer` — the asyncio HTTP
+    front-end, event streaming, ``/metrics`` and graceful drain.
+``client``
+    :class:`~repro.serve.client.ServeClient` — stdlib blocking client
+    plus the ``python -m repro.serve.client`` CLI.
+
+Run ``python -m repro.serve --port 8400`` to boot one; ``SERVING.md`` is
+the full wire reference.
+"""
+
+from repro.serve.protocol import (
+    EVENT_TYPES,
+    JOB_KINDS,
+    JOB_STATUSES,
+    PRIORITIES,
+    TERMINAL_STATUSES,
+    JobRequest,
+    ProtocolError,
+    parse_job_request,
+)
+from repro.serve.queue import AdmissionError, FairPriorityQueue
+from repro.serve.server import ROUTES, ServeConfig, ServeServer
+from repro.serve.workers import ShardPool, WorkerShard
+
+
+def __getattr__(name):
+    """Lazy client exports: keep ``python -m repro.serve.client`` free of
+    the runpy double-import warning while preserving
+    ``from repro.serve import ServeClient``."""
+    if name in ("ServeClient", "ServeClientError"):
+        from repro.serve import client
+
+        return getattr(client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "AdmissionError",
+    "EVENT_TYPES",
+    "FairPriorityQueue",
+    "JOB_KINDS",
+    "JOB_STATUSES",
+    "JobRequest",
+    "PRIORITIES",
+    "ProtocolError",
+    "ROUTES",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "ServeServer",
+    "ShardPool",
+    "TERMINAL_STATUSES",
+    "WorkerShard",
+    "parse_job_request",
+]

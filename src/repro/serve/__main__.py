@@ -1,0 +1,112 @@
+"""``python -m repro.serve`` — boot the translation service.
+
+Runs :class:`~repro.serve.server.ServeServer` in the foreground until
+SIGTERM/SIGINT, then drains gracefully: admission closes (503 with a
+retry hint), queued and in-flight jobs finish (bounded by
+``--drain-timeout``), workers shut down, and the process exits 0.  A
+second signal skips the drain and stops immediately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+import signal
+import sys
+from typing import List, Optional
+
+from repro.common.errors import MEHPTError
+from repro.serve.server import ServeConfig, ServeServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve translation experiments, figure sweeps and "
+                    "trace replays over HTTP (stdlib only).",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: loopback only)")
+    parser.add_argument("--port", type=int, default=8400,
+                        help="TCP port (0 = ephemeral, printed at boot)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="worker processes executing jobs")
+    parser.add_argument("--engine-jobs", type=int, default=1,
+                        help="SweepEngine fan-out inside each shard")
+    parser.add_argument("--cache-dir", default=None,
+                        help="sweep-engine disk cache (shared with direct "
+                             "runs; omit to disable disk caching)")
+    parser.add_argument("--spool-dir", default=".serve-spool",
+                        help="trace uploads and obs event spools")
+    parser.add_argument("--queue-capacity", type=int, default=64,
+                        help="total queued jobs before 429s")
+    parser.add_argument("--per-client-capacity", type=int, default=16,
+                        help="queued jobs one client may hold")
+    parser.add_argument("--default-timeout", type=float, default=None,
+                        help="seconds before an untimed job is reaped "
+                             "(default: no limit)")
+    parser.add_argument("--drain-timeout", type=float, default=30.0,
+                        help="seconds the shutdown drain waits for "
+                             "in-flight jobs")
+    parser.add_argument("--no-local-traces", action="store_true",
+                        help="only uploaded traces may be replayed "
+                             "(reject trace:<server-path> cells)")
+    parser.add_argument("--log-level", default="info",
+                        choices=["debug", "info", "warning", "error"])
+    return parser
+
+
+async def _run(config: ServeConfig) -> None:
+    """Boot the server and wire signals to the graceful drain."""
+    server = ServeServer(config)
+    await server.start()
+    print(f"repro.serve listening on http://{config.host}:{server.port}",
+          flush=True)
+    loop = asyncio.get_running_loop()
+    drains = 0
+
+    def on_signal() -> None:
+        nonlocal drains
+        drains += 1
+        if drains == 1:
+            loop.create_task(server.drain())
+        else:  # second signal: stop now
+            loop.create_task(server.stop())
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, on_signal)
+    await server.serve_forever()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments, validate the config, run until shutdown."""
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        engine_jobs=args.engine_jobs,
+        cache_dir=args.cache_dir,
+        spool_dir=args.spool_dir,
+        queue_capacity=args.queue_capacity,
+        per_client_capacity=args.per_client_capacity,
+        default_timeout_seconds=args.default_timeout,
+        drain_timeout_seconds=args.drain_timeout,
+        allow_local_traces=not args.no_local_traces,
+    )
+    try:
+        asyncio.run(_run(config))
+    except MEHPTError as exc:
+        print(f"error: {exc.message}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

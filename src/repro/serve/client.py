@@ -1,0 +1,290 @@
+"""Stdlib client for the translation service (plus a tiny CLI).
+
+:class:`ServeClient` wraps ``http.client`` — no third-party HTTP stack —
+and mirrors the endpoint table in ``SERVING.md`` one method per route.
+Streaming uses the chunked NDJSON decoding that ``http.client`` performs
+transparently: :meth:`ServeClient.events` yields one decoded event dict
+per line as the server emits them.
+
+The module doubles as a command-line client (used by the CI smoke job
+and the ``examples/serving_client.py`` walkthrough)::
+
+    python -m repro.serve.client --port 8400 health
+    python -m repro.serve.client --port 8400 submit '{"kind": "perf", ...}'
+    python -m repro.serve.client --port 8400 run '{"kind": "perf", ...}'
+    python -m repro.serve.client --port 8400 upload traces/app.vpt
+    python -m repro.serve.client --port 8400 events job-1
+    python -m repro.serve.client --port 8400 cancel job-1
+    python -m repro.serve.client --port 8400 metrics
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import sys
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.errors import MEHPTError
+from repro.serve.protocol import TERMINAL_STATUSES
+
+#: Event types that end a stream (mirror of the terminal job statuses).
+_TERMINAL_EVENTS = set(TERMINAL_STATUSES)
+
+
+class ServeClientError(MEHPTError):
+    """A non-2xx response from the service.
+
+    ``context`` carries the HTTP ``status`` and the decoded ``body``;
+    for 429/503 rejections ``retry_after_seconds`` is surfaced too.
+    """
+
+
+class ServeClient:
+    """A blocking client for one ``repro.serve`` endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8400,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[bytes] = None,
+                 content_type: str = "application/json") -> Tuple[int, object]:
+        """One request/response exchange; JSON-decodes JSON responses."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            headers = {"Content-Type": content_type} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            if response.getheader("Content-Type", "").startswith(
+                    "application/json"):
+                payload: object = json.loads(raw.decode("utf-8"))
+            else:
+                payload = raw.decode("utf-8")
+            return response.status, payload
+        finally:
+            conn.close()
+
+    def _checked(self, method: str, path: str,
+                 body: Optional[bytes] = None,
+                 content_type: str = "application/json") -> object:
+        """Like :meth:`_request` but raises on non-2xx."""
+        status, payload = self._request(method, path, body, content_type)
+        if not 200 <= status < 300:
+            context: Dict[str, object] = {"status": status, "body": payload}
+            if isinstance(payload, dict):
+                for key in ("retry_after_seconds", "reason"):
+                    if payload.get(key) is not None:
+                        context[key] = payload[key]
+            message = (payload.get("error", str(payload))
+                       if isinstance(payload, dict) else str(payload))
+            raise ServeClientError(f"HTTP {status}: {message}", **context)
+        return payload
+
+    # -- one method per route ------------------------------------------
+
+    def health(self) -> Dict:
+        """``GET /healthz``."""
+        return self._checked("GET", "/healthz")
+
+    def queue(self) -> Dict:
+        """``GET /v1/queue``."""
+        return self._checked("GET", "/v1/queue")
+
+    def metrics(self) -> str:
+        """``GET /metrics`` (raw text exposition)."""
+        return self._checked("GET", "/metrics")
+
+    def submit(self, payload: Dict) -> Dict:
+        """``POST /v1/jobs`` — returns the admission receipt.
+
+        Raises :class:`ServeClientError` with ``retry_after_seconds`` in
+        ``context`` when the queue pushes back (429) or the server is
+        draining (503).
+        """
+        return self._checked(
+            "POST", "/v1/jobs",
+            json.dumps(payload).encode("utf-8"),
+        )
+
+    def status(self, job_id: str) -> Dict:
+        """``GET /v1/jobs/{id}``."""
+        return self._checked("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict:
+        """``DELETE /v1/jobs/{id}``."""
+        return self._checked("DELETE", f"/v1/jobs/{job_id}")
+
+    def upload_trace(self, path: str) -> Dict:
+        """``POST /v1/traces`` — upload a ``.vpt`` file, get its handle."""
+        with open(path, "rb") as trace:
+            body = trace.read()
+        return self._checked("POST", "/v1/traces", body,
+                             content_type="application/octet-stream")
+
+    def events(self, job_id: str,
+               timeout: Optional[float] = None) -> Iterator[Dict]:
+        """``GET /v1/jobs/{id}/events`` — yield decoded NDJSON events.
+
+        The iterator ends when the server closes the stream (after the
+        job's terminal event).  ``timeout`` bounds each read, not the
+        whole stream.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout,
+        )
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read().decode("utf-8")
+                raise ServeClientError(
+                    f"HTTP {response.status} on event stream: {raw}",
+                    status=response.status,
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    # -- conveniences --------------------------------------------------
+
+    def wait(self, job_id: str,
+             on_event=None) -> Tuple[Dict, List[Dict]]:
+        """Follow the event stream to completion.
+
+        Returns ``(terminal_event, cell_results)``; ``on_event`` (if
+        given) is called with every streamed event as it arrives.
+        """
+        terminal: Optional[Dict] = None
+        results: List[Dict] = []
+        for event in self.events(job_id):
+            if on_event is not None:
+                on_event(event)
+            if event.get("event") == "cell_result":
+                results.append({"cell": event["cell"],
+                                "result": event["result"]})
+            if event.get("event") in _TERMINAL_EVENTS:
+                terminal = event
+        if terminal is None:
+            raise ServeClientError(
+                f"event stream for {job_id} ended without a terminal event",
+            )
+        return terminal, results
+
+    def run(self, payload: Dict,
+            on_event=None) -> Tuple[Dict, List[Dict]]:
+        """Submit and wait: the one-call path scripts usually want."""
+        receipt = self.submit(payload)
+        return self.wait(receipt["job"], on_event=on_event)
+
+    def submit_with_retry(self, payload: Dict, attempts: int = 5) -> Dict:
+        """Submit, honouring back-pressure by sleeping ``retry_after``.
+
+        The polite client loop SERVING.md documents: on 429, wait the
+        server's hint and retry, up to ``attempts`` tries.
+        """
+        for attempt in range(attempts):
+            try:
+                return self.submit(payload)
+            except ServeClientError as exc:
+                retry_after = exc.context.get("retry_after_seconds")
+                if exc.context.get("status") != 429 or retry_after is None \
+                        or attempt == attempts - 1:
+                    raise
+                time.sleep(float(retry_after))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """The command-line client (see the module docstring for verbs)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.client",
+        description="Command-line client for the repro.serve service.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8400)
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="per-request socket timeout (seconds)")
+    sub = parser.add_subparsers(dest="verb", required=True)
+    sub.add_parser("health", help="GET /healthz")
+    sub.add_parser("queue", help="GET /v1/queue")
+    sub.add_parser("metrics", help="GET /metrics")
+    p_submit = sub.add_parser("submit", help="POST /v1/jobs (JSON argument)")
+    p_submit.add_argument("payload", help="job JSON, or @file to read one")
+    p_run = sub.add_parser("run",
+                           help="submit, stream events, print results")
+    p_run.add_argument("payload", help="job JSON, or @file to read one")
+    p_status = sub.add_parser("status", help="GET /v1/jobs/{id}")
+    p_status.add_argument("job")
+    p_events = sub.add_parser("events", help="stream GET /v1/jobs/{id}/events")
+    p_events.add_argument("job")
+    p_cancel = sub.add_parser("cancel", help="DELETE /v1/jobs/{id}")
+    p_cancel.add_argument("job")
+    p_upload = sub.add_parser("upload", help="POST /v1/traces from a file")
+    p_upload.add_argument("path")
+    args = parser.parse_args(argv)
+
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+
+    def load_payload(text: str) -> Dict:
+        if text.startswith("@"):
+            with open(text[1:], "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        return json.loads(text)
+
+    try:
+        if args.verb == "health":
+            print(json.dumps(client.health(), indent=2, sort_keys=True))
+        elif args.verb == "queue":
+            print(json.dumps(client.queue(), indent=2, sort_keys=True))
+        elif args.verb == "metrics":
+            sys.stdout.write(client.metrics())
+        elif args.verb == "submit":
+            print(json.dumps(client.submit(load_payload(args.payload)),
+                             indent=2, sort_keys=True))
+        elif args.verb == "run":
+            terminal, results = client.run(
+                load_payload(args.payload),
+                on_event=lambda e: print(json.dumps(e, sort_keys=True)),
+            )
+            if terminal.get("event") != "done":
+                return 1
+        elif args.verb == "status":
+            print(json.dumps(client.status(args.job), indent=2,
+                             sort_keys=True))
+        elif args.verb == "events":
+            for event in client.events(args.job):
+                print(json.dumps(event, sort_keys=True))
+        elif args.verb == "cancel":
+            print(json.dumps(client.cancel(args.job), indent=2,
+                             sort_keys=True))
+        elif args.verb == "upload":
+            print(json.dumps(client.upload_trace(args.path), indent=2,
+                             sort_keys=True))
+        return 0
+    except ServeClientError as exc:
+        print(f"error: {exc.message}", file=sys.stderr)
+        return 1
+    except (ConnectionRefusedError, OSError) as exc:
+        print(f"error: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,177 @@
+"""Bounded priority queue with per-client fairness and back-pressure.
+
+The admission policy of the service, kept separate from both HTTP and
+the worker pool so it can be tested as a plain data structure:
+
+* **Priority.**  Three levels (0 interactive, 1 normal, 2 batch); a
+  lower level is always drained before a higher one.
+* **Fairness.**  Within one priority level, clients are drained
+  round-robin: each pop takes the next client's oldest job, so a client
+  enqueueing 100 jobs cannot starve a client enqueueing one.  The rotor
+  advances past the popped client, making the schedule independent of
+  submission bursts.
+* **Back-pressure.**  The queue is bounded twice — a total capacity and
+  a per-client share.  Either bound being hit raises
+  :class:`AdmissionError` with a ``retry_after_seconds`` hint derived
+  from the observed service rate; the server maps it to HTTP 429 plus a
+  ``Retry-After`` header instead of letting the backlog grow without
+  bound.
+
+The structure is not thread-safe by design: the server drives it from a
+single asyncio event loop.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError, MEHPTError
+
+
+class AdmissionError(MEHPTError):
+    """The queue refused a job (mapped to HTTP 429).
+
+    ``context`` carries ``reason`` (``queue_full`` or ``client_full``)
+    and ``retry_after_seconds`` — the server surfaces both to clients.
+    """
+
+
+class FairPriorityQueue:
+    """The bounded, client-fair, prioritised admission queue.
+
+    Entries are opaque job objects; the queue only needs each job's
+    ``client`` and ``priority`` at :meth:`push` time and a ``job_id``
+    for targeted removal (cancellation of queued jobs).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        per_client_capacity: int = 16,
+        priorities: int = 3,
+        default_job_seconds: float = 1.0,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"capacity {capacity} must be >= 1",
+                field="capacity", value=capacity,
+            )
+        if per_client_capacity < 1 or per_client_capacity > capacity:
+            raise ConfigurationError(
+                f"per_client_capacity {per_client_capacity} must be in "
+                f"[1, capacity]", field="per_client_capacity",
+                value=per_client_capacity,
+            )
+        self.capacity = capacity
+        self.per_client_capacity = per_client_capacity
+        #: lanes[priority][client] -> deque of (job_id, job) in FIFO order.
+        self._lanes: List["OrderedDict[str, Deque[Tuple[str, object]]]"] = [
+            OrderedDict() for _ in range(priorities)
+        ]
+        self._depth = 0
+        self._per_client: Dict[str, int] = {}
+        #: Exponential moving average of job service seconds, fed by the
+        #: server as jobs finish; seeds the retry-after estimate.
+        self._ema_job_seconds = default_job_seconds
+        self.pushed = 0
+        self.popped = 0
+        self.rejected = 0
+
+    # -- admission -----------------------------------------------------
+
+    def push(self, job_id: str, client: str, priority: int, job: object) -> int:
+        """Admit one job or raise :class:`AdmissionError`.
+
+        Returns the queue depth *after* admission (clients see their
+        position in the ``queued`` event).
+        """
+        if self._depth >= self.capacity:
+            self.rejected += 1
+            raise AdmissionError(
+                f"queue is full ({self._depth}/{self.capacity} jobs)",
+                reason="queue_full",
+                retry_after_seconds=self.retry_after_hint(),
+            )
+        held = self._per_client.get(client, 0)
+        if held >= self.per_client_capacity:
+            self.rejected += 1
+            raise AdmissionError(
+                f"client {client!r} already holds {held} queued jobs "
+                f"(per-client cap {self.per_client_capacity})",
+                reason="client_full",
+                retry_after_seconds=self.retry_after_hint(client=client),
+            )
+        lane = self._lanes[priority]
+        if client not in lane:
+            lane[client] = deque()
+        lane[client].append((job_id, job))
+        self._per_client[client] = held + 1
+        self._depth += 1
+        self.pushed += 1
+        return self._depth
+
+    # -- draining ------------------------------------------------------
+
+    def pop(self) -> Optional[Tuple[str, object]]:
+        """The next job by (priority, client round-robin, FIFO), or None."""
+        for lane in self._lanes:
+            if not lane:
+                continue
+            # Round-robin: take the first client's oldest job, then move
+            # that client to the back of the rotor (or drop it if empty).
+            client, jobs = next(iter(lane.items()))
+            job_id, job = jobs.popleft()
+            del lane[client]
+            if jobs:
+                lane[client] = jobs  # re-append at the rotor's tail
+            self._account_removal(client)
+            self.popped += 1
+            return job_id, job
+        return None
+
+    def remove(self, job_id: str) -> Optional[object]:
+        """Remove a specific queued job (cancellation), or None if absent."""
+        for lane in self._lanes:
+            for client, jobs in lane.items():
+                for index, (queued_id, job) in enumerate(jobs):
+                    if queued_id == job_id:
+                        del jobs[index]
+                        if not jobs:
+                            del lane[client]
+                        self._account_removal(client)
+                        return job
+        return None
+
+    def _account_removal(self, client: str) -> None:
+        self._depth -= 1
+        remaining = self._per_client.get(client, 1) - 1
+        if remaining:
+            self._per_client[client] = remaining
+        else:
+            self._per_client.pop(client, None)
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._depth
+
+    def depth_for(self, client: str) -> int:
+        """Queued jobs currently held by ``client``."""
+        return self._per_client.get(client, 0)
+
+    def observe_job_seconds(self, seconds: float) -> None:
+        """Feed one completed job's service time into the EMA (alpha 0.3)."""
+        if seconds >= 0:
+            self._ema_job_seconds += 0.3 * (seconds - self._ema_job_seconds)
+
+    def retry_after_hint(self, client: Optional[str] = None) -> float:
+        """Seconds a rejected client should wait before retrying.
+
+        ``queue_full``: time to drain the whole backlog at the observed
+        service rate.  ``client_full``: time to drain the client's own
+        share.  Never less than one second — sub-second retry storms are
+        exactly what back-pressure exists to prevent.
+        """
+        backlog = self._per_client.get(client, 0) if client else self._depth
+        return max(1.0, round(backlog * self._ema_job_seconds, 1))

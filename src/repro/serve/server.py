@@ -1,0 +1,841 @@
+"""The asyncio front-end: translation experiments as a service.
+
+``ServeServer`` binds a plain ``asyncio.start_server`` socket and speaks
+a deliberately small HTTP/1.1 subset (stdlib only, connection-per-
+request): requests are parsed in the event loop, validated through
+:mod:`repro.serve.protocol`, admitted by the
+:class:`~repro.serve.queue.FairPriorityQueue`, and executed on the
+:class:`~repro.serve.workers.ShardPool`.  Nothing simulation-shaped runs
+in the loop itself — the loop only routes, queues, streams, and reaps.
+
+The endpoint table (checked two-way against ``SERVING.md`` by
+``tools/doccheck.py serving-docs``):
+
+* ``POST /v1/jobs`` — submit a cell/sweep/replay/selftest job
+* ``GET /v1/jobs/{id}`` — job status + collected results
+* ``GET /v1/jobs/{id}/events`` — chunked NDJSON event stream
+* ``DELETE /v1/jobs/{id}`` — cancel (queued: dequeue; running: reap)
+* ``POST /v1/traces`` — upload a ``.vpt`` trace into the spool
+* ``GET /v1/queue`` — queue depths and admission statistics
+* ``GET /metrics`` — obs catalogue + ``serve.*`` series, text format
+* ``GET /healthz`` — liveness / draining state
+
+Back-pressure is explicit: a full queue answers 429 with a JSON
+``retry_after_seconds`` and a ``Retry-After`` header; a draining server
+answers 503 the same way.  Shutdown is graceful by default — admission
+closes, in-flight jobs finish, then the workers stop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import logging
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.obs.metrics import CATALOGUE, MetricsRegistry
+from repro.serve.protocol import (
+    TERMINAL_STATUSES,
+    JobRequest,
+    ProtocolError,
+    job_event,
+    parse_job_request,
+    settings_to_dict,
+)
+from repro.serve.queue import AdmissionError, FairPriorityQueue
+from repro.serve.workers import ShardPool
+
+logger = logging.getLogger(__name__)
+
+#: (method, path template) -> handler name.  ``{id}`` matches one path
+#: segment.  SERVING.md's "Endpoints" table is checked against this
+#: mapping (both directions) by ``tools/doccheck.py serving-docs``.
+ROUTES: Dict[Tuple[str, str], str] = {
+    ("POST", "/v1/jobs"): "submit_job",
+    ("GET", "/v1/jobs/{id}"): "job_status",
+    ("GET", "/v1/jobs/{id}/events"): "job_events",
+    ("DELETE", "/v1/jobs/{id}"): "cancel_job",
+    ("POST", "/v1/traces"): "upload_trace",
+    ("GET", "/v1/queue"): "queue_status",
+    ("GET", "/metrics"): "metrics",
+    ("GET", "/healthz"): "healthz",
+}
+
+#: Events kept per job for late stream subscribers; beyond this the
+#: oldest obs events are dropped (a progress marker records the gap).
+MAX_JOB_EVENTS = 50_000
+
+
+@dataclass
+class ServeConfig:
+    """Every serving knob, used by both the CLI and the test fixtures."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read ServeServer.port after start()
+    shards: int = 2
+    #: SweepEngine fan-out *inside* each shard (multi-cell jobs).
+    engine_jobs: int = 1
+    cache_dir: Optional[str] = None
+    #: Upload spool + obs event-stream scratch space.
+    spool_dir: str = ".serve-spool"
+    queue_capacity: int = 64
+    per_client_capacity: int = 16
+    #: Applied when a job carries no timeout of its own (None = no limit).
+    default_timeout_seconds: Optional[float] = None
+    #: Graceful drain gives in-flight jobs this long before reaping.
+    drain_timeout_seconds: float = 30.0
+    max_body_bytes: int = 64 * 1024 * 1024
+    #: Allow ``trace:<path>`` cells to name server-local files directly
+    #: (in addition to uploaded handles).
+    allow_local_traces: bool = True
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on out-of-range knobs."""
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"shards {self.shards} must be >= 1",
+                field="shards", value=self.shards,
+            )
+        if self.engine_jobs < 1:
+            raise ConfigurationError(
+                f"engine_jobs {self.engine_jobs} must be >= 1",
+                field="engine_jobs", value=self.engine_jobs,
+            )
+        if self.max_body_bytes < 1:
+            raise ConfigurationError(
+                f"max_body_bytes {self.max_body_bytes} must be >= 1",
+                field="max_body_bytes", value=self.max_body_bytes,
+            )
+
+
+@dataclass
+class JobRecord:
+    """Server-side state of one submitted job."""
+
+    job_id: str
+    request: JobRequest
+    status: str = "queued"
+    shard: Optional[int] = None
+    events: List[Dict] = field(default_factory=list)
+    results: List[Dict] = field(default_factory=list)
+    dropped_events: int = 0
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Wakes event-stream subscribers when a new event lands.
+    wake: asyncio.Event = field(default_factory=asyncio.Event)
+    timeout_handle: Optional[asyncio.TimerHandle] = None
+    obs_trace_path: Optional[str] = None
+    obs_tail_task: Optional[asyncio.Task] = None
+
+    def terminal(self) -> bool:
+        """Whether the job reached a terminal status."""
+        return self.status in TERMINAL_STATUSES
+
+
+def _prom_name(full_name: str) -> str:
+    """Render a catalogue metric name in Prometheus exposition syntax."""
+    base, _, labels = full_name.partition("[")
+    flat = base.replace(".", "_")
+    if not labels:
+        return flat
+    pairs = ",".join(
+        f'{key}="{value}"'
+        for key, value in (part.split("=", 1)
+                           for part in labels.rstrip("]").split(","))
+    )
+    return f"{flat}{{{pairs}}}"
+
+
+class ServeServer:
+    """The long-running translation-as-a-service front-end."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        config.validate()
+        self.config = config
+        self.registry = MetricsRegistry()
+        self.registry.add_collector(self._collect_gauges)
+        self.queue = FairPriorityQueue(
+            capacity=config.queue_capacity,
+            per_client_capacity=config.per_client_capacity,
+        )
+        self.pool = ShardPool(
+            config.shards,
+            on_message=self._on_worker_message,
+            on_worker_death=self._on_worker_death,
+        )
+        self.jobs: Dict[str, JobRecord] = {}
+        self._uploads: Dict[str, str] = {}
+        self._job_counter = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._dispatch_wake = asyncio.Event()
+        self._dispatch_task: Optional[asyncio.Task] = None
+        self.draining = False
+        self._stopped = asyncio.Event()
+        #: Accumulated SweepEngine disk-cache stats across all jobs.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Obs metric records aggregated from jobs run with metrics=True.
+        self._obs_aggregate: Dict[str, Dict] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket, spawn the shards, start dispatching."""
+        os.makedirs(self.config.spool_dir, exist_ok=True)
+        if self.config.cache_dir:
+            os.makedirs(self.config.cache_dir, exist_ok=True)
+        await self.pool.start()
+        self._dispatch_task = asyncio.get_running_loop().create_task(
+            self._dispatch_loop()
+        )
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.config.host, port=self.config.port,
+        )
+        logger.info("repro.serve listening on http://%s:%d",
+                    self.config.host, self.port)
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` ephemeral binds)."""
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`drain` or :meth:`stop` completes."""
+        await self._stopped.wait()
+
+    @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` (or a completed drain) has run."""
+        return self._stopped.is_set()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new work, finish in-flight, stop.
+
+        Queued jobs still run; jobs that outlive
+        ``drain_timeout_seconds`` are reaped like a timeout.
+        """
+        if self.draining:
+            return
+        self.draining = True
+        logger.info("draining: %d queued, %d in flight",
+                    len(self.queue), self.pool.busy_count)
+        deadline = time.monotonic() + self.config.drain_timeout_seconds
+        while (len(self.queue) or self.pool.busy_count) and \
+                time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        for shard in self.pool.shards:
+            if shard.busy:
+                job = self.jobs.get(shard.job_id)
+                shard.kill()
+                self.registry.counter("serve.worker_restarts").inc()
+                if job is not None:
+                    self._finish_job(job, "timeout", job_event(
+                        "timeout", job.job_id, reason="drain deadline",
+                    ))
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Hard stop: close the socket and the worker pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatch_task is not None:
+            self._dispatch_task.cancel()
+            await asyncio.gather(self._dispatch_task, return_exceptions=True)
+        await self.pool.stop()
+        self._stopped.set()
+
+    # -- HTTP plumbing -------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        """Parse one request, route it, always close the connection."""
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            try:
+                method, raw_path, _version = (
+                    request_line.decode("latin-1").split(None, 2)
+                )
+            except ValueError:
+                await self._respond(writer, 400,
+                                    {"error": "malformed request line"})
+                return
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            if length > self.config.max_body_bytes:
+                await self._respond(writer, 413, {
+                    "error": f"body of {length} bytes exceeds the "
+                             f"{self.config.max_body_bytes}-byte limit",
+                })
+                return
+            body = await reader.readexactly(length) if length else b""
+            path = raw_path.split("?", 1)[0]
+            handler, params = self._route(method, path)
+            if handler is None:
+                await self._respond(writer, 404, {
+                    "error": f"no route for {method} {path}",
+                    "routes": sorted(f"{m} {p}" for m, p in ROUTES),
+                })
+                return
+            await getattr(self, f"_handle_{handler}")(
+                writer, body, headers, **params
+            )
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        except Exception:  # noqa: BLE001 - a bad connection must not kill the loop
+            logger.exception("unhandled error serving a connection")
+            try:
+                await self._respond(writer, 500, {"error": "internal error"})
+            except (ConnectionResetError, OSError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    def _route(self, method: str, path: str):
+        """Match (method, path) against :data:`ROUTES`."""
+        segments = [s for s in path.split("/") if s]
+        for (route_method, template), handler in ROUTES.items():
+            if method != route_method:
+                continue
+            parts = [s for s in template.split("/") if s]
+            if len(parts) != len(segments):
+                continue
+            params = {}
+            for part, segment in zip(parts, segments):
+                if part == "{id}":
+                    params["job_id"] = segment
+                elif part != segment:
+                    break
+            else:
+                self.registry.counter(
+                    "serve.requests", route=f"{route_method} {template}"
+                ).inc()
+                return handler, params
+        return None, {}
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: object, content_type: str = "application/json",
+                       extra_headers: Optional[Dict[str, str]] = None) -> None:
+        """Send a complete (non-streaming) response and flush it."""
+        if isinstance(payload, (dict, list)):
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        elif isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = payload
+        reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                  404: "Not Found", 409: "Conflict", 413: "Payload Too Large",
+                  429: "Too Many Requests", 500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(status, "OK")
+        head = [f"HTTP/1.1 {status} {reason}",
+                f"Content-Type: {content_type}",
+                f"Content-Length: {len(body)}",
+                "Connection: close"]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await writer.drain()
+
+    # -- handlers ------------------------------------------------------
+
+    async def _handle_healthz(self, writer, body, headers) -> None:
+        """Liveness: reports draining state and shard health."""
+        await self._respond(writer, 200, {
+            "status": "draining" if self.draining else "ok",
+            "shards": [{"index": s.index, "pid": s.pid, "busy": s.busy,
+                        "restarts": s.restarts} for s in self.pool.shards],
+            "jobs": len(self.jobs),
+        })
+
+    async def _handle_queue_status(self, writer, body, headers) -> None:
+        """Queue depth, in-flight count and admission statistics."""
+        await self._respond(writer, 200, {
+            "depth": len(self.queue),
+            "inflight": self.pool.busy_count,
+            "capacity": self.queue.capacity,
+            "per_client_capacity": self.queue.per_client_capacity,
+            "pushed": self.queue.pushed,
+            "popped": self.queue.popped,
+            "rejected": self.queue.rejected,
+            "retry_after_hint": self.queue.retry_after_hint(),
+        })
+
+    async def _handle_metrics(self, writer, body, headers) -> None:
+        """Prometheus-style text exposition of serve.* plus obs metrics."""
+        lines: List[str] = []
+        snapshot = self.registry.snapshot()
+        merged = dict(self._obs_aggregate)
+        merged.update(snapshot)  # serve.* always wins over aggregates
+        for full_name in sorted(merged):
+            record = merged[full_name]
+            spec = CATALOGUE.get(full_name.split("[", 1)[0])
+            name = _prom_name(full_name)
+            if spec is not None:
+                lines.append(f"# HELP {name.split('{', 1)[0]} "
+                             f"{spec.description}")
+                lines.append(f"# TYPE {name.split('{', 1)[0]} "
+                             f"{'gauge' if record['kind'] == 'gauge' else 'counter'}")
+            if record["kind"] == "histogram":
+                lines.append(f"{name.split('{', 1)[0]}_count {record['count']}")
+                lines.append(f"{name.split('{', 1)[0]}_sum {record['sum']}")
+                for label, count in record.get("bins", {}).items():
+                    lines.append(
+                        f"{name.split('{', 1)[0]}_bin{{bin=\"{label}\"}} {count}"
+                    )
+            else:
+                lines.append(f"{name} {record['value']}")
+        await self._respond(writer, 200, "\n".join(lines) + "\n",
+                            content_type="text/plain; version=0.0.4")
+
+    async def _handle_submit_job(self, writer, body, headers) -> None:
+        """Validate, admit and enqueue one job submission."""
+        if self.draining:
+            self.registry.counter(
+                "serve.admission_rejections", reason="draining"
+            ).inc()
+            await self._respond(writer, 503, {
+                "error": "server is draining",
+                "retry_after_seconds": self.config.drain_timeout_seconds,
+            }, extra_headers={
+                "Retry-After": str(int(self.config.drain_timeout_seconds)),
+            })
+            return
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except ValueError as exc:
+            await self._respond(writer, 400,
+                                {"error": f"body is not JSON: {exc}"})
+            return
+        try:
+            request = parse_job_request(payload, self._resolve_trace)
+        except ProtocolError as exc:
+            await self._respond(writer, 400, {
+                "error": exc.message, "context": exc.context,
+            })
+            return
+        self._job_counter += 1
+        job_id = f"job-{self._job_counter}"
+        record = JobRecord(job_id=job_id, request=request,
+                           submitted_at=time.monotonic())
+        try:
+            depth = self.queue.push(job_id, request.client, request.priority,
+                                    record)
+        except AdmissionError as exc:
+            self.registry.counter(
+                "serve.admission_rejections",
+                reason=exc.context.get("reason", "unknown"),
+            ).inc()
+            retry_after = exc.context.get("retry_after_seconds", 1.0)
+            await self._respond(writer, 429, {
+                "error": exc.message,
+                "reason": exc.context.get("reason"),
+                "retry_after_seconds": retry_after,
+            }, extra_headers={"Retry-After": str(int(max(1, retry_after)))})
+            return
+        self.jobs[job_id] = record
+        self._append_event(record, job_event(
+            "queued", job_id, position=depth, priority=request.priority,
+        ))
+        self._dispatch_wake.set()
+        await self._respond(writer, 202, {
+            "job": job_id,
+            "status_url": f"/v1/jobs/{job_id}",
+            "events_url": f"/v1/jobs/{job_id}/events",
+            "queue_position": depth,
+        })
+
+    async def _handle_job_status(self, writer, body, headers, job_id) -> None:
+        """Status + collected per-cell results for one job."""
+        record = self.jobs.get(job_id)
+        if record is None:
+            await self._respond(writer, 404,
+                                {"error": f"unknown job {job_id!r}"})
+            return
+        await self._respond(writer, 200, {
+            "job": record.job_id,
+            "status": record.status,
+            "shard": record.shard,
+            "request": record.request.describe(),
+            "events_seen": len(record.events) + record.dropped_events,
+            "results": record.results,
+        })
+
+    async def _handle_job_events(self, writer, body, headers, job_id) -> None:
+        """Chunked NDJSON stream: full history, then live events."""
+        record = self.jobs.get(job_id)
+        if record is None:
+            await self._respond(writer, 404,
+                                {"error": f"unknown job {job_id!r}"})
+            return
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Transfer-Encoding: chunked\r\n"
+                     b"Connection: close\r\n\r\n")
+        sent = 0
+        try:
+            while True:
+                while sent < len(record.events):
+                    line = (json.dumps(record.events[sent], sort_keys=True)
+                            + "\n").encode("utf-8")
+                    writer.write(b"%x\r\n%s\r\n" % (len(line), line))
+                    sent += 1
+                    self.registry.counter("serve.streamed_events").inc()
+                await writer.drain()
+                if record.terminal() and sent >= len(record.events):
+                    break
+                record.wake.clear()
+                # Re-check under the cleared flag to close the race
+                # between the length test and the wait.
+                if sent < len(record.events) or record.terminal():
+                    continue
+                await record.wake.wait()
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionResetError, OSError):
+            pass  # subscriber went away; the job is unaffected
+
+    async def _handle_cancel_job(self, writer, body, headers, job_id) -> None:
+        """Cancel a queued job (dequeue) or a running one (reap worker)."""
+        record = self.jobs.get(job_id)
+        if record is None:
+            await self._respond(writer, 404,
+                                {"error": f"unknown job {job_id!r}"})
+            return
+        if record.terminal():
+            await self._respond(writer, 409, {
+                "error": f"job {job_id} already {record.status}",
+                "status": record.status,
+            })
+            return
+        reaped = False
+        if record.status == "queued":
+            self.queue.remove(job_id)
+        else:
+            shard = self.pool.shard_for_job(job_id)
+            if shard is not None:
+                shard.kill()
+                self.registry.counter("serve.worker_restarts").inc()
+                reaped = True
+        self.registry.counter("serve.jobs_cancelled").inc()
+        self._finish_job(record, "cancelled", job_event(
+            "cancelled", job_id, reaped_worker=reaped,
+        ))
+        self._dispatch_wake.set()
+        await self._respond(writer, 200, {
+            "job": job_id, "status": "cancelled", "reaped_worker": reaped,
+        })
+
+    async def _handle_upload_trace(self, writer, body, headers) -> None:
+        """Accept a ``.vpt`` body, validate it, admit it into the spool."""
+        from repro.traces.format import validate_trace
+
+        if not body:
+            await self._respond(writer, 400,
+                                {"error": "empty body (expected .vpt bytes)"})
+            return
+        digest = hashlib.sha256(body).hexdigest()
+        handle = f"sha256:{digest[:16]}"
+        path = os.path.join(self.config.spool_dir, f"upload-{digest[:16]}.vpt")
+        if handle not in self._uploads:
+            tmp_path = path + ".tmp"
+            with open(tmp_path, "wb") as spool:
+                spool.write(body)
+            report = validate_trace(tmp_path)
+            if not report.ok:
+                os.unlink(tmp_path)
+                await self._respond(writer, 400, {
+                    "error": "uploaded trace failed validation",
+                    "problems": report.problems,
+                })
+                return
+            os.replace(tmp_path, path)
+            self._uploads[handle] = path
+            self.registry.counter("serve.trace_uploads").inc()
+        with_reader = self._uploads[handle]
+        from repro.traces.format import TraceReader
+
+        with TraceReader(with_reader) as reader:
+            await self._respond(writer, 200, {
+                "trace": f"trace:{handle}",
+                "records": reader.total_values,
+                "chunks": reader.chunks,
+                "content_id": reader.content_id,
+            })
+
+    # -- job plumbing --------------------------------------------------
+
+    def _resolve_trace(self, handle: str) -> str:
+        """Map a ``trace:`` cell name to a readable spool or local path."""
+        if handle in self._uploads:
+            return self._uploads[handle]
+        if self.config.allow_local_traces and os.path.exists(handle):
+            return handle
+        raise ProtocolError(
+            f"trace:{handle} is neither an uploaded trace nor a readable "
+            f"server-local file", field="cells",
+        )
+
+    def _append_event(self, record: JobRecord, event: Dict) -> None:
+        """Append to the job's history (bounded) and wake subscribers."""
+        if len(record.events) >= MAX_JOB_EVENTS:
+            record.events.pop(0)
+            record.dropped_events += 1
+        record.events.append(event)
+        record.wake.set()
+
+    async def _dispatch_loop(self) -> None:
+        """Move queued jobs onto idle shards, forever."""
+        while True:
+            await self._dispatch_wake.wait()
+            self._dispatch_wake.clear()
+            while True:
+                shard = self.pool.idle_shard()
+                if shard is None:
+                    break
+                popped = self.queue.pop()
+                if popped is None:
+                    break
+                _job_id, record = popped
+                self._start_job(record, shard)
+
+    def _start_job(self, record: JobRecord, shard) -> None:
+        """Ship one job to a shard and arm its timeout."""
+        request = record.request
+        record.status = "running"
+        record.shard = shard.index
+        record.started_at = time.monotonic()
+        shard.job_id = record.job_id
+        payload: Dict[str, object] = {
+            "op": "job",
+            "job": record.job_id,
+            "kind": request.kind,
+        }
+        if request.kind == "selftest":
+            payload["duration"] = request.duration_seconds
+        else:
+            obs_spec: Optional[Dict[str, object]] = None
+            if request.events_sample_every is not None:
+                record.obs_trace_path = os.path.join(
+                    self.config.spool_dir, f"obs-{record.job_id}.jsonl"
+                )
+                obs_spec = {
+                    "metrics": request.metrics,
+                    "trace_path": record.obs_trace_path,
+                    "sample_every": request.events_sample_every,
+                }
+            elif request.metrics:
+                obs_spec = {"metrics": True, "trace_path": None}
+            payload.update({
+                "cells": [list(cell) for cell in request.cells],
+                "settings": settings_to_dict(request.settings),
+                "overrides": dict(request.overrides),
+                "obs": obs_spec,
+                "cache_dir": self.config.cache_dir,
+                "engine_jobs": self.config.engine_jobs,
+            })
+        shard.send(payload)
+        self._append_event(record, job_event(
+            "started", record.job_id, shard=shard.index, pid=shard.pid,
+        ))
+        if record.obs_trace_path is not None:
+            record.obs_tail_task = asyncio.get_running_loop().create_task(
+                self._tail_obs_trace(record)
+            )
+        timeout = record.request.timeout_seconds
+        if timeout is None:
+            timeout = self.config.default_timeout_seconds
+        if timeout is not None:
+            record.timeout_handle = asyncio.get_running_loop().call_later(
+                timeout, self._on_job_timeout, record.job_id,
+            )
+
+    def _on_job_timeout(self, job_id: str) -> None:
+        """Deadline fired: reap the worker if the job is still running."""
+        record = self.jobs.get(job_id)
+        if record is None or record.terminal():
+            return
+        shard = self.pool.shard_for_job(job_id)
+        if shard is not None:
+            shard.kill()
+            self.registry.counter("serve.worker_restarts").inc()
+        else:
+            self.queue.remove(job_id)
+        self.registry.counter("serve.job_timeouts").inc()
+        self._finish_job(record, "timeout", job_event(
+            "timeout", job_id,
+            after_seconds=record.request.timeout_seconds
+            or self.config.default_timeout_seconds,
+        ))
+        self._dispatch_wake.set()
+
+    def _finish_job(self, record: JobRecord, status: str,
+                    final_event: Dict) -> None:
+        """Terminal transition: stamp, account, emit, release the timer."""
+        if record.terminal():
+            return
+        record.status = status
+        record.finished_at = time.monotonic()
+        if record.started_at is not None:
+            self.queue.observe_job_seconds(
+                record.finished_at - record.started_at
+            )
+        if record.timeout_handle is not None:
+            record.timeout_handle.cancel()
+            record.timeout_handle = None
+        self._append_event(record, final_event)
+
+    # -- worker messages -----------------------------------------------
+
+    def _on_worker_message(self, shard_index: int, message: Dict) -> None:
+        """React to one message from a worker pipe (runs in the loop)."""
+        record = self.jobs.get(message.get("job", ""))
+        if record is None or record.terminal():
+            return  # late message from a cancelled/reaped job
+        kind = message.get("type")
+        if kind == "cell":
+            record.results.append({
+                "cell": message["cell"], "result": message["result"],
+            })
+            self._append_event(record, job_event(
+                "cell_result", record.job_id,
+                cell=message["cell"], result=message["result"],
+            ))
+            metrics = message["result"].get("fields", {}).get("metrics") or {}
+            if metrics:
+                self._merge_obs_snapshot(metrics)
+        elif kind == "progress":
+            self._append_event(record, job_event(
+                "progress", record.job_id, tick=message.get("tick"),
+            ))
+        elif kind == "done":
+            cache = message.get("cache")
+            if cache:
+                self.cache_hits += cache.get("hits", 0)
+                self.cache_misses += cache.get("misses", 0)
+            self._release_shard(record)
+            self.registry.counter("serve.jobs_completed").inc()
+            self._finish_job(record, "done", job_event(
+                "done", record.job_id,
+                cells=len(record.results),
+                elapsed_seconds=round(
+                    time.monotonic() - (record.started_at or 0.0), 3
+                ),
+                cache=cache,
+            ))
+        elif kind == "error":
+            self._release_shard(record)
+            self.registry.counter("serve.jobs_failed").inc()
+            self._finish_job(record, "error", job_event(
+                "error", record.job_id,
+                error=message.get("error"),
+                message=message.get("message"),
+                context=message.get("context", {}),
+            ))
+
+    def _release_shard(self, record: JobRecord) -> None:
+        """Mark the job's shard idle and kick the dispatcher."""
+        shard = self.pool.shard_for_job(record.job_id)
+        if shard is not None:
+            shard.job_id = None
+        self._dispatch_wake.set()
+
+    def _on_worker_death(self, shard_index: int, job_id: Optional[str]) -> None:
+        """A worker died mid-job without being reaped deliberately."""
+        self.registry.counter("serve.worker_restarts").inc()
+        record = self.jobs.get(job_id or "")
+        if record is not None and not record.terminal():
+            self.registry.counter("serve.jobs_failed").inc()
+            self._finish_job(record, "error", job_event(
+                "error", record.job_id, error="WorkerDied",
+                message=f"worker process on shard {shard_index} died",
+                context={"shard": shard_index},
+            ))
+        self._dispatch_wake.set()
+
+    async def _tail_obs_trace(self, record: JobRecord) -> None:
+        """Stream the worker's JSONL obs trace into ``obs_event`` events.
+
+        The file grows while the job runs; the tail follows it and stops
+        once the job is terminal and the remainder is consumed.  The
+        spool file is deleted afterwards.
+        """
+        path = record.obs_trace_path
+        handle = None
+        buffered = ""
+        try:
+            while True:
+                if handle is None and os.path.exists(path):
+                    handle = open(path, "r", encoding="utf-8")
+                if handle is not None:
+                    buffered += handle.read()
+                    while "\n" in buffered:
+                        line, buffered = buffered.split("\n", 1)
+                        if not line.strip():
+                            continue
+                        try:
+                            data = json.loads(line)
+                        except ValueError:
+                            continue  # torn tail of an in-progress write
+                        self._append_event(record, job_event(
+                            "obs_event", record.job_id, data=data,
+                        ))
+                if record.terminal():
+                    break
+                await asyncio.sleep(0.05)
+        finally:
+            if handle is not None:
+                handle.close()
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # -- metrics -------------------------------------------------------
+
+    def _collect_gauges(self, registry: MetricsRegistry) -> None:
+        """Snapshot-time serve gauges (queue depth, in-flight, cache)."""
+        registry.gauge("serve.queue_depth").set(len(self.queue))
+        registry.gauge("serve.inflight_jobs").set(self.pool.busy_count)
+        lookups = self.cache_hits + self.cache_misses
+        registry.gauge("serve.cache_hit_ratio").set(
+            self.cache_hits / lookups if lookups else 0.0
+        )
+
+    def _merge_obs_snapshot(self, snapshot: Dict[str, Dict]) -> None:
+        """Fold one job's obs metric snapshot into the /metrics aggregate.
+
+        Counters and histograms accumulate across jobs; gauges keep the
+        latest value — matching how a scrape-based system would see a
+        fleet of short-lived runs.
+        """
+        for name, incoming in snapshot.items():
+            current = self._obs_aggregate.get(name)
+            if current is None or incoming["kind"] == "gauge":
+                self._obs_aggregate[name] = json.loads(json.dumps(incoming))
+            elif incoming["kind"] == "counter":
+                current["value"] += incoming["value"]
+            elif incoming["kind"] == "histogram":
+                current["count"] += incoming["count"]
+                current["sum"] += incoming["sum"]
+                bins = current.setdefault("bins", {})
+                for label, count in incoming.get("bins", {}).items():
+                    bins[label] = bins.get(label, 0) + count

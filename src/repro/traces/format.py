@@ -305,6 +305,15 @@ class TraceWriter:
 def _read_header(handle: BinaryIO, path: str) -> TraceMeta:
     """Parse and check the header; leaves ``handle`` after the meta blob."""
     lead = handle.read(len(MAGIC) + struct.calcsize(_HEADER_FMT))
+    if not lead:
+        # An empty file deserves a sharper diagnosis than "bad magic":
+        # it is the classic symptom of an interrupted capture or a
+        # touch(1)-created placeholder.
+        raise TraceFormatError(
+            f"{path} is empty (0 bytes) — not a .vpt trace; was the "
+            f"capture interrupted before the header was written?",
+            path=path, size=0,
+        )
     if len(lead) < len(MAGIC) + struct.calcsize(_HEADER_FMT) or lead[:4] != MAGIC:
         raise TraceFormatError(f"{path} is not a .vpt trace (bad magic)", path=path)
     version, _flags, meta_len = struct.unpack(_HEADER_FMT, lead[4:])

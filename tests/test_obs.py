@@ -210,11 +210,16 @@ class TestSnapshots:
         # always-registered recovery counter instead);
         # traces.checksum_failures needs a corrupted file (covered by
         # tests/test_traces.py); fuzz.* only fire inside the fuzzer
-        # pipeline (covered by tests/test_fuzz_*.py).
+        # pipeline (covered by tests/test_fuzz_*.py); serve.* only fire
+        # inside the translation service (covered by
+        # tests/test_serve_server.py).
         missing = set(CATALOGUE) - seen - {
             "faults.events", "sim.populated_pages", "traces.checksum_failures",
         }
-        missing = {name for name in missing if not name.startswith("fuzz.")}
+        missing = {
+            name for name in missing
+            if not name.startswith(("fuzz.", "serve."))
+        }
         assert not missing, f"catalogued but never produced: {sorted(missing)}"
 
     def test_populate_sets_populated_pages(self):

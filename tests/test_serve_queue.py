@@ -1,0 +1,146 @@
+"""Unit tests for the admission queue: priority, fairness, back-pressure.
+
+The queue is a plain data structure (no asyncio, no processes), so every
+scheduling property the service documents in SERVING.md is pinned here
+directly: strict priority draining, round-robin fairness within a
+priority, both admission bounds, targeted removal, and the retry-after
+estimate fed by observed service times.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.serve.queue import AdmissionError, FairPriorityQueue
+
+pytestmark = pytest.mark.serve
+
+
+class TestPriorityOrdering:
+    """Lower priority values always drain first."""
+
+    def test_strict_priority_before_fifo(self):
+        q = FairPriorityQueue()
+        q.push("batch", "a", 2, "batch-job")
+        q.push("normal", "a", 1, "normal-job")
+        q.push("interactive", "a", 0, "interactive-job")
+        assert [q.pop()[0] for _ in range(3)] == [
+            "interactive", "normal", "batch",
+        ]
+
+    def test_fifo_within_one_client_and_priority(self):
+        q = FairPriorityQueue()
+        for n in range(4):
+            q.push(f"job-{n}", "a", 1, n)
+        assert [q.pop()[0] for _ in range(4)] == [
+            "job-0", "job-1", "job-2", "job-3",
+        ]
+
+    def test_pop_empty_returns_none(self):
+        assert FairPriorityQueue().pop() is None
+
+
+class TestClientFairness:
+    """Within a priority, clients are served round-robin."""
+
+    def test_burst_client_cannot_starve_others(self):
+        q = FairPriorityQueue()
+        for n in range(10):
+            q.push(f"big-{n}", "big", 1, n)
+        q.push("small-0", "small", 1, "x")
+        # The small client's single job is served second, not eleventh.
+        drained = [q.pop()[0] for _ in range(3)]
+        assert drained == ["big-0", "small-0", "big-1"]
+
+    def test_three_clients_interleave(self):
+        q = FairPriorityQueue()
+        for client in ("a", "b", "c"):
+            for n in range(2):
+                q.push(f"{client}{n}", client, 1, None)
+        assert [q.pop()[0] for _ in range(6)] == [
+            "a0", "b0", "c0", "a1", "b1", "c1",
+        ]
+
+    def test_priority_lanes_keep_separate_rotors(self):
+        q = FairPriorityQueue()
+        q.push("a-batch", "a", 2, None)
+        q.push("b-int", "b", 0, None)
+        q.push("a-int", "a", 0, None)
+        assert [q.pop()[0] for _ in range(3)] == ["b-int", "a-int", "a-batch"]
+
+
+class TestBackPressure:
+    """Both bounds reject with a structured, hint-carrying error."""
+
+    def test_total_capacity_rejects(self):
+        q = FairPriorityQueue(capacity=2, per_client_capacity=2)
+        q.push("1", "a", 1, None)
+        q.push("2", "b", 1, None)
+        with pytest.raises(AdmissionError) as excinfo:
+            q.push("3", "c", 1, None)
+        assert excinfo.value.context["reason"] == "queue_full"
+        assert excinfo.value.context["retry_after_seconds"] >= 1.0
+        assert q.rejected == 1
+
+    def test_per_client_cap_rejects_only_the_greedy_client(self):
+        q = FairPriorityQueue(capacity=10, per_client_capacity=2)
+        q.push("1", "greedy", 1, None)
+        q.push("2", "greedy", 1, None)
+        with pytest.raises(AdmissionError) as excinfo:
+            q.push("3", "greedy", 1, None)
+        assert excinfo.value.context["reason"] == "client_full"
+        # Another client still gets in.
+        assert q.push("4", "polite", 1, None) == 3
+
+    def test_pop_frees_capacity(self):
+        q = FairPriorityQueue(capacity=1, per_client_capacity=1)
+        q.push("1", "a", 1, None)
+        with pytest.raises(AdmissionError):
+            q.push("2", "a", 1, None)
+        q.pop()
+        assert q.push("2", "a", 1, None) == 1
+
+    def test_retry_after_tracks_observed_service_time(self):
+        q = FairPriorityQueue(default_job_seconds=1.0)
+        for n in range(4):
+            q.push(str(n), "a", 1, None)
+        baseline = q.retry_after_hint()
+        for _ in range(20):
+            q.observe_job_seconds(10.0)  # EMA converges towards 10s/job
+        assert q.retry_after_hint() > baseline
+        assert q.retry_after_hint() == pytest.approx(4 * 10.0, rel=0.1)
+
+    def test_retry_after_never_below_one_second(self):
+        q = FairPriorityQueue()
+        assert q.retry_after_hint() >= 1.0
+
+
+class TestRemoval:
+    """Targeted removal backs queued-job cancellation."""
+
+    def test_remove_returns_job_and_frees_client_share(self):
+        q = FairPriorityQueue(per_client_capacity=1)
+        q.push("1", "a", 1, "payload")
+        assert q.remove("1") == "payload"
+        assert len(q) == 0
+        assert q.depth_for("a") == 0
+        q.push("2", "a", 1, None)  # share was freed
+
+    def test_remove_unknown_returns_none(self):
+        assert FairPriorityQueue().remove("ghost") is None
+
+    def test_remove_middle_preserves_order(self):
+        q = FairPriorityQueue()
+        for n in range(3):
+            q.push(f"j{n}", "a", 1, None)
+        q.remove("j1")
+        assert [q.pop()[0] for _ in range(2)] == ["j0", "j2"]
+
+
+class TestConstruction:
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FairPriorityQueue(capacity=0)
+
+    def test_per_client_above_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FairPriorityQueue(capacity=4, per_client_capacity=5)

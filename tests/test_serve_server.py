@@ -1,0 +1,483 @@
+"""Integration tests: a real server, real workers, real HTTP.
+
+Each fixture boots a :class:`~repro.serve.server.ServeServer` on an
+ephemeral loopback port inside a dedicated event-loop thread and drives
+it with the stdlib :class:`~repro.serve.client.ServeClient` — the same
+path CI's smoke job and real deployments use.  The acceptance-critical
+properties live here:
+
+* a served cell is **byte-identical** to a direct ``SweepEngine`` call
+  and shares its disk-cache entry;
+* a saturated queue rejects with 429 + ``retry_after_seconds``;
+* higher-priority jobs run first; cancellation reaps the worker
+  process (PID change + ``serve.worker_restarts``);
+* a corpus ``.vpt`` replayed through the upload path matches the
+  direct replay of the same file;
+* ``/metrics`` exposes the serve counters; event streams carry
+  progress, per-cell results and obs events.
+"""
+
+import asyncio
+import json
+import os
+import threading
+
+import pytest
+
+from repro.experiments.engine import SweepEngine
+from repro.experiments.runner import ExperimentSettings
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.server import ServeConfig, ServeServer
+from repro.sim.results import result_to_record
+
+pytestmark = pytest.mark.serve
+
+#: Settings every test uses: small enough for sub-second cells, shaped
+#: exactly like a direct engine invocation for the identity tests.
+FAST_SETTINGS = {"scale": 1024, "trace_length": 2000}
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "..", "corpus")
+
+
+class ServerHarness:
+    """Owns one server + its event-loop thread; exposes a client."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.loop = asyncio.new_event_loop()
+        self.server: ServeServer = None
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.server = ServeServer(self.config)
+        self.loop.run_until_complete(self.server.start())
+        self._ready.set()
+        self.loop.run_until_complete(self.server.serve_forever())
+
+    def start(self) -> "ServerHarness":
+        self.thread.start()
+        assert self._ready.wait(timeout=30), "server failed to boot"
+        return self
+
+    @property
+    def client(self) -> ServeClient:
+        return ServeClient(port=self.server.port, timeout=120.0)
+
+    def submit_to_loop(self, coro):
+        """Run a coroutine on the server's loop (drain/stop helpers)."""
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(60)
+
+    def stop(self) -> None:
+        if (self.server is not None and not self.server.stopped
+                and self.thread.is_alive()):
+            self.submit_to_loop(self.server.stop())
+        if self.loop.is_running():
+            self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30)
+
+
+@pytest.fixture()
+def harness(tmp_path):
+    """A two-shard server with a disk cache and a tight queue."""
+    config = ServeConfig(
+        port=0,
+        shards=2,
+        cache_dir=str(tmp_path / "cache"),
+        spool_dir=str(tmp_path / "spool"),
+        queue_capacity=6,
+        per_client_capacity=4,
+        drain_timeout_seconds=5.0,
+    )
+    h = ServerHarness(config).start()
+    yield h
+    h.stop()
+
+
+def _cell_payload(app="GUPS", organization="mehpt", thp=False, **extra):
+    payload = {
+        "kind": "perf",
+        "cells": [{"app": app, "organization": organization, "thp": thp}],
+        "settings": dict(FAST_SETTINGS),
+        "client": "pytest",
+    }
+    payload.update(extra)
+    return payload
+
+
+def _metric_value(metrics_text, name):
+    """Read one scalar series from the /metrics exposition."""
+    for line in metrics_text.splitlines():
+        if line.startswith(name + " "):
+            return float(line.split()[-1])
+    return None
+
+
+class TestByteIdentity:
+    """The acceptance criterion: served == direct, same cache entry."""
+
+    def test_served_result_identical_to_direct_engine_call(
+        self, harness, tmp_path
+    ):
+        terminal, results = harness.client.run(_cell_payload())
+        assert terminal["event"] == "done"
+        (served,) = results
+
+        engine = SweepEngine(jobs=1, cache_dir=str(tmp_path / "direct"),
+                             use_cache=True)
+        settings = ExperimentSettings(**FAST_SETTINGS)
+        direct = engine.run_cells(
+            "perf", settings, [("GUPS", "mehpt", False)], {}
+        )[("GUPS", "mehpt", False)]
+
+        direct_record = result_to_record(direct)
+        assert served["result"] == direct_record
+        # Byte-for-byte, not merely field-equal.
+        assert (json.dumps(served["result"], sort_keys=True)
+                == json.dumps(direct_record, sort_keys=True))
+
+    def test_served_job_shares_the_disk_cache_with_direct_runs(
+        self, harness, tmp_path
+    ):
+        """Same cache key: a direct run against the server's cache dir
+        hits the entry the served job stored."""
+        terminal, _ = harness.client.run(_cell_payload())
+        assert terminal["cache"]["stores"] == 1
+
+        engine = SweepEngine(jobs=1, cache_dir=harness.config.cache_dir,
+                             use_cache=True)
+        settings = ExperimentSettings(**FAST_SETTINGS)
+        engine.run_cells("perf", settings, [("GUPS", "mehpt", False)], {})
+        assert engine.cache_stats() == {
+            "hits": 1, "misses": 0, "stores": 0, "corrupt": 0,
+        }
+
+    def test_second_served_submission_is_a_cache_hit(self, harness):
+        first, _ = harness.client.run(_cell_payload())
+        second, _ = harness.client.run(_cell_payload())
+        assert first["cache"]["misses"] == 1
+        assert second["cache"] == {
+            "hits": 1, "misses": 0, "stores": 0, "corrupt": 0,
+        }
+
+
+class TestBackPressure:
+    """A saturated queue answers 429 with a retry hint."""
+
+    def test_full_queue_rejects_with_429_and_retry_after(self, harness):
+        client = harness.client
+        # Two shards busy + fill the queue with slow selftests from two
+        # clients (per-client cap is 4, total capacity 6).
+        receipts = []
+        for name in ("a", "a", "a", "a", "b", "b", "b", "b"):
+            receipts.append(client.submit({
+                "kind": "selftest", "duration_seconds": 30, "client": name,
+            }))
+        with pytest.raises(ServeClientError) as excinfo:
+            client.submit({
+                "kind": "selftest", "duration_seconds": 30, "client": "c",
+            })
+        assert excinfo.value.context["status"] == 429
+        assert excinfo.value.context["reason"] == "queue_full"
+        assert excinfo.value.context["retry_after_seconds"] >= 1.0
+
+        rejections = _metric_value(
+            client.metrics(),
+            'serve_admission_rejections{reason="queue_full"}',
+        )
+        assert rejections == 1.0
+        for receipt in receipts:  # clean up so teardown drains fast
+            client.cancel(receipt["job"])
+
+    def test_per_client_cap_rejects_the_greedy_client_only(self, harness):
+        client = harness.client
+        receipts = [client.submit({
+            "kind": "selftest", "duration_seconds": 30, "client": "greedy",
+        }) for _ in range(6)]  # 2 running + 4 queued = cap
+        with pytest.raises(ServeClientError) as excinfo:
+            client.submit({
+                "kind": "selftest", "duration_seconds": 30, "client": "greedy",
+            })
+        assert excinfo.value.context["reason"] == "client_full"
+        # A polite client is still admitted.
+        receipts.append(client.submit({
+            "kind": "selftest", "duration_seconds": 30, "client": "polite",
+        }))
+        for receipt in receipts:
+            client.cancel(receipt["job"])
+
+
+class TestPriorityAndFairness:
+    def test_interactive_job_overtakes_batch_backlog(self, harness):
+        client = harness.client
+        # Staggered blockers: shard 0 frees at ~2s while shard 1 is
+        # still busy, so exactly one dispatch decision happens then —
+        # and it must pick the interactive job over the older batch jobs.
+        blockers = [client.submit({
+            "kind": "selftest", "duration_seconds": seconds, "client": "w",
+        }) for seconds in (2, 30)]
+        batch = [client.submit({
+            "kind": "selftest", "duration_seconds": 30, "client": "w",
+            "priority": 2,
+        }) for _ in range(2)]
+        interactive = client.submit({
+            "kind": "selftest", "duration_seconds": 0.1, "client": "w",
+            "priority": 0,
+        })
+        # Follow the interactive stream until it starts running.
+        started = None
+        for event in client.events(interactive["job"]):
+            if event["event"] == "started":
+                started = event
+                break
+        assert started is not None
+        # Both batch jobs (submitted earlier!) must still be queued.
+        assert [client.status(r["job"])["status"] for r in batch] == [
+            "queued", "queued",
+        ]
+        for receipt in blockers + batch + [interactive]:
+            try:
+                client.cancel(receipt["job"])
+            except ServeClientError:
+                pass  # already finished
+
+
+class TestCancellation:
+    def test_cancelling_running_job_reaps_the_worker(self, harness):
+        client = harness.client
+        before = {s["index"]: s["pid"] for s in client.health()["shards"]}
+        receipt = client.submit({
+            "kind": "selftest", "duration_seconds": 60, "client": "pytest",
+        })
+        # Wait for the started event so the job is on a shard.
+        events = []
+        for event in client.events(receipt["job"]):
+            events.append(event)
+            if event["event"] == "started":
+                break
+        shard = next(e for e in events if e["event"] == "started")["shard"]
+        outcome = client.cancel(receipt["job"])
+        assert outcome["status"] == "cancelled"
+        assert outcome["reaped_worker"] is True
+
+        after = {s["index"]: s["pid"] for s in client.health()["shards"]}
+        assert after[shard] != before[shard], "worker PID must change"
+        assert _metric_value(client.metrics(), "serve_worker_restarts") >= 1.0
+        assert _metric_value(client.metrics(), "serve_jobs_cancelled") == 1.0
+
+    def test_cancelling_queued_job_never_runs_it(self, harness):
+        client = harness.client
+        blockers = [client.submit({
+            "kind": "selftest", "duration_seconds": 30, "client": "w",
+        }) for _ in range(2)]
+        queued = client.submit({
+            "kind": "selftest", "duration_seconds": 30, "client": "w",
+        })
+        outcome = client.cancel(queued["job"])
+        assert outcome["reaped_worker"] is False
+        terminal, _ = client.wait(queued["job"])
+        assert terminal["event"] == "cancelled"
+        for receipt in blockers:
+            client.cancel(receipt["job"])
+
+    def test_cancel_terminal_job_conflicts(self, harness):
+        client = harness.client
+        terminal, _ = client.run({
+            "kind": "selftest", "duration_seconds": 0, "client": "pytest",
+        })
+        with pytest.raises(ServeClientError) as excinfo:
+            client.cancel(terminal["job"])
+        assert excinfo.value.context["status"] == 409
+
+
+class TestTimeouts:
+    def test_job_deadline_reaps_and_reports_timeout(self, harness):
+        client = harness.client
+        terminal, _ = client.run({
+            "kind": "selftest", "duration_seconds": 60,
+            "timeout_seconds": 1.0, "client": "pytest",
+        })
+        assert terminal["event"] == "timeout"
+        assert _metric_value(client.metrics(), "serve_job_timeouts") == 1.0
+        # The shard recovered: a follow-up job completes normally.
+        follow_up, _ = client.run({
+            "kind": "selftest", "duration_seconds": 0, "client": "pytest",
+        })
+        assert follow_up["event"] == "done"
+
+
+class TestTraceReplay:
+    """Corpus entries replayed through the upload path."""
+
+    def _corpus_trace(self):
+        vpts = sorted(
+            f for f in os.listdir(CORPUS_DIR) if f.endswith(".vpt")
+        )
+        assert vpts, "reproducer corpus must hold at least one .vpt"
+        return os.path.join(CORPUS_DIR, vpts[0])
+
+    def test_upload_then_replay_matches_direct_replay(
+        self, harness, tmp_path
+    ):
+        client = harness.client
+        path = self._corpus_trace()
+        upload = client.upload_trace(path)
+        assert upload["trace"].startswith("trace:sha256:")
+        assert upload["records"] > 0
+
+        replay_settings = {"scale": 1024,
+                           "trace_length": min(2000, upload["records"])}
+        terminal, served = client.run({
+            "kind": "perf",
+            "cells": [{"app": upload["trace"], "organization": "mehpt",
+                       "thp": False}],
+            "settings": replay_settings,
+            "client": "pytest",
+        })
+        assert terminal["event"] == "done"
+
+        engine = SweepEngine(jobs=1, cache_dir=str(tmp_path / "direct"),
+                             use_cache=True)
+        settings = ExperimentSettings(**replay_settings)
+        cell = (f"trace:{path}", "mehpt", False)
+        direct = engine.run_cells("perf", settings, [cell], {})[cell]
+        direct_record = result_to_record(direct)
+        # The workload label carries the .vpt file stem (spool copy vs
+        # the original); every simulated quantity must match exactly.
+        served_fields = dict(served[0]["result"]["fields"])
+        direct_fields = dict(direct_record["fields"])
+        assert served_fields.pop("workload").startswith("upload-")
+        assert direct_fields.pop("workload")
+        assert served_fields == direct_fields
+        # Same content, same cache key: a direct run pointed at the
+        # server's cache dir hits the entry the served replay stored.
+        shared = SweepEngine(jobs=1, cache_dir=harness.config.cache_dir,
+                             use_cache=True)
+        shared.run_cells("perf", settings, [cell], {})
+        assert shared.cache_stats()["hits"] == 1
+
+    def test_duplicate_upload_is_idempotent(self, harness):
+        client = harness.client
+        path = self._corpus_trace()
+        first = client.upload_trace(path)
+        second = client.upload_trace(path)
+        assert first["trace"] == second["trace"]
+        assert _metric_value(client.metrics(), "serve_trace_uploads") == 1.0
+
+    def test_garbage_upload_rejected_with_diagnosis(self, harness):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", harness.server.port)
+        try:
+            conn.request("POST", "/v1/traces", body=b"this is not a trace",
+                         headers={"Content-Type": "application/octet-stream"})
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert payload["problems"]
+
+    def test_unknown_trace_handle_rejected_at_submit(self, harness):
+        harness.server.config.allow_local_traces = False
+        with pytest.raises(ServeClientError) as excinfo:
+            harness.client.submit(_cell_payload(app="trace:sha256:feedbeef"))
+        assert excinfo.value.context["status"] == 400
+
+
+class TestStreamingAndMetrics:
+    def test_event_stream_carries_progress_and_results(self, harness):
+        client = harness.client
+        receipt = client.submit({
+            "kind": "selftest", "duration_seconds": 1.2, "client": "pytest",
+        })
+        events = [e["event"] for e in client.events(receipt["job"])]
+        assert events[0] == "queued"
+        assert "started" in events
+        assert "progress" in events
+        assert events[-1] == "done"
+
+    def test_obs_events_stream_for_instrumented_jobs(self, harness):
+        client = harness.client
+        terminal, _ = client.run(
+            _cell_payload(events={"sample_every": 100})
+        )
+        assert terminal["event"] == "done"
+        status = client.status(terminal["job"])
+        # obs events were folded into the stream alongside the results.
+        assert status["events_seen"] > 3
+
+    def test_metrics_endpoint_exposes_serve_series(self, harness):
+        client = harness.client
+        client.run({"kind": "selftest", "duration_seconds": 0,
+                    "client": "pytest"})
+        text = client.metrics()
+        for series in ("serve_jobs_completed", "serve_queue_depth",
+                       "serve_inflight_jobs", "serve_cache_hit_ratio",
+                       "serve_streamed_events"):
+            assert _metric_value(text, series) is not None, series
+        assert _metric_value(text, "serve_jobs_completed") == 1.0
+
+    def test_obs_metrics_aggregate_onto_the_exposition(self, harness):
+        client = harness.client
+        terminal, _ = client.run(_cell_payload(metrics=True))
+        assert terminal["event"] == "done"
+        text = client.metrics()
+        assert _metric_value(text, "walker_walks") is not None
+
+    def test_malformed_submission_is_a_400_not_a_500(self, harness):
+        with pytest.raises(ServeClientError) as excinfo:
+            harness.client.submit({"kind": "perf", "cells": []})
+        assert excinfo.value.context["status"] == 400
+
+    def test_unknown_route_is_a_404_listing_routes(self, harness):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", harness.server.port)
+        try:
+            conn.request("GET", "/nope")
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 404
+        assert any("POST /v1/jobs" in route for route in payload["routes"])
+
+    def test_queue_endpoint_reports_counters(self, harness):
+        client = harness.client
+        client.run({"kind": "selftest", "duration_seconds": 0,
+                    "client": "pytest"})
+        stats = client.queue()
+        assert stats["pushed"] == 1 and stats["popped"] == 1
+        assert stats["capacity"] == harness.config.queue_capacity
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_and_rejects_new_work(self, harness):
+        client = harness.client
+        receipt = client.submit({
+            "kind": "selftest", "duration_seconds": 1.0, "client": "pytest",
+        })
+        drain_future = asyncio.run_coroutine_threadsafe(
+            harness.server.drain(), harness.loop,
+        )
+        # Submissions during the drain answer 503 + Retry-After.
+        import time as _time
+        rejected = None
+        for _ in range(50):
+            try:
+                client.submit({"kind": "selftest", "duration_seconds": 0,
+                               "client": "late"})
+            except ServeClientError as exc:
+                rejected = exc
+                break
+            except OSError:
+                break  # socket already closed: drain completed first
+            _time.sleep(0.02)
+        if rejected is not None:
+            assert rejected.context["status"] == 503
+        drain_future.result(timeout=30)
+        # The in-flight job was allowed to finish, not reaped.
+        record = harness.server.jobs[receipt["job"]]
+        assert record.status == "done"

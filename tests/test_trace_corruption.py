@@ -214,6 +214,26 @@ class TestValidateCli:
         out = capsys.readouterr().out
         assert diagnosis in out
 
+    def test_empty_file_exits_nonzero_with_diagnosis(self, tmp_path, capsys):
+        """A 0-byte file gets its own one-line diagnosis, not 'bad magic'.
+
+        Regression: an interrupted capture leaves an empty .vpt behind;
+        triage must say so directly instead of pointing at the magic.
+        """
+        empty = tmp_path / "empty.vpt"
+        empty.write_bytes(b"")
+        assert traces_cli.main(["validate", str(empty)]) == 1
+        out = capsys.readouterr().out
+        assert "empty (0 bytes)" in out
+        assert "bad magic" not in out
+
+    def test_empty_file_validate_trace_reports_problem(self, tmp_path):
+        empty = tmp_path / "empty.vpt"
+        empty.write_bytes(b"")
+        report = validate_trace(str(empty))
+        assert not report.ok
+        assert any("empty (0 bytes)" in problem for problem in report.problems)
+
     def test_truncated_file_exits_nonzero(self, good_trace, tmp_path, capsys):
         out = tmp_path / "trunc.vpt"
         out.write_bytes(_read_bytes(good_trace)[:-10])

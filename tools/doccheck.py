@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation gates for CI — stdlib only, no third-party tools.
 
-Two checks (run both with ``all``):
+Three checks (run all with ``all``):
 
 ``coverage``
     AST-based public docstring coverage over ``src/repro``: every module,
@@ -16,10 +16,18 @@ Two checks (run both with ``all``):
     in the "Event schema" table must exist in ``repro.obs.trace`` and
     vice versa.  Documentation that drifts from the registry fails CI.
 
+``serving-docs``
+    Two-way consistency between ``SERVING.md`` and the service: every
+    endpoint in the doc's "Endpoints" table must exist in
+    ``repro.serve.server.ROUTES`` and vice versa, and every event type
+    in the "Event stream" table must exist in
+    ``repro.serve.protocol.EVENT_TYPES`` and vice versa.
+
 Usage::
 
     python tools/doccheck.py coverage --min 90.0 [--verbose]
     python tools/doccheck.py obs-docs
+    python tools/doccheck.py serving-docs
     python tools/doccheck.py all --min 90.0
 """
 
@@ -35,6 +43,7 @@ from typing import Dict, List, Set, Tuple
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
 OBS_DOC = os.path.join(REPO_ROOT, "OBSERVABILITY.md")
+SERVING_DOC = os.path.join(REPO_ROOT, "SERVING.md")
 
 #: A documentable name is public when no path component is dunder/private
 #: (``_helper``; ``__init__`` and friends are implementation detail).
@@ -175,10 +184,41 @@ def cmd_obs_docs() -> int:
     return 0
 
 
+def cmd_serving_docs() -> int:
+    """Check SERVING.md against the service's routes and event types."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.serve.protocol import EVENT_TYPES
+    from repro.serve.server import ROUTES
+
+    if not os.path.exists(SERVING_DOC):
+        print(f"FAIL: {SERVING_DOC} does not exist")
+        return 1
+    actual_routes = {f"{method} {path}" for method, path in ROUTES}
+    problems = _diff(
+        "endpoint", doc_table_names(SERVING_DOC, "Endpoints"), actual_routes
+    )
+    problems += _diff(
+        "event type",
+        doc_table_names(SERVING_DOC, "Event stream"),
+        set(EVENT_TYPES),
+    )
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(
+        f"SERVING.md is consistent: {len(ROUTES)} endpoints, "
+        f"{len(EVENT_TYPES)} event types"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("check", choices=["coverage", "obs-docs", "all"])
+    parser.add_argument(
+        "check", choices=["coverage", "obs-docs", "serving-docs", "all"]
+    )
     parser.add_argument(
         "--min",
         type=float,
@@ -194,6 +234,8 @@ def main(argv=None) -> int:
         status |= cmd_coverage(args.min, args.verbose)
     if args.check in ("obs-docs", "all"):
         status |= cmd_obs_docs()
+    if args.check in ("serving-docs", "all"):
+        status |= cmd_serving_docs()
     return status
 
 
