@@ -1,0 +1,175 @@
+"""Multi-tenant NUMA datacenter sweeps: replication cost by organization.
+
+``python -m repro.experiments.datacenter [--fast] [--sockets N]
+[--processes N] [--policies ...] [--organizations ...] [--jobs N]
+[--cache-dir D] [--no-cache]``
+
+Sweeps sockets × tenants × replication policy × page-table organization
+through the shared :class:`~repro.experiments.engine.SweepEngine` (so
+cells are cached, parallel, and servable via :mod:`repro.serve`) and
+reports the question the subsystem exists to answer: **does ME-HPT
+replicate more cheaply than radix?**  Radix must copy one 4KB node per
+~2MB of mapped VA to every replica socket; ME-HPT copies a handful of
+chunks — the "Replicated" and "Shootdown cycles" columns make that
+directly comparable in one table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.experiments import engine
+from repro.experiments.runner import ExperimentSettings, datacenter_sweep
+from repro.sim.datacenter import POLICIES, DatacenterResult
+from repro.sim.results import format_table
+
+#: Default tenant app: every tenant runs a GUPS-shaped working set.
+DEFAULT_APP = "GUPS"
+#: (organization, policy) -> result, in report order.
+GridKey = Tuple[str, str]
+
+
+@dataclass
+class DatacenterExperimentResult:
+    """The swept grid plus the sweep's shape, ready for formatting."""
+
+    sockets: int
+    processes: int
+    grid: Dict[GridKey, DatacenterResult]
+
+
+def run(
+    settings: ExperimentSettings = ExperimentSettings(),
+    sockets: int = 2,
+    processes: int = 8,
+    policies: Tuple[str, ...] = POLICIES,
+    organizations: Tuple[str, ...] = ("radix", "ecpt", "mehpt"),
+    app: str = DEFAULT_APP,
+    **dc_overrides,
+) -> DatacenterExperimentResult:
+    """Sweep organizations × policies on one machine shape."""
+    grid: Dict[GridKey, DatacenterResult] = {}
+    for policy in policies:
+        overrides = dict(
+            dc_sockets=sockets,
+            dc_processes=processes,
+            dc_policy=policy,
+            dc_churn_every=8,
+            dc_max_forks=max(2, processes // 4),
+        )
+        overrides.update(dc_overrides)
+        results = datacenter_sweep(
+            settings, organizations=organizations, apps=(app,), **overrides
+        )
+        for (cell_app, org, _thp), result in results.items():
+            grid[(org, policy)] = result
+    return DatacenterExperimentResult(
+        sockets=sockets, processes=processes, grid=grid
+    )
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.2f}MB"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f}KB"
+    return str(n)
+
+
+def format_result(result: DatacenterExperimentResult) -> str:
+    """One org × policy table: replication bytes and NUMA taxes."""
+    headers = [
+        "Org", "Policy", "Replicated", "Migrated", "Shootdown cycles",
+        "Remote DRAM", "Switch ovh", "Total Mcycles", "Status",
+    ]
+    body: List[List[str]] = []
+    for (org, policy), cell in result.grid.items():
+        body.append([
+            org,
+            policy,
+            _fmt_bytes(cell.replicated_bytes),
+            _fmt_bytes(cell.migrated_bytes),
+            f"{cell.shootdown_cycles:.0f}",
+            f"{cell.remote_dram_fraction():.3f}",
+            f"{cell.switch_overhead():.4f}",
+            f"{cell.total_cycles / 1e6:.2f}",
+            "FAILED" if cell.failed else "ok",
+        ])
+    table = format_table(
+        headers, body,
+        title=(
+            f"Datacenter: {result.sockets} sockets x {result.processes} "
+            "tenants, replication cost by organization"
+        ),
+    )
+    lines = [table]
+    # The headline comparison, stated explicitly for the report reader.
+    radix = result.grid.get(("radix", "replicate"))
+    mehpt = result.grid.get(("mehpt", "replicate"))
+    if radix and mehpt and mehpt.replicated_bytes:
+        ratio = radix.replicated_bytes / mehpt.replicated_bytes
+        lines.append(
+            f"radix replicates {ratio:.1f}x more page-table bytes than ME-HPT"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> None:
+    """CLI entry point mirroring ``run_all``'s engine flags."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller footprints and traces")
+    parser.add_argument("--sockets", type=int, default=2)
+    parser.add_argument("--processes", type=int, default=8,
+                        help="tenants sharing the machine")
+    parser.add_argument("--policies", nargs="+", default=list(POLICIES),
+                        choices=list(POLICIES))
+    parser.add_argument("--organizations", nargs="+",
+                        default=["radix", "ecpt", "mehpt"],
+                        choices=["radix", "ecpt", "mehpt"])
+    parser.add_argument("--app", default=DEFAULT_APP)
+    parser.add_argument("--scale", type=int, default=None)
+    parser.add_argument("--trace-length", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent sweep-result cache directory")
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args(argv)
+    logging.basicConfig(
+        stream=sys.stderr, level=logging.INFO, format="[%(levelname)s] %(message)s"
+    )
+    engine.configure(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        use_cache=not args.no_cache and args.cache_dir is not None,
+    )
+    settings = ExperimentSettings()
+    if args.fast:
+        settings = settings.fast()
+    if args.scale is not None:
+        settings = replace(settings, scale=args.scale)
+    if args.trace_length is not None:
+        settings = replace(settings, trace_length=args.trace_length)
+    result = run(
+        settings,
+        sockets=args.sockets,
+        processes=args.processes,
+        policies=tuple(args.policies),
+        organizations=tuple(args.organizations),
+        app=args.app,
+    )
+    print(format_result(result))
+    stats = engine.get_engine().cache_stats()
+    if stats is not None:
+        logging.info(
+            "disk cache: hits=%(hits)d, misses=%(misses)d, "
+            "stores=%(stores)d, corrupt=%(corrupt)d", stats,
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -86,8 +86,9 @@ def settings_fingerprint(kind: str, settings) -> Dict[str, object]:
         "seed": settings.seed,
         "fmfi": settings.fmfi,
     }
-    if kind == "perf":
+    if kind in ("perf", "datacenter"):
         fingerprint["trace_length"] = settings.trace_length
+    if kind == "perf":
         fingerprint["base_cycles_per_access"] = settings.base_cycles_per_access
         fingerprint["warmup_fraction"] = getattr(settings, "warmup_fraction", 0.0)
     return fingerprint
@@ -164,6 +165,14 @@ def _compute_cell(
     from repro.workloads import get_workload
 
     app, organization, thp = cell
+    if kind == "datacenter":
+        from repro.sim.datacenter import DatacenterSimulator, split_overrides
+
+        params, config_overrides = split_overrides(dict(override_items))
+        config = settings.config(organization, thp, **config_overrides)
+        return DatacenterSimulator(
+            [app], config, params=params, trace_length=settings.trace_length
+        ).run()
     workload = get_workload(app, scale=settings.scale, seed=settings.seed)
     config = settings.config(organization, thp, **dict(override_items))
     if kind == "memory":
@@ -302,7 +311,7 @@ class SweepEngine:
         overrides: Dict[str, object],
     ) -> Dict[Cell, SweepResult]:
         """Resolve every cell: disk cache first, then compute the rest."""
-        if kind not in ("memory", "perf"):
+        if kind not in ("memory", "perf", "datacenter"):
             raise ConfigurationError(
                 f"unknown sweep kind {kind!r}", field="kind", value=kind
             )

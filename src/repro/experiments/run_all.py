@@ -26,6 +26,7 @@ from typing import Callable, List, Tuple
 
 from repro.experiments import (
     alloc_cost,
+    datacenter,
     engine,
     fig8,
     fig9,
@@ -65,6 +66,9 @@ def _sections(settings: ExperimentSettings) -> List[Tuple[str, Callable[[], str]
         ("Figure 15",
          lambda: fig15.format_result(fig15.run(ExperimentSettings(scale=1)))),
         ("Figure 16", lambda: fig16.format_result(fig16.run(settings))),
+        ("Multi-tenant NUMA datacenter",
+         lambda: datacenter.format_result(
+             datacenter.run(settings, sockets=2, processes=4))),
     ]
 
 

@@ -95,6 +95,7 @@ class _LruDict(OrderedDict):
 #: (the same key addresses the disk cache).
 _MEMORY_CACHE: Dict[str, MemoryFootprintResult] = _LruDict()
 _PERF_CACHE: Dict[str, PerformanceResult] = _LruDict()
+_DATACENTER_CACHE: Dict[str, object] = _LruDict()
 
 
 def _sweep(
@@ -153,6 +154,27 @@ def perf_sweep(
     )
 
 
+def datacenter_sweep(
+    settings: ExperimentSettings,
+    organizations: Iterable[str] = ("radix", "ecpt", "mehpt"),
+    apps: Optional[Iterable[str]] = None,
+    **overrides,
+):
+    """Run multi-tenant NUMA cells for the sweep grid.
+
+    ``overrides`` mixes ``dc_*`` machine-model knobs (sockets, policy,
+    churn — see
+    :class:`~repro.sim.datacenter.simulator.DatacenterParams`) with
+    plain :class:`~repro.sim.config.SimulationConfig` fields; the engine
+    splits them per cell.  THP is not swept here (the datacenter story
+    is about placement, not page size), so every cell uses ``thp=False``.
+    """
+    return _sweep(
+        "datacenter", _DATACENTER_CACHE, settings, organizations, (False,),
+        apps, overrides,
+    )
+
+
 def clear_caches() -> None:
     """Drop memoised sweep results (tests use this for isolation).
 
@@ -161,3 +183,4 @@ def clear_caches() -> None:
     """
     _MEMORY_CACHE.clear()
     _PERF_CACHE.clear()
+    _DATACENTER_CACHE.clear()

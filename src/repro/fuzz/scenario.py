@@ -371,6 +371,23 @@ def _preset_planted_fault(seed: int) -> Scenario:
     )
 
 
+def _preset_tenant_storm(seed: int) -> Scenario:
+    return Scenario(
+        name="tenant-storm",
+        seed=seed,
+        trace_length=12000,
+        invariant_check_every=2048,
+        stressors=(
+            StressorSpec.make("tenant_storm", tenants=4, generations=4,
+                              window_blocks=256, retouch=0.2),
+        ),
+        notes=(
+            "datacenter tenancy churn: generations of per-tenant windows "
+            "spawn and die with re-touch bursts into dead windows"
+        ),
+    )
+
+
 #: Named scenario recipes: the corpus seeds, the CLI's --preset domain,
 #: and the CI fuzz budgets all draw from here.
 PRESETS: Dict[str, Any] = {
@@ -379,6 +396,7 @@ PRESETS: Dict[str, Any] = {
     "collision-cluster": _preset_collision,
     "churn-oscillation": _preset_churn_oscillation,
     "planted-fault": _preset_planted_fault,
+    "tenant-storm": _preset_tenant_storm,
 }
 
 

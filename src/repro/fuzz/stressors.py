@@ -20,7 +20,11 @@ paper's machinery must survive:
   emergency resizes dominate;
 * ``l2p_overflow`` — a footprint that outgrows a deliberately shortened
   chunk ladder, driving the >64-entry L2P pressure path to
-  :class:`~repro.common.errors.L2POverflowError`.
+  :class:`~repro.common.errors.L2POverflowError`;
+* ``tenant_storm`` — datacenter-shaped tenancy churn: generations of
+  per-tenant VA windows spawn, run hot, and die, while re-touch bursts
+  revisit dead tenants' windows so stale mappings stay resident (the
+  access shape :mod:`repro.sim.datacenter` schedules across sockets).
 
 A stressor contributes two things: a deterministic VPN stream (a pure
 function of its forked RNG and parameters) and a set of
@@ -247,6 +251,64 @@ def _l2p_overrides(params: Mapping[str, Any]) -> Dict[str, Any]:
     }
 
 
+def tenant_storm(rng: np.random.Generator, n: int, params: Mapping[str, Any]) -> np.ndarray:
+    """Tenancy churn: generations of per-tenant windows spawn and die.
+
+    The stream is split into ``generations`` epochs.  In each epoch
+    every one of ``tenants`` slots owns a fresh dense window of
+    ``window_blocks`` blocks (the previous generation's tenants have
+    "exited"); accesses land uniformly across the live windows, and a
+    ``retouch`` fraction of each later epoch bursts back into dead
+    tenants' windows, keeping their abandoned mappings hot in the
+    tables — the fork/exec/exit churn shape the datacenter simulator
+    schedules, expressed as a single-address-space stream the fuzz
+    harness can replay through every organization.
+    """
+    tenants = int(params.get("tenants", 4))
+    generations = int(params.get("generations", 4))
+    window_blocks = int(params.get("window_blocks", 256))
+    retouch = float(params.get("retouch", 0.2))
+    if tenants < 1 or generations < 1 or window_blocks < 1:
+        raise ConfigurationError(
+            f"tenant_storm needs tenants, generations and window_blocks >= 1 "
+            f"(got {tenants}, {generations}, {window_blocks})"
+        )
+    if not 0.0 <= retouch < 1.0:
+        raise ConfigurationError(
+            f"tenant_storm retouch {retouch} must be in [0, 1)"
+        )
+    # Same multi-VMA gap rule as ``churn``: strides keep every window in
+    # its own VMA so spawn/exit churn really grows disjoint mappings.
+    stride_blocks = window_blocks * 4 + 1024
+    base_block = DATA_VMA_BASE // PAGES_PER_BLOCK
+    gen_pages = [
+        np.concatenate([
+            _dense_pages(
+                window_blocks,
+                base_block + (gen * tenants + slot) * stride_blocks,
+            )
+            for slot in range(tenants)
+        ])
+        for gen in range(generations)
+    ]
+    out = np.empty(n, dtype=np.int64)
+    bounds = np.linspace(0, n, generations + 1).astype(np.int64)
+    for gen in range(generations):
+        lo, hi = int(bounds[gen]), int(bounds[gen + 1])
+        size = hi - lo
+        if size <= 0:
+            continue
+        live = gen_pages[gen]
+        phase = live[rng.integers(0, live.size, size=size)]
+        if gen > 0 and retouch > 0.0:
+            mask = rng.random(size) < retouch
+            if mask.any():
+                dead = np.concatenate(gen_pages[:gen])
+                phase[mask] = dead[rng.integers(0, dead.size, size=int(mask.sum()))]
+        out[lo:hi] = phase
+    return out
+
+
 def _no_overrides(params: Mapping[str, Any]) -> Dict[str, Any]:
     return {}
 
@@ -282,6 +344,10 @@ STRESSORS: Dict[str, Stressor] = {
     "l2p_overflow": Stressor(
         "l2p_overflow", l2p_overflow, _l2p_overrides,
         "footprint growth against a shortened chunk ladder (L2P pressure)",
+    ),
+    "tenant_storm": Stressor(
+        "tenant_storm", tenant_storm, _no_overrides,
+        "tenancy churn: per-tenant windows spawn/die with re-touch bursts",
     ),
 }
 

@@ -138,6 +138,16 @@ class Storage:
         """Vectorized :meth:`line_addr`: the same affine map over an array."""
         return np.int64(self._line_base) + np.asarray(indices, dtype=np.int64)
 
+    def placements(self) -> List[Tuple[int, int, int, Any]]:
+        """Physical placement units as ``(base_line, n_lines, nbytes, handle)``.
+
+        One tuple per independently-allocated region — the whole way for
+        contiguous storage, one per chunk for chunked storage.  The NUMA
+        machine model homes, replicates, and migrates page-table memory
+        per unit; released storage reports no placements.
+        """
+        return []
+
 
 class ContiguousStorage(Storage):
     """One contiguous allocation per way — the ECPT layout.
@@ -188,6 +198,13 @@ class ContiguousStorage(Storage):
             self._allocator.free(self._handle)
             self._released = True
             self._slots = []
+
+    def placements(self) -> List[Tuple[int, int, int, Any]]:
+        """The single contiguous region backing the whole way."""
+        if self._released:
+            return []
+        nbytes = len(self._slots) * self.slot_bytes
+        return [(self._line_base, len(self._slots), nbytes, self._handle)]
 
     def check_invariants(self) -> None:
         """Verify the storage's structural invariants."""
@@ -334,6 +351,20 @@ class ChunkedStorage(Storage):
             self._chunks = []
             self._handles = []
             self._released = True
+
+    def placements(self) -> List[Tuple[int, int, int, Any]]:
+        """One placement unit per allocated chunk."""
+        if self._released:
+            return []
+        return [
+            (
+                self._line_base + i * self.slots_per_chunk,
+                self.slots_per_chunk,
+                self.chunk_bytes,
+                self._handles[i],
+            )
+            for i in range(len(self._chunks))
+        ]
 
     def check_invariants(self) -> None:
         """Verify the storage's structural invariants.

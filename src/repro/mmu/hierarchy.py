@@ -44,6 +44,7 @@ class TlbHierarchy:
         l1_geometry: Optional[Dict[str, tuple]] = None,
         l2_geometry: Optional[Dict[str, tuple]] = None,
         obs=None,
+        numa=None,
     ) -> None:
         l1_geometry = l1_geometry or DEFAULT_L1_GEOMETRY
         l2_geometry = l2_geometry or DEFAULT_L2_GEOMETRY
@@ -51,6 +52,10 @@ class TlbHierarchy:
         #: Optional repro.obs.Observability; a full TLB miss emits a
         #: ``tlb_miss`` trace event with its visible cycle cost.
         self.obs = obs
+        #: Optional NUMA accounting hook (``on_walk(cycles)``): the
+        #: datacenter machine model attributes each page walk's cycles to
+        #: the socket the owning tenant is currently scheduled on.
+        self.numa = numa
         self.l1: Dict[str, SetAssociativeTlb] = {
             size: SetAssociativeTlb(f"L1-{size}", *geom)
             for size, geom in l1_geometry.items()
@@ -103,6 +108,8 @@ class TlbHierarchy:
         l2_cycles = self.l2_miss_probe_cycles
         walk = self.walker.walk(vpn)
         self.walks += 1
+        if self.numa is not None:
+            self.numa.on_walk(walk.cycles)
         cycles = l2_cycles + walk.cycles
         if walk.fault:
             self.faults += 1

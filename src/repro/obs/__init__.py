@@ -37,12 +37,15 @@ from repro.obs.trace import (
     EVENT_FAULT_INJECTED,
     EVENT_FAULT_SERVICED,
     EVENT_MEASURE_START,
+    EVENT_PROCESS_LIFECYCLE,
+    EVENT_PT_MIGRATION,
     EVENT_RESIZE_BEGIN,
     EVENT_RESIZE_COMMIT,
     EVENT_RESIZE_ROLLBACK,
     EVENT_RUN_END,
     EVENT_RUN_START,
     EVENT_TLB_MISS,
+    EVENT_TLB_SHOOTDOWN,
     EVENT_WALK_END,
     EVENT_WALK_START,
     SAMPLED_KINDS,
@@ -77,6 +80,9 @@ __all__ = [
     "EVENT_RESIZE_ROLLBACK",
     "EVENT_CHUNK_TRANSITION",
     "EVENT_FAULT_INJECTED",
+    "EVENT_TLB_SHOOTDOWN",
+    "EVENT_PT_MIGRATION",
+    "EVENT_PROCESS_LIFECYCLE",
 ]
 
 

@@ -294,6 +294,56 @@ CATALOGUE: Dict[str, MetricSpec] = {
     "serve.streamed_events": MetricSpec(
         KIND_COUNTER, "events", "repro.serve.server",
         "Progress/result/obs events streamed to event-stream subscribers."),
+    # -- NUMA machine model (repro.sim.datacenter) -----------------------
+    "numa.walks": MetricSpec(
+        KIND_COUNTER, "walks", "repro.sim.datacenter.topology",
+        "Page walks completed, labelled by the socket that ran them."),
+    "numa.walk_cycles": MetricSpec(
+        KIND_COUNTER, "cycles", "repro.sim.datacenter.topology",
+        "Page-walk cycles, labelled by the socket that ran them."),
+    "numa.local_dram_accesses": MetricSpec(
+        KIND_COUNTER, "accesses", "repro.sim.datacenter.topology",
+        "Walk cache-line probes served from the local socket's DRAM."),
+    "numa.remote_dram_accesses": MetricSpec(
+        KIND_COUNTER, "accesses", "repro.sim.datacenter.topology",
+        "Walk cache-line probes that crossed the socket interconnect."),
+    "numa.remote_delta_cycles": MetricSpec(
+        KIND_COUNTER, "cycles", "repro.sim.datacenter.topology",
+        "Extra cycles paid for remote DRAM over the local latency."),
+    "numa.replicated_bytes": MetricSpec(
+        KIND_COUNTER, "bytes", "repro.sim.datacenter.replication",
+        "Page-table bytes copied to replica sockets (Mitosis-style)."),
+    "numa.replica_updates": MetricSpec(
+        KIND_COUNTER, "updates", "repro.sim.datacenter.replication",
+        "Fault-driven PTE updates mirrored into remote replicas."),
+    "numa.migrated_bytes": MetricSpec(
+        KIND_COUNTER, "bytes", "repro.sim.datacenter.replication",
+        "Page-table bytes re-homed by migrate-on-first-touch."),
+    "numa.pool_spill_allocations": MetricSpec(
+        KIND_COUNTER, "allocations", "repro.sim.datacenter.topology",
+        "Allocations that spilled off the preferred socket's pool."),
+    # -- datacenter tenancy (repro.sim.datacenter.simulator) -------------
+    "dc.shootdowns": MetricSpec(
+        KIND_COUNTER, "shootdowns", "repro.sim.datacenter.shootdown",
+        "TLB shootdown broadcasts (exit, churn, migration, resize batches)."),
+    "dc.shootdown_ipis": MetricSpec(
+        KIND_COUNTER, "ipis", "repro.sim.datacenter.shootdown",
+        "Inter-processor interrupts delivered by shootdown broadcasts."),
+    "dc.shootdown_cycles": MetricSpec(
+        KIND_COUNTER, "cycles", "repro.sim.datacenter.shootdown",
+        "Cycles charged for shootdowns (initiator + per-IPI cost)."),
+    "dc.context_switches": MetricSpec(
+        KIND_COUNTER, "switches", "repro.sim.datacenter.simulator",
+        "Tenant context switches performed by the per-socket scheduler."),
+    "dc.forks": MetricSpec(
+        KIND_COUNTER, "forks", "repro.sim.datacenter.simulator",
+        "Tenants forked (and exec'd) by the churn model."),
+    "dc.exits": MetricSpec(
+        KIND_COUNTER, "exits", "repro.sim.datacenter.simulator",
+        "Tenants torn down (natural completion or churn kill)."),
+    "dc.pool_alloc_failures": MetricSpec(
+        KIND_COUNTER, "failures", "repro.sim.datacenter.simulator",
+        "Tenant page-table allocations that failed on every socket."),
 }
 
 

@@ -60,6 +60,15 @@ EVENT_CHUNK_TRANSITION = "chunk_transition"
 #: The fault-injection plan fired at an instrumented site.
 EVENT_FAULT_INJECTED = "fault_injected"
 
+#: A TLB shootdown broadcast IPIs to every core that touched the
+#: address space (payload carries the core count and cycle bill).
+EVENT_TLB_SHOOTDOWN = "tlb_shootdown"
+#: Page-table nodes/chunks were copied or re-homed to another socket
+#: (Mitosis-style replication or migrate-on-first-touch).
+EVENT_PT_MIGRATION = "pt_migration"
+#: A tenant forked, exec'd, or exited in the datacenter churn model.
+EVENT_PROCESS_LIFECYCLE = "process_lifecycle"
+
 #: Kinds subject to ``trace_sample_every`` down-sampling.
 SAMPLED_KINDS = frozenset({
     EVENT_TLB_MISS, EVENT_WALK_START, EVENT_WALK_END, EVENT_CUCKOO_KICK,
@@ -71,6 +80,7 @@ ALL_KINDS = frozenset({
     EVENT_TLB_MISS, EVENT_WALK_START, EVENT_WALK_END, EVENT_CUCKOO_KICK,
     EVENT_FAULT_SERVICED, EVENT_RESIZE_BEGIN, EVENT_RESIZE_COMMIT,
     EVENT_RESIZE_ROLLBACK, EVENT_CHUNK_TRANSITION, EVENT_FAULT_INJECTED,
+    EVENT_TLB_SHOOTDOWN, EVENT_PT_MIGRATION, EVENT_PROCESS_LIFECYCLE,
 })
 
 

@@ -7,8 +7,9 @@ event tables are checked two-way against this module and
 :data:`repro.serve.server.ROUTES` by ``tools/doccheck.py serving-docs``.
 
 A submission is parsed into a :class:`JobRequest`: the sweep ``kind``
-(``perf`` or ``memory`` — exactly the kinds the sweep engine resolves —
-plus the diagnostics-only ``selftest``), the grid ``cells``, the
+(``perf``, ``memory`` or ``datacenter`` — exactly the kinds the sweep
+engine resolves — plus the diagnostics-only ``selftest``), the grid
+``cells``, the
 :class:`~repro.experiments.runner.ExperimentSettings` fields, scalar
 ``SimulationConfig`` overrides, and the serving knobs (priority, client
 identity, timeout, event streaming).  Validation is eager and complete:
@@ -28,10 +29,11 @@ from repro.experiments.engine import TRACE_APP_PREFIX
 from repro.experiments.runner import ExperimentSettings
 from repro.workloads import workload_names
 
-#: Job kinds the service accepts.  ``perf`` and ``memory`` are the sweep
-#: engine's kinds; ``selftest`` runs a worker-side sleep for drain,
-#: timeout and cancellation diagnostics (documented in SERVING.md).
-JOB_KINDS = ("perf", "memory", "selftest")
+#: Job kinds the service accepts.  ``perf``, ``memory`` and
+#: ``datacenter`` are the sweep engine's kinds; ``selftest`` runs a
+#: worker-side sleep for drain, timeout and cancellation diagnostics
+#: (documented in SERVING.md).
+JOB_KINDS = ("perf", "memory", "datacenter", "selftest")
 
 #: Priorities: 0 = interactive, 1 = normal (default), 2 = batch.
 PRIORITIES = (0, 1, 2)
@@ -169,26 +171,50 @@ def _parse_settings(payload: object) -> ExperimentSettings:
         raise ProtocolError(f"invalid settings: {exc}", field="settings") from exc
 
 
-def _parse_overrides(payload: object) -> Dict[str, object]:
-    """Validate config overrides: known scalar fields only."""
+def _parse_overrides(payload: object, kind: str = "perf") -> Dict[str, object]:
+    """Validate config overrides: known scalar fields only.
+
+    ``datacenter`` jobs may additionally pass ``dc_*`` machine-model
+    knobs (see :class:`~repro.sim.datacenter.simulator.DatacenterParams`);
+    those are validated against the params dataclass here, and kept out
+    of the per-cell ``SimulationConfig`` dry-build by the caller.
+    """
     if payload is None:
         return {}
     _require(isinstance(payload, dict), "overrides must be an object",
              field="overrides")
     from repro.sim.config import SimulationConfig
+    from repro.sim.datacenter import DC_PREFIX
 
     allowed = {f.name for f in dataclasses.fields(SimulationConfig)}
     # Serving-internal knobs a request must not smuggle in directly.
     for reserved in ("obs", "fault_plan", "recovery", "trace_file"):
         allowed.discard(reserved)
     overrides: Dict[str, object] = {}
+    dc_overrides: Dict[str, object] = {}
     for name, value in payload.items():
+        if kind == "datacenter" and name.startswith(DC_PREFIX):
+            _require(isinstance(value, _SCALAR_TYPES),
+                     f"overrides.{name} must be a JSON scalar",
+                     field="overrides")
+            dc_overrides[name] = value
+            overrides[name] = value
+            continue
         _require(name in allowed,
                  f"overrides.{name} is not an overridable SimulationConfig "
                  f"field", field="overrides")
         _require(isinstance(value, _SCALAR_TYPES),
                  f"overrides.{name} must be a JSON scalar", field="overrides")
         overrides[name] = value
+    if dc_overrides:
+        from repro.sim.datacenter import DatacenterParams
+
+        try:
+            DatacenterParams.from_overrides(dc_overrides)
+        except ConfigurationError as exc:
+            raise ProtocolError(
+                f"invalid datacenter overrides: {exc}", field="overrides"
+            ) from exc
     return overrides
 
 
@@ -237,7 +263,7 @@ def parse_job_request(payload: object, trace_resolver=None) -> JobRequest:
     resolver = trace_resolver if trace_resolver is not None else _reject_traces
     cells = _parse_cells(payload.get("cells"), resolver)
     settings = _parse_settings(payload.get("settings"))
-    overrides = _parse_overrides(payload.get("overrides"))
+    overrides = _parse_overrides(payload.get("overrides"), kind)
 
     events = payload.get("events")
     sample_every: Optional[int] = None
@@ -253,10 +279,16 @@ def parse_job_request(payload: object, trace_resolver=None) -> JobRequest:
                  "events.sample_every must be an integer >= 1", field="events")
 
     # Dry-build every cell's config: organization names, overrides and
-    # settings all validate here (ConfigurationError -> 400).
+    # settings all validate here (ConfigurationError -> 400).  The dc_*
+    # machine-model knobs were already validated above and are not
+    # SimulationConfig fields, so they stay out of the dry-build.
+    config_overrides = {
+        name: value for name, value in overrides.items()
+        if not name.startswith("dc_")
+    } if kind == "datacenter" else overrides
     for app, organization, thp in cells:
         try:
-            settings.config(organization, thp, **overrides)
+            settings.config(organization, thp, **config_overrides)
         except ConfigurationError as exc:
             raise ProtocolError(
                 f"invalid cell ({app}, {organization}, thp={thp}): {exc}",

@@ -216,16 +216,27 @@ class SimulationConfig:
 
         return TraceWorkload(self.trace_file)
 
-    def build(self, workload: Optional[Workload] = None) -> "SimulatedSystem":
+    def build(
+        self,
+        workload: Optional[Workload] = None,
+        allocator=None,
+        caches=None,
+        numa=None,
+    ) -> "SimulatedSystem":
         """Assemble page tables, walker, TLBs, and kernel for ``workload``.
 
         With no workload argument the configured ``trace_file`` is loaded
-        and replayed (the trace-driven path).
+        and replayed (the trace-driven path).  The datacenter model passes
+        ``allocator`` (a shared-pool allocator replacing the per-system
+        :class:`CostModelAllocator`), ``caches`` (a NUMA-aware hierarchy
+        shared across tenants), and ``numa`` (the per-walk socket
+        accounting hook threaded into :class:`TlbHierarchy`).
         """
         if workload is None:
             workload = self.load_trace_workload()
         cost_model = AllocationCostModel()
-        caches = self.build_cache_hierarchy()
+        if caches is None:
+            caches = self.build_cache_hierarchy()
         obs = build_observability(self.obs)
         # Trace-backed workloads report reader/writer activity into the
         # run's registry; synthetic workloads have no such hook.
@@ -236,14 +247,15 @@ class SimulationConfig:
         # Replicate the plan so each build starts from fresh counters and
         # the fault sequence is identical across repeated builds.
         plan = self.fault_plan.replicate() if self.fault_plan is not None else None
-        allocator = CostModelAllocator(
-            cost_model,
-            fmfi=self.fmfi,
-            scale=self.scale,
-            fault_plan=plan,
-            recovery=self.recovery,
-            degradation=degradation,
-        )
+        if allocator is None:
+            allocator = CostModelAllocator(
+                cost_model,
+                fmfi=self.fmfi,
+                scale=self.scale,
+                fault_plan=plan,
+                recovery=self.recovery,
+                degradation=degradation,
+            )
 
         if self.organization == "radix":
             tables = RadixPageTable(levels=self.radix_levels)
@@ -322,7 +334,7 @@ class SimulationConfig:
         )
         for start, pages, name in workload.vma_layout():
             aspace.add_vma(start, pages, name)
-        tlb = TlbHierarchy(walker, obs=obs)
+        tlb = TlbHierarchy(walker, obs=obs, numa=numa)
         system = SimulatedSystem(
             self, workload, tables, walker, tlb, aspace, allocator, degradation,
             obs,

@@ -1,0 +1,57 @@
+"""Multi-tenant NUMA datacenter model (sockets, shootdowns, replication).
+
+The subsystem behind the ``datacenter`` experiment kind:
+
+* :mod:`repro.sim.datacenter.topology` — the :class:`Machine` (per-socket
+  fragmented buddy pools, line homing, NUMA DRAM accounting), the
+  per-tenant :class:`SocketPoolAllocator`, and the shared
+  :class:`NumaCacheHierarchy`;
+* :mod:`repro.sim.datacenter.shootdown` — numaPTE-style TLB-shootdown
+  cycle accounting;
+* :mod:`repro.sim.datacenter.replication` — Mitosis-style
+  ``none | replicate | migrate`` page-table placement policies;
+* :mod:`repro.sim.datacenter.simulator` — tenants, churn, the per-socket
+  scheduler, and :class:`DatacenterSimulator` itself;
+* :mod:`repro.sim.datacenter.results` — the JSON-safe
+  :class:`DatacenterResult` registered with the sweep-engine codec.
+
+Import note: :mod:`repro.sim.results` imports ``DatacenterResult`` from
+this package, so nothing here may import :mod:`repro.sim.results` or
+:mod:`repro.experiments`.
+"""
+
+from repro.sim.datacenter.replication import POLICIES, PlacementUnit, ReplicationEngine
+from repro.sim.datacenter.results import DatacenterResult
+from repro.sim.datacenter.shootdown import ShootdownModel
+from repro.sim.datacenter.simulator import (
+    DC_PREFIX,
+    DatacenterParams,
+    DatacenterSimulator,
+    Tenant,
+    split_overrides,
+)
+from repro.sim.datacenter.topology import (
+    ALL_SOCKETS,
+    LineHomeMap,
+    Machine,
+    NumaCacheHierarchy,
+    SocketPoolAllocator,
+)
+
+__all__ = [
+    "ALL_SOCKETS",
+    "DC_PREFIX",
+    "DatacenterParams",
+    "DatacenterResult",
+    "DatacenterSimulator",
+    "LineHomeMap",
+    "Machine",
+    "NumaCacheHierarchy",
+    "POLICIES",
+    "PlacementUnit",
+    "ReplicationEngine",
+    "ShootdownModel",
+    "SocketPoolAllocator",
+    "Tenant",
+    "split_overrides",
+]

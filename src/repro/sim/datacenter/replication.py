@@ -1,0 +1,126 @@
+"""Mitosis-style page-table replication and migration policies.
+
+Three policies decide where a tenant's page-table memory lives relative
+to the socket it runs on:
+
+``none``
+    Tables stay where the buddy pool placed them; walks from another
+    socket pay the remote-DRAM delta on every probe miss.
+``replicate``
+    Every placement unit is copied to all other sockets up front
+    (home becomes :data:`~repro.sim.datacenter.topology.ALL_SOCKETS`,
+    so walks are always local) and every fault-driven PTE change is
+    mirrored into the remote copies.  The copy and update bills scale
+    with the *number and size of units* — which is exactly where ME-HPT
+    (a handful of chunks) and radix (one 4KB node per 2MB of mapped VA)
+    diverge.
+``migrate``
+    Migrate-on-first-touch: when the scheduler moves a tenant to a new
+    socket, its units are re-homed there in one batch (charged per line
+    moved, plus one shootdown for the stale translations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.obs.trace import EVENT_PT_MIGRATION
+from repro.sim.datacenter.topology import ALL_SOCKETS, Machine
+
+#: The replication policies, in report order.
+POLICIES = ("none", "replicate", "migrate")
+
+#: Cycles to copy one 64B page-table line to one replica socket.
+REPLICA_COPY_LINE_CYCLES = 8.0
+#: Cycles to mirror one PTE update into one remote replica.
+REPLICA_UPDATE_CYCLES = 40.0
+#: Cycles to move one line across the interconnect on migration.
+MIGRATE_LINE_CYCLES = 8.0
+
+
+@dataclass
+class PlacementUnit:
+    """One independently-placed page-table region (way, chunk, or node)."""
+
+    base_line: int
+    n_lines: int
+    nbytes: int
+    socket: int
+
+
+class ReplicationEngine:
+    """Applies one policy's placement rules and accumulates its bill."""
+
+    def __init__(self, policy: str, machine: Machine) -> None:
+        if policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown replication policy {policy!r}; pick from {POLICIES}"
+            )
+        self.policy = policy
+        self.machine = machine
+        self.replicated_bytes = 0
+        self.replica_updates = 0
+        self.replication_cycles = 0.0
+        self.migrations = 0
+        self.migrated_units = 0
+        self.migrated_bytes = 0
+        self.migration_cycles = 0.0
+
+    def on_unit_registered(self, unit: PlacementUnit) -> float:
+        """Charge the policy's placement cost for a new unit.
+
+        Under ``replicate`` the unit is copied to every other socket and
+        homed everywhere; the returned cycles are the copy bill (zero
+        for the other policies).
+        """
+        replicas = self.machine.sockets - 1
+        if self.policy != "replicate" or replicas == 0:
+            return 0.0
+        self.machine.home_map.set_home(unit.base_line, ALL_SOCKETS)
+        unit.socket = ALL_SOCKETS
+        self.replicated_bytes += unit.nbytes * replicas
+        cycles = unit.n_lines * REPLICA_COPY_LINE_CYCLES * replicas
+        self.replication_cycles += cycles
+        return cycles
+
+    def on_faults(self, count: int) -> float:
+        """Charge mirroring ``count`` PTE updates into the replicas."""
+        replicas = self.machine.sockets - 1
+        if self.policy != "replicate" or replicas == 0 or count <= 0:
+            return 0.0
+        updates = count * replicas
+        self.replica_updates += updates
+        cycles = updates * REPLICA_UPDATE_CYCLES
+        self.replication_cycles += cycles
+        return cycles
+
+    def migrate_units(self, units, to_socket: int, tenant: str, obs=None) -> float:
+        """Re-home every unit not already on ``to_socket``; returns cycles.
+
+        Emits one ``pt_migration`` event per batch (not per unit) so
+        traces stay bounded by scheduler decisions, not table size.
+        """
+        moved = 0
+        moved_bytes = 0
+        cycles = 0.0
+        for unit in units:
+            if unit.socket in (to_socket, ALL_SOCKETS):
+                continue
+            self.machine.home_map.set_home(unit.base_line, to_socket)
+            unit.socket = to_socket
+            moved += 1
+            moved_bytes += unit.nbytes
+            cycles += unit.n_lines * MIGRATE_LINE_CYCLES
+        if moved:
+            self.migrations += 1
+            self.migrated_units += moved
+            self.migrated_bytes += moved_bytes
+            self.migration_cycles += cycles
+            if obs is not None:
+                obs.emit(
+                    EVENT_PT_MIGRATION,
+                    tenant=tenant, to_socket=to_socket,
+                    units=moved, bytes=moved_bytes, cycles=cycles,
+                )
+        return cycles

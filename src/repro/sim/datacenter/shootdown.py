@@ -1,0 +1,51 @@
+"""TLB-shootdown cost model (numaPTE-style accounting).
+
+Any operation that invalidates translations other cores may cache —
+tenant teardown (unmap), page-table migration, and batched replica
+updates — broadcasts IPIs to every core that ever ran the address
+space.  The initiator pays a fixed setup cost plus a per-IPI delivery
+cost; replicated address spaces additionally interrupt one core per
+remote replica socket to patch the copies.
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import EVENT_TLB_SHOOTDOWN
+
+#: Cycles the initiating core spends setting up one broadcast.
+INITIATOR_CYCLES = 4000.0
+#: Cycles charged per IPI delivered (send + remote invalidation + ack).
+PER_IPI_CYCLES = 1200.0
+
+
+class ShootdownModel:
+    """Accumulates shootdown broadcasts and their cycle bill."""
+
+    def __init__(
+        self,
+        initiator_cycles: float = INITIATOR_CYCLES,
+        per_ipi_cycles: float = PER_IPI_CYCLES,
+    ) -> None:
+        self.initiator_cycles = initiator_cycles
+        self.per_ipi_cycles = per_ipi_cycles
+        self.shootdowns = 0
+        self.ipis = 0
+        self.cycles = 0.0
+
+    def broadcast(self, cores: int, reason: str, tenant: str, obs=None) -> float:
+        """Charge one broadcast to ``cores`` responders; returns cycles.
+
+        ``reason`` is one of ``exit`` / ``churn`` / ``migrate`` /
+        ``resize`` / ``replica_update`` and lands in the
+        ``tlb_shootdown`` trace event for attribution.
+        """
+        cost = self.initiator_cycles + self.per_ipi_cycles * cores
+        self.shootdowns += 1
+        self.ipis += cores
+        self.cycles += cost
+        if obs is not None:
+            obs.emit(
+                EVENT_TLB_SHOOTDOWN,
+                tenant=tenant, reason=reason, cores=cores, cycles=cost,
+            )
+        return cost

@@ -15,8 +15,8 @@ overhead" claim checkable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.kernel.context import ContextSwitchModel
@@ -42,6 +42,10 @@ class MultiProcessResult:
 
     def l2p_overhead(self) -> float:
         return self.l2p_switch_cycles / self.total_cycles if self.total_cycles else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe field dump (reports, tests, ad-hoc tooling)."""
+        return asdict(self)
 
 
 class MultiProcessSimulator:
@@ -96,9 +100,13 @@ class MultiProcessSimulator:
                     switch_cycles += cost
                     l2p_cycles += cost - base
                     current = process
+                total_cycles += process.run_quantum(self.quantum)
+                # Sample after the quantum: the entries the process has
+                # actually populated are what the next switch must save.
+                # (Sampling before the first quantum reads a cold L2P
+                # and biases the mean low.)
                 if process.l2p is not None:
                     l2p_samples.append(process.l2p.entries_used())
-                total_cycles += process.run_quantum(self.quantum)
             runnable = [p for p in self.processes if not p.finished]
         total_cycles += switch_cycles
         return MultiProcessResult(

@@ -29,6 +29,10 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Union
 
+# Dependency-free by design (see that module's docstring), so this
+# import cannot cycle back through repro.sim.
+from repro.sim.datacenter.results import DatacenterResult
+
 
 @dataclass
 class MemoryFootprintResult:
@@ -123,12 +127,13 @@ class PerformanceResult:
         return self.walks / self.accesses if self.accesses else 0.0
 
 
-SweepResult = Union[MemoryFootprintResult, PerformanceResult]
+SweepResult = Union[MemoryFootprintResult, PerformanceResult, DatacenterResult]
 
-#: JSON type tags for the two sweep result dataclasses (disk cache records).
+#: JSON type tags for the sweep result dataclasses (disk cache records).
 _RESULT_TYPES: Dict[str, type] = {
     "memory": MemoryFootprintResult,
     "perf": PerformanceResult,
+    "datacenter": DatacenterResult,
 }
 
 

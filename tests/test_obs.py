@@ -179,10 +179,10 @@ class TestDisabledIsFree:
 
 class TestSnapshots:
     def test_run_covers_catalogue(self, tmp_path):
-        """One mehpt run, one radix run, one ecpt run and one trace
-        record/replay together must instantiate every catalogued base
-        name — otherwise the catalogue documents metrics nothing
-        produces."""
+        """One mehpt run, one radix run, one ecpt run, one trace
+        record/replay and one datacenter run together must instantiate
+        every catalogued base name — otherwise the catalogue documents
+        metrics nothing produces."""
         seen = set()
         for organization in ("mehpt", "radix", "ecpt"):
             result, _ = run_perf(organization, obs=ObservabilityConfig())
@@ -205,6 +205,24 @@ class TestSnapshots:
             "mehpt", obs=ObservabilityConfig(), app="trace:" + trace_path
         )
         for name in replay.metrics:
+            seen.add(name.split("[", 1)[0])
+        # The numa.*/dc.* gauges and counters come from the datacenter
+        # machine model; one tiny churning run registers all of them.
+        from repro.sim.datacenter import DatacenterParams, DatacenterSimulator
+
+        dc = DatacenterSimulator(
+            ["GUPS"],
+            SimulationConfig(
+                organization="mehpt", scale=64, seed=3,
+                obs=ObservabilityConfig(),
+            ),
+            params=DatacenterParams(
+                sockets=2, processes=3, policy="migrate", quantum=400,
+                churn_every=2, rebalance_every=2, pool_mb=16,
+            ),
+            trace_length=1_200,
+        ).run()
+        for name in dc.metrics:
             seen.add(name.split("[", 1)[0])
         # faults.events needs a degradation event (counted via the
         # always-registered recovery counter instead);

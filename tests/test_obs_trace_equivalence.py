@@ -132,8 +132,9 @@ class TestSamplingAndKinds:
     def test_all_event_kinds_covered_byte_identically(self, tmp_path):
         # GUPS on ME-HPT produces the steady-state kinds (walks, misses,
         # faults, kicks, resizes, chunk transitions); the planted-fault
-        # corpus reproducer adds fault_injected and resize_rollback.
-        # Together the byte-compared traces span every conforming kind.
+        # corpus reproducer adds fault_injected and resize_rollback; a
+        # tiny churning datacenter run adds the tenancy kinds (shootdown,
+        # migration, lifecycle).  Together the traces span every kind.
         run_traced("vectorized", tmp_path / "gups.jsonl", n=6_000)
         seen = {e["kind"] for e in read_jsonl(str(tmp_path / "gups.jsonl"))}
         entry = next(
@@ -143,10 +144,29 @@ class TestSamplingAndKinds:
         s_ev, v_ev = _replay_corpus_entry_traced(entry, tmp_path)
         assert s_ev == v_ev
         seen |= {e["kind"] for e in s_ev}
+        seen |= _datacenter_kinds(tmp_path)
         assert seen == ALL_KINDS
 
 
 CHECKED_IN_CORPUS = os.path.join(os.path.dirname(__file__), "..", "corpus")
+
+
+def _datacenter_kinds(tmp_path):
+    """Kinds from a tiny traced datacenter run (migrate policy + churn)."""
+    from repro.sim.datacenter import DatacenterParams, DatacenterSimulator
+
+    path = tmp_path / "dc.jsonl"
+    config = SimulationConfig(
+        organization="mehpt", scale=512, seed=3,
+        obs=ObservabilityConfig(trace_path=str(path)),
+    )
+    params = DatacenterParams(
+        sockets=2, processes=3, policy="migrate", quantum=400,
+        churn_every=2, rebalance_every=2, pool_mb=16,
+    )
+    DatacenterSimulator(["GUPS"], config, params=params,
+                        trace_length=1_200).run()
+    return {e["kind"] for e in read_jsonl(str(path))}
 
 
 def _replay_corpus_entry_traced(entry, tmp_path):

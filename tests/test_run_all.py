@@ -17,7 +17,7 @@ def _restore_engine():
 
 
 class TestSectionWiring:
-    def test_all_thirteen_experiments_present(self):
+    def test_all_fourteen_experiments_present(self):
         sections = run_all_mod._sections(ExperimentSettings())
         titles = [title for title, _fn in sections]
         assert titles[0].startswith("Section III")
@@ -25,7 +25,8 @@ class TestSectionWiring:
             assert expected in titles
         for figure in range(8, 17):
             assert f"Figure {figure}" in titles
-        assert len(sections) == 13
+        assert "Multi-tenant NUMA datacenter" in titles
+        assert len(sections) == 14
 
     def test_report_streams_sections(self, monkeypatch):
         # Stub the producers so the loop itself is cheap to test.
