@@ -95,10 +95,18 @@ def settings_fingerprint(kind: str, settings) -> Dict[str, object]:
 
 
 def _canonical_overrides(overrides: Dict[str, object]) -> Tuple[List[List[object]], bool]:
-    """Sort overrides into a JSON-stable list; flag non-scalar values."""
+    """Sort overrides into a JSON-stable list; flag non-scalar values.
+
+    The ``engine`` override is excluded from the key: scalar and
+    vectorized runs are bit-identical by contract (enforced by
+    tests/test_sim_quantum.py and the fastpath equivalence suite), so a
+    cell computed under either engine serves re-runs under the other.
+    """
     canonical: List[List[object]] = []
     disk_cacheable = True
     for name in sorted(overrides):
+        if name == "engine":
+            continue
         value = overrides[name]
         if isinstance(value, _SCALAR_TYPES):
             canonical.append([name, value])

@@ -13,6 +13,7 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.kernel.address_space import AddressSpace
+from repro.kernel.thp import REGION_SHIFT
 
 
 class Process:
@@ -51,15 +52,18 @@ class Process:
         cycles = 0.0
         translate = self.tlb.translate
         fault = self.address_space.handle_fault
-        thp = self.address_space.thp
-        for index in range(self.cursor, end):
-            vpn = int(self.trace[index])
+        fill = self.tlb.fill
+        # One bulk numpy->int conversion per quantum instead of one
+        # int() call per access; the loop then runs on plain ints.
+        for vpn in self.trace[self.cursor:end].tolist():
             outcome = translate(vpn)
             cycles += outcome.cycles
             if outcome.level == "fault":
                 result = fault(vpn)
-                self.tlb.fill(
-                    thp.region_base(vpn) if result.page_size == "2M" else vpn,
+                fill(
+                    (vpn >> REGION_SHIFT) << REGION_SHIFT
+                    if result.page_size == "2M"
+                    else vpn,
                     result.page_size,
                 )
         self.accesses_done += end - self.cursor

@@ -20,6 +20,12 @@ from repro.hashing.hashes import mix64
 #: 4KB pages per 2MB region.
 PAGES_PER_2M = 512
 
+#: ``log2(PAGES_PER_2M)`` — ``region_base(vpn) == (vpn >> REGION_SHIFT)
+#: << REGION_SHIFT`` for non-negative VPNs.  Shared by the scalar fill
+#: path and the vectorized engines so both compute region bases the same
+#: way.
+REGION_SHIFT = PAGES_PER_2M.bit_length() - 1
+
 
 class ThpPolicy:
     """Decides the backing page size for a faulting virtual page."""
@@ -42,4 +48,4 @@ class ThpPolicy:
 
     def region_base(self, vpn: int) -> int:
         """The first 4KB VPN of ``vpn``'s 2MB region."""
-        return (vpn // PAGES_PER_2M) * PAGES_PER_2M
+        return (vpn >> REGION_SHIFT) << REGION_SHIFT

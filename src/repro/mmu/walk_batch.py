@@ -130,8 +130,21 @@ class CacheBatch:
             cycles[idx[hit]] = arr.hit_cycles
             idx = idx[~hit]
             stream = stream[~hit]
-        self._dram += int(idx.size)
+        self._on_dram(stream, idx, cycles)
         return cycles
+
+    def _on_dram(
+        self, lines: np.ndarray, idx: np.ndarray, cycles: np.ndarray
+    ) -> None:
+        """Account the lines that missed every level (a DRAM access each).
+
+        ``lines`` are the missing line addresses, ``idx`` their positions
+        in the probed stream, ``cycles`` the full per-stream cycle array
+        (already set to ``dram_cycles`` at those positions).  Subclasses
+        may adjust ``cycles[idx]`` in place — the NUMA variant charges the
+        remote-DRAM delta here.
+        """
+        self._dram += int(idx.size)
 
     def write_back(self) -> None:
         """Install mirrored contents and counter deltas into the real levels."""
@@ -145,6 +158,95 @@ class CacheBatch:
         self._hits = [0] * len(self.arrays)
         self._misses = [0] * len(self.arrays)
         self._dram = 0
+
+
+class NumaCacheBatch(CacheBatch):
+    """NUMA-aware :class:`CacheBatch` over a shared datacenter hierarchy.
+
+    Mirrors :meth:`~repro.sim.datacenter.topology.NumaCacheHierarchy.access`
+    bit-identically: every line that misses all levels resolves its
+    home socket and, when homed on a socket other than the machine's
+    ``active_socket`` (and not replicated everywhere), pays the
+    remote-DRAM delta.  Instead of one ``home_of`` bisect per line,
+    homes are resolved in batch with a ``searchsorted`` over a numpy
+    interval snapshot of the :class:`LineHomeMap`, rebuilt only when
+    the map's epoch moves (register / set_home / unregister).
+
+    ``local/remote_dram_accesses`` and ``remote_delta_cycles`` are
+    accumulated as deltas and installed into the machine at
+    :meth:`write_back` — nothing reads them mid-run (results and
+    metric snapshots are taken after the final write-back).
+
+    Requires an integer ``remote_dram_delta`` (per-line latencies stay
+    int64 and batched sums stay exact); the engine selection layer
+    falls back to the scalar loop otherwise.
+    """
+
+    def __init__(self, hierarchy) -> None:
+        super().__init__(hierarchy)
+        machine = hierarchy.machine
+        if not float(machine.remote_dram_delta).is_integer():
+            raise ConfigurationError(
+                "NumaCacheBatch needs an integral remote_dram_delta"
+            )
+        self.machine = machine
+        self._delta = int(machine.remote_dram_delta)
+        self._local_dram = 0
+        self._remote_dram = 0
+        self._snapshot_epoch = -1
+        self._bases = self._ends = self._sockets = None
+        #: Diagnostics surfaced as ``numa.batch_*`` metrics.
+        self.batch_dram_probes = 0
+        self.snapshot_rebuilds = 0
+
+    def _remote_mask(self, lines: np.ndarray) -> np.ndarray:
+        """Which of ``lines`` are homed on a non-active, non-replicated
+        socket — exactly ``home_of``'s bisect, vectorized."""
+        from repro.sim.datacenter.topology import ALL_SOCKETS
+
+        home_map = self.machine.home_map
+        if self._snapshot_epoch != home_map.epoch:
+            self._bases, self._ends, self._sockets = home_map.as_arrays()
+            self._snapshot_epoch = home_map.epoch
+            self.snapshot_rebuilds += 1
+        if self._bases.size == 0:
+            return np.zeros(lines.size, dtype=bool)
+        pos = np.searchsorted(self._bases, lines, side="right") - 1
+        clipped = np.maximum(pos, 0)
+        within = (pos >= 0) & (lines < self._ends[clipped])
+        homes = self._sockets[clipped]
+        return (
+            within
+            & (homes != np.int64(ALL_SOCKETS))
+            & (homes != np.int64(self.machine.active_socket))
+        )
+
+    def _on_dram(
+        self, lines: np.ndarray, idx: np.ndarray, cycles: np.ndarray
+    ) -> None:
+        n = int(idx.size)
+        self._dram += n
+        self.batch_dram_probes += n
+        if n == 0:
+            return
+        remote = self._remote_mask(lines)
+        n_remote = int(np.count_nonzero(remote))
+        self._local_dram += n - n_remote
+        self._remote_dram += n_remote
+        if n_remote:
+            cycles[idx[remote]] += np.int64(self._delta)
+
+    def write_back(self) -> None:
+        """Install cache state plus the machine's NUMA DRAM counters."""
+        super().write_back()
+        machine = self.machine
+        machine.local_dram_accesses += self._local_dram
+        machine.remote_dram_accesses += self._remote_dram
+        # Scalar accumulation adds the (integer-valued) float delta once
+        # per remote miss; a single product lands on the same float.
+        machine.remote_delta_cycles += float(self._delta * self._remote_dram)
+        self._local_dram = 0
+        self._remote_dram = 0
 
 
 class HptWalkBatch:
@@ -506,15 +608,21 @@ class RadixWalkBatch(HptWalkBatch):
         return self._finish(cycles, accesses)
 
 
-def make_walk_batch(system, sizes: List[str]):
+def make_walk_batch(system, sizes: List[str], caches: Optional[CacheBatch] = None):
     """Build the walk batcher for ``system``, or None when the walker or
     cache geometry has no batched implementation (the engine then falls
-    back to the scalar walker per miss — still exact, just slower)."""
+    back to the scalar walker per miss — still exact, just slower).
+
+    ``caches`` lets callers share one cache mirror across several
+    batchers — the datacenter quantum engine passes a single
+    :class:`NumaCacheBatch` over the machine-wide hierarchy so the
+    shared LLC state evolves in global quantum order."""
     walker = system.walker
-    try:
-        caches = CacheBatch(walker.caches)
-    except (AttributeError, ConfigurationError):
-        return None
+    if caches is None:
+        try:
+            caches = CacheBatch(walker.caches)
+        except (AttributeError, ConfigurationError):
+            return None
     if isinstance(walker, EcptWalker):
         return HptWalkBatch(walker, caches, sizes)
     if isinstance(walker, RadixWalker):

@@ -27,6 +27,7 @@ from repro.common.units import CACHE_LINE, MB, PAGE_4K
 from repro.kernel.context import ContextSwitchModel
 from repro.kernel.process import Process
 from repro.mem.alloc_cost import AllocationCostModel
+from repro.mmu.walk_batch import NumaCacheBatch
 from repro.obs import build_observability
 from repro.obs.trace import (
     EVENT_PROCESS_LIFECYCLE,
@@ -46,6 +47,7 @@ from repro.sim.datacenter.topology import (
     NumaCacheHierarchy,
     SocketPoolAllocator,
 )
+from repro.sim.quantum import QuantumEngine
 from repro.workloads import get_workload
 
 #: Prefix marking sweep-cell overrides that parameterize the datacenter
@@ -163,6 +165,10 @@ class Tenant:
         self.node_handles: Dict[int, int] = {}
         self.charged_faults = 0
         self.active = True
+        #: Vectorized quantum engine (None = scalar quanta).
+        self.engine: Optional[QuantumEngine] = None
+        #: Placement-change signature recorded after the last unit scan.
+        self.scan_sig: Optional[Tuple[int, int]] = None
 
     @property
     def name(self) -> str:
@@ -236,6 +242,24 @@ class DatacenterSimulator:
         self.failed = False
         self.failure_reason = ""
         self._clock = 0.0
+        # Engine selection (SimulationConfig.engine): "auto" and
+        # "vectorized" run tenant quanta through per-tenant
+        # QuantumEngines sharing one NumaCacheBatch mirror.  A
+        # non-integral remote_dram_delta falls back to the scalar loop
+        # (batched int64 latency sums are only exact for integer
+        # deltas); results are bit-identical either way.
+        self._engine_mode = (
+            "vectorized"
+            if (
+                config.resolve_engine() == "vectorized"
+                and float(self.params.remote_dram_delta).is_integer()
+            )
+            else "scalar"
+        )
+        self._cache_batch: Optional[NumaCacheBatch] = None
+        #: Engine diagnostics (fastpath.quantum_* metrics).
+        self.quantum_runs = 0
+        self.quantum_accesses = 0
         if self.obs is not None and self.obs.registry is not None:
             self.obs.registry.add_collector(self._collect_metrics)
 
@@ -279,9 +303,35 @@ class DatacenterSimulator:
             self.params.cores_per_socket,
         )
         self.tenants.append(tenant)
+        if self._engine_mode == "vectorized":
+            self._attach_engine(tenant)
         self._scan_units(tenant)
         self._emit_lifecycle(tenant, phase)
         return tenant
+
+    def _attach_engine(self, tenant: Tenant) -> None:
+        """Give the tenant a vectorized engine over the shared cache mirror.
+
+        The organization (and thus walker geometry) is uniform across
+        tenants, so an unsupported walker trips at the *first* spawn —
+        before any quantum has run — and demotes the whole run to
+        scalar quanta.
+        """
+        if self._cache_batch is None:
+            try:
+                self._cache_batch = NumaCacheBatch(self.caches)
+            except ConfigurationError:
+                self._engine_mode = "scalar"
+                return
+        engine = QuantumEngine(
+            tenant.process, tenant.system,
+            caches=self._cache_batch, machine=self.machine,
+        )
+        if not engine.supported:
+            self._engine_mode = "scalar"
+            self._cache_batch = None
+            return
+        tenant.engine = engine
 
     def _emit_lifecycle(self, tenant: Tenant, phase: str, **extra) -> None:
         if self.obs is not None:
@@ -294,6 +344,10 @@ class DatacenterSimulator:
 
     def _exit_tenant(self, tenant: Tenant, reason: str) -> None:
         """Tear a tenant down: shootdown, unhome its units, free its pool."""
+        if tenant.engine is not None:
+            # Install the final TLB contents (finished and churn-killed
+            # tenants alike) so post-run TLB state matches scalar runs.
+            tenant.engine.finalize()
         cores = len(tenant.touched_cores)
         if self.replication.policy == "replicate":
             cores += self.machine.sockets - 1
@@ -366,8 +420,24 @@ class DatacenterSimulator:
             for placement in tenant.iter_storage_placements():
                 yield placement
 
+    def _scan_sig(self, tenant: Tenant) -> Tuple[int, int]:
+        """Placement-change signature: pool epoch + radix node count.
+
+        Every event that can add/move/remove a placement unit — table
+        resizes, lazy radix node backing, pool frees at teardown — goes
+        through the tenant's pool allocator (bumping ``alloc_epoch``) or
+        grows the radix tree (bumping ``node_count``), so an unchanged
+        signature means the last scan's registrations still hold.
+        """
+        return (
+            tenant.pool.alloc_epoch,
+            getattr(tenant.system.page_tables, "node_count", -1),
+        )
+
     def _scan_units(self, tenant: Tenant) -> None:
         """Register new units, unregister stale ones (resize shootdown)."""
+        if tenant.scan_sig == self._scan_sig(tenant):
+            return
         live: Dict[int, Tuple[int, int, int]] = {}
         for base_line, n_lines, nbytes, handle in self._iter_placements(tenant):
             live[base_line] = (n_lines, nbytes, handle)
@@ -392,6 +462,9 @@ class DatacenterSimulator:
             self.machine.home_map.register(base_line, n_lines, unit.socket)
             self._clock += self.replication.on_unit_registered(unit)
             tenant.units[base_line] = unit
+        # Record *after* the scan: the radix walk above may itself have
+        # allocated node backing, bumping the pool epoch.
+        tenant.scan_sig = self._scan_sig(tenant)
 
     def _migrate(self, tenant: Tenant) -> None:
         """Migrate-on-first-touch: re-home the tenant's units, once."""
@@ -426,7 +499,13 @@ class DatacenterSimulator:
             self._current[tenant.socket] = tenant
         if self.replication.policy == "migrate" and tenant.table_home != tenant.socket:
             self._migrate(tenant)
-        cycles = tenant.process.run_quantum(self.params.quantum)
+        if tenant.engine is not None:
+            before = tenant.process.accesses_done
+            cycles = tenant.engine.run_quantum(self.params.quantum)
+            self.quantum_runs += 1
+            self.quantum_accesses += tenant.process.accesses_done - before
+        else:
+            cycles = tenant.process.run_quantum(self.params.quantum)
         self.run_cycles += cycles
         self._clock += cycles
         # Sample the L2P *after* the quantum, when the table is
@@ -543,8 +622,26 @@ class DatacenterSimulator:
         registry.counter("dc.pool_alloc_failures").set_total(
             self.pool_alloc_failures
         )
+        if self._engine_mode == "vectorized":
+            registry.counter("fastpath.quantum_runs").set_total(
+                self.quantum_runs
+            )
+            registry.counter("fastpath.quantum_accesses").set_total(
+                self.quantum_accesses
+            )
+            if self._cache_batch is not None:
+                registry.counter("numa.batch_dram_probes").set_total(
+                    self._cache_batch.batch_dram_probes
+                )
+                registry.counter("numa.batch_snapshot_rebuilds").set_total(
+                    self._cache_batch.snapshot_rebuilds
+                )
 
     def _result(self) -> DatacenterResult:
+        if self._cache_batch is not None:
+            # Deferred NUMA DRAM accounting must land on the machine
+            # before the result fields below read it.
+            self._cache_batch.write_back()
         total = self.total_cycles()
         result = DatacenterResult(
             organization=self.config.organization,
@@ -599,6 +696,14 @@ class DatacenterSimulator:
                 forks=self.forks,
                 exits=self.exits,
             )
-            result.metrics = self.obs.snapshot_metrics()
+            # Engine diagnostics (fastpath.quantum_*/numa.batch_*) are
+            # stripped from the snapshot: cached sweep cells must stay
+            # byte-identical regardless of the engine that produced
+            # them (the engine knob is absent from cache keys).
+            result.metrics = {
+                name: record
+                for name, record in self.obs.snapshot_metrics().items()
+                if not name.startswith(("fastpath.quantum_", "numa.batch_"))
+            }
             self.obs.close()
         return result

@@ -16,6 +16,8 @@ import bisect
 import itertools
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.common.errors import ConfigurationError, OutOfMemoryError
 from repro.mem.alloc_cost import AllocationCostModel
 from repro.mem.allocator import AllocationStats, _FaultHooks
@@ -39,16 +41,21 @@ class LineHomeMap:
     def __init__(self) -> None:
         self._bases: List[int] = []
         self._units: Dict[int, List[int]] = {}  # base -> [n_lines, socket]
+        #: Bumped on every mutation; cached interval snapshots
+        #: (:meth:`as_arrays` consumers) revalidate against it.
+        self.epoch = 0
 
     def register(self, base_line: int, n_lines: int, socket: int) -> None:
         """Add a unit; re-registering a base updates it in place."""
         if base_line not in self._units:
             bisect.insort(self._bases, base_line)
         self._units[base_line] = [n_lines, socket]
+        self.epoch += 1
 
     def set_home(self, base_line: int, socket: int) -> None:
         """Re-home an existing unit (migration/replication)."""
         self._units[base_line][1] = socket
+        self.epoch += 1
 
     def unregister(self, base_line: int) -> None:
         """Drop a unit (storage released or tenant exited)."""
@@ -56,6 +63,24 @@ class LineHomeMap:
             del self._units[base_line]
             index = bisect.bisect_left(self._bases, base_line)
             del self._bases[index]
+            self.epoch += 1
+
+    def as_arrays(self):
+        """``(bases, ends, sockets)`` int64 snapshot, sorted by base.
+
+        The batched NUMA probe path resolves line homes with one
+        ``searchsorted`` over this snapshot instead of per-line
+        :meth:`home_of` bisects; callers cache it keyed on
+        :attr:`epoch`.
+        """
+        bases = np.asarray(self._bases, dtype=np.int64)
+        n_lines = np.array(
+            [self._units[b][0] for b in self._bases], dtype=np.int64
+        )
+        sockets = np.array(
+            [self._units[b][1] for b in self._bases], dtype=np.int64
+        )
+        return bases, bases + n_lines, sockets
 
     def home_of(self, line_addr: int) -> Optional[int]:
         """The socket homing ``line_addr`` or None if unregistered."""
@@ -165,6 +190,10 @@ class SocketPoolAllocator(_FaultHooks):
         #: handle -> (socket, start_frame, nbytes)
         self._live: Dict[int, Tuple[int, int, int]] = {}
         self.alloc_failures = 0
+        #: Bumped on every successful alloc/free.  The placement scanner
+        #: skips rescanning a tenant whose epoch has not moved since the
+        #: last scan — placements can only change through this allocator.
+        self.alloc_epoch = 0
         self._arm(fault_plan, recovery, degradation)
 
     def current_fmfi(self, nbytes: int) -> float:
@@ -208,6 +237,7 @@ class SocketPoolAllocator(_FaultHooks):
         handle = next(self._ids)
         self._live[handle] = (socket, start, nbytes)
         self.stats.on_alloc(nbytes, cycles)
+        self.alloc_epoch += 1
         return handle
 
     def free(self, handle: int) -> None:
@@ -215,6 +245,7 @@ class SocketPoolAllocator(_FaultHooks):
         socket, start, nbytes = self._live.pop(handle)
         self.machine.pools[socket].free(start)
         self.stats.on_free(nbytes)
+        self.alloc_epoch += 1
 
     def socket_of(self, handle: int) -> int:
         """The socket a live handle was placed on."""

@@ -73,7 +73,7 @@ from repro.faults.log import EVENT_ABORT
 from repro.hashing.clustered import PAGE_SHIFT
 from repro.hashing.hashes import mix64_array
 from repro.kernel.address_space import AddressSpace
-from repro.kernel.thp import PAGES_PER_2M
+from repro.kernel.thp import PAGES_PER_2M, REGION_SHIFT
 from repro.mmu.tlb_array import ArrayTlb
 from repro.mmu.walk_batch import make_walk_batch
 from repro.obs.trace import (
@@ -91,7 +91,7 @@ from repro.sim.simulator import (
 #: Default trace events per engine chunk.
 DEFAULT_CHUNK_VALUES = 65536
 
-_REGION_SHIFT = PAGES_PER_2M.bit_length() - 1
+_REGION_SHIFT = REGION_SHIFT
 
 
 class StaticThpSizer:

@@ -22,6 +22,7 @@ from repro.common.errors import ConfigurationError
 from repro.kernel.context import ContextSwitchModel
 from repro.kernel.process import Process
 from repro.sim.config import SimulationConfig
+from repro.sim.quantum import QuantumEngine
 from repro.workloads import get_workload
 
 
@@ -67,9 +68,11 @@ class MultiProcessSimulator:
         self.quantum = quantum
         self.switch_model = switch_model if switch_model is not None else ContextSwitchModel()
         self.processes: List[Process] = []
+        self._systems = []
         for index, app in enumerate(apps):
             workload = get_workload(app, scale=config.scale, seed=config.seed + index)
             system = config.build(workload)
+            self._systems.append(system)
             l2p = getattr(system.page_tables, "l2p", None)
             self.processes.append(
                 Process(
@@ -80,6 +83,28 @@ class MultiProcessSimulator:
                     l2p=l2p,
                 )
             )
+        # Engine selection (SimulationConfig.engine): per-process
+        # vectorized quantum engines with private cache mirrors.  Traced
+        # runs keep the scalar loop — per-access event synthesis under
+        # round-robin scheduling is not implemented here — and so does
+        # any walker/cache geometry without a batched implementation.
+        self._engines: Dict[int, QuantumEngine] = {}
+        if config.resolve_engine() == "vectorized" and not config.tracing_enabled():
+            engines = {
+                i: QuantumEngine(process, system)
+                for i, (process, system) in enumerate(
+                    zip(self.processes, self._systems)
+                )
+            }
+            if all(engine.supported for engine in engines.values()):
+                self._engines = engines
+
+    def _run_quantum(self, index: int, process: Process) -> float:
+        """One quantum through the selected engine."""
+        engine = self._engines.get(index)
+        if engine is not None:
+            return engine.run_quantum(self.quantum)
+        return process.run_quantum(self.quantum)
 
     def run(self) -> MultiProcessResult:
         """Run every process to completion; return aggregate costs."""
@@ -88,6 +113,7 @@ class MultiProcessSimulator:
         l2p_cycles = 0.0
         l2p_samples: List[int] = []
         current: Optional[Process] = None
+        index_of = {id(p): i for i, p in enumerate(self.processes)}
         runnable = [p for p in self.processes if not p.finished]
         while runnable:
             for process in list(runnable):
@@ -100,7 +126,7 @@ class MultiProcessSimulator:
                     switch_cycles += cost
                     l2p_cycles += cost - base
                     current = process
-                total_cycles += process.run_quantum(self.quantum)
+                total_cycles += self._run_quantum(index_of[id(process)], process)
                 # Sample after the quantum: the entries the process has
                 # actually populated are what the next switch must save.
                 # (Sampling before the first quantum reads a cold L2P
